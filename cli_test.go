@@ -1,0 +1,145 @@
+package msrnet_test
+
+// End-to-end command-line integration tests: build each tool once and
+// drive realistic flag combinations through temp files. Guarded by
+// -short so unit-test runs stay fast.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var cli struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+// buildTools compiles every command into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI integration tests")
+	}
+	cli.once.Do(func() {
+		dir, err := os.MkdirTemp("", "msrnet-cli")
+		if err != nil {
+			cli.err = err
+			return
+		}
+		cli.dir = dir
+		for _, tool := range []string{"netgen", "ardcalc", "msri", "synth", "experiments"} {
+			bin := filepath.Join(dir, tool)
+			if runtime.GOOS == "windows" {
+				bin += ".exe"
+			}
+			cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cli.err = err
+				cli.dir = string(out)
+				return
+			}
+		}
+	})
+	if cli.err != nil {
+		t.Fatalf("building tools: %v (%s)", cli.err, cli.dir)
+	}
+	return cli.dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateAnalyzeOptimize(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.json")
+	spefPath := filepath.Join(dir, "net.spef")
+
+	run(t, "netgen", "-pins", "8", "-seed", "5", "-out", netPath, "-spef", spefPath)
+	if _, err := os.Stat(netPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(spefPath); err != nil {
+		t.Fatal(err)
+	}
+
+	out := run(t, "ardcalc", "-net", netPath, "-check", "-matrix")
+	if !strings.Contains(out, "ARD =") || !strings.Contains(out, "critical pair") {
+		t.Errorf("ardcalc output: %s", out)
+	}
+	if !strings.Contains(out, "naive ARD") {
+		t.Errorf("cross-check missing: %s", out)
+	}
+
+	// The SPEF view must agree with the JSON view.
+	outSpef := run(t, "ardcalc", "-net", spefPath)
+	j := strings.SplitN(out, "\n", 2)[0]
+	sp := strings.SplitN(outSpef, "\n", 2)[0]
+	if j != sp {
+		t.Errorf("JSON vs SPEF ARD lines differ: %q vs %q", j, sp)
+	}
+
+	svgPath := filepath.Join(dir, "sol.svg")
+	asgPath := filepath.Join(dir, "sol.json")
+	out = run(t, "msri", "-net", netPath, "-stats", "-report",
+		"-svg", svgPath, "-assign", asgPath)
+	for _, want := range []string{"tradeoff suite", "min-ARD solution", "stats:", "before", "after"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("msri output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(svgPath); err != nil {
+		t.Error("svg not written")
+	}
+	if _, err := os.Stat(asgPath); err != nil {
+		t.Error("assignment not written")
+	}
+
+	// Spec-driven run with both pruners; results must agree on the line.
+	a := run(t, "msri", "-net", netPath, "-spec", "99", "-pruner", "divide")
+	b := run(t, "msri", "-net", netPath, "-spec", "99", "-pruner", "naive")
+	la := lastLine(a)
+	lb := lastLine(b)
+	if la != lb {
+		t.Errorf("pruner outputs differ: %q vs %q", la, lb)
+	}
+}
+
+func TestCLISynthAndExperiments(t *testing.T) {
+	out := run(t, "synth", "-pins", "6", "-seed", "9")
+	if !strings.Contains(out, "synthesized topology") || !strings.Contains(out, "optimized ARD") {
+		t.Errorf("synth output: %s", out)
+	}
+
+	out = run(t, "experiments", "-table", "1")
+	if !strings.Contains(out, "Table I") {
+		t.Errorf("experiments -table 1: %s", out)
+	}
+
+	csvDir := t.TempDir()
+	out = run(t, "experiments", "-table", "2", "-nets", "2", "-parallel", "2", "-csvdir", csvDir)
+	if !strings.Contains(out, "Table II") {
+		t.Errorf("experiments -table 2: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "table2.csv")); err != nil {
+		t.Error("table2.csv not written")
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}

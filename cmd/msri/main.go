@@ -1,0 +1,182 @@
+// Command msri runs the optimal multisource repeater-insertion dynamic
+// program of §IV of Lillis & Cheng (TCAD'99) on a net file, printing the
+// full cost/performance tradeoff suite and, given a timing spec, the
+// min-cost solution meeting it (Problem 2.1).
+//
+// Usage:
+//
+//	msri -net net10.json                       # full tradeoff suite
+//	msri -net net10.json -spec 1.8             # min cost with ARD ≤ 1.8 ns
+//	msri -net net10.json -mode sizing          # driver sizing instead
+//	msri -net net10.json -mode both            # sizing + repeaters jointly
+//	msri -net net10.json -svg out.svg          # render the chosen solution
+//	msri -net net10.json -assign out.json      # dump the chosen assignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/core"
+	"msrnet/internal/netio"
+	"msrnet/internal/rctree"
+	"msrnet/internal/report"
+	"msrnet/internal/spef"
+	"msrnet/internal/svgplot"
+	"msrnet/internal/topo"
+
+	"msrnet/internal/buslib"
+
+	"encoding/json"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("net", "", "net file (required)")
+		mode     = flag.String("mode", "repeaters", "repeaters | sizing | both")
+		spec     = flag.Float64("spec", 0, "timing spec in ns (0 = report full suite, choose min-ARD)")
+		svgOut   = flag.String("svg", "", "write an SVG of the chosen solution")
+		asgOut   = flag.String("assign", "", "write the chosen assignment as JSON")
+		widths   = flag.String("widths", "", "comma-separated wire width options (enables wire sizing)")
+		pruner   = flag.String("pruner", "divide", "divide | naive (MFS implementation)")
+		stats    = flag.Bool("stats", false, "print dynamic-programming statistics")
+		parallel = flag.Bool("parallel", false, "evaluate independent subtrees concurrently")
+		rep      = flag.Bool("report", false, "print a before/after summary and placement report for the chosen solution")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		fmt.Fprintln(os.Stderr, "msri: -net is required")
+		os.Exit(2)
+	}
+	tr, tech, err := loadNet(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.Options{}
+	switch *mode {
+	case "repeaters":
+		opt.Repeaters = true
+	case "sizing":
+		opt.SizeDrivers = true
+	case "both":
+		opt.Repeaters = true
+		opt.SizeDrivers = true
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *pruner {
+	case "divide":
+		opt.Pruner = core.PruneDivide
+	case "naive":
+		opt.Pruner = core.PruneNaive
+	default:
+		fatal(fmt.Errorf("unknown pruner %q", *pruner))
+	}
+	opt.Parallel = *parallel
+	if *widths != "" {
+		for _, tok := range strings.Split(*widths, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad width %q: %w", tok, err))
+			}
+			opt.WireWidths = append(opt.WireWidths, w)
+		}
+	}
+
+	rt := tr.RootAt(tr.Terminals()[0])
+	base := rctree.NewNet(rt, tech, rctree.Assignment{})
+	baseARD := ard.Compute(base, ard.Options{}).ARD
+	fmt.Printf("net: %d terminals, %d insertion points, %.0f µm wire, unoptimized ARD %.4f ns\n",
+		len(tr.Terminals()), len(tr.Insertions()), tr.TotalWireLength(), baseARD)
+
+	res, err := core.Optimize(rt, tech, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("cost/ARD tradeoff suite:")
+	if err := report.Suite(os.Stdout, res.Suite); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Printf("stats: %d solutions created, max set %d, max PWL segments %d, %d prunes\n",
+			res.Stats.SolutionsCreated, res.Stats.MaxSetSize, res.Stats.MaxSegs, res.Stats.PruneCalls)
+	}
+
+	var chosen core.RootSolution
+	if *spec > 0 {
+		sol, ok := res.Suite.MinCost(*spec)
+		if !ok {
+			fatal(fmt.Errorf("no solution meets ARD ≤ %g ns (best achievable %.4f)",
+				*spec, res.Suite.MinARD().ARD))
+		}
+		chosen = sol
+		fmt.Printf("min-cost solution meeting ARD ≤ %g: cost %.1f, ARD %.4f ns, %d repeaters\n",
+			*spec, sol.Cost, sol.ARD, sol.Repeaters())
+	} else {
+		chosen = res.Suite.MinARD()
+		fmt.Printf("min-ARD solution: cost %.1f, ARD %.4f ns, %d repeaters\n",
+			chosen.Cost, chosen.ARD, chosen.Repeaters())
+	}
+
+	if *rep {
+		if err := report.Summary(os.Stdout, rt, tech, chosen); err != nil {
+			fatal(err)
+		}
+	}
+	asg := chosen.Assignment()
+	if *asgOut != "" {
+		fh, err := os.Create(*asgOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(fh)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(netio.EncodeAssignment(chosen.Cost, chosen.ARD, asg)); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+	}
+	if *svgOut != "" {
+		fh, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		net := rctree.NewNet(rt, tech, asg)
+		r := ard.Compute(net, ard.Options{})
+		err = svgplot.Render(fh, tr, asg, svgplot.Annotation{
+			Title:    fmt.Sprintf("%s solution", *mode),
+			Subtitle: fmt.Sprintf("cost %.1f, ARD %.4f ns", chosen.Cost, chosen.ARD),
+			CritSrc:  r.CritSrc, CritSink: r.CritSink,
+		}, svgplot.Style{ShowLabels: true})
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// loadNet reads a net file: JSON from this repo's netgen, or an IEEE 1481
+// SPEF subset when the path ends in .spef (terminal roles default to
+// source+sink with the paper's symmetric electrical model).
+func loadNet(path string) (*topo.Tree, buslib.Tech, error) {
+	if strings.HasSuffix(path, ".spef") {
+		fh, err := os.Open(path)
+		if err != nil {
+			return nil, buslib.Tech{}, err
+		}
+		defer fh.Close()
+		tech := buslib.Default()
+		tr, err := spef.Read(fh, tech, buslib.DefaultTerminal)
+		return tr, tech, err
+	}
+	return netio.Load(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msri:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package msrnet_test
+
+import (
+	"fmt"
+
+	"msrnet"
+)
+
+// ExampleBuilder builds a three-drop daisy-chain bus explicitly and
+// computes its augmented RC-diameter.
+func ExampleBuilder() {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	cpu := b.AddTerminal("cpu", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	hub := b.AddTerminal("hub", 5000, 0, msrnet.Roles{Sink: true})
+	dev := b.AddTerminal("dev", 10000, 0, msrnet.Roles{Source: true, Sink: true})
+	b.Connect(cpu, hub)
+	b.Connect(hub, dev)
+	net, err := b.AutoRoute()
+	if err != nil {
+		panic(err)
+	}
+	res, err := net.ARD(msrnet.Assignment{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("wire: %.0f µm\n", net.WireLength())
+	fmt.Printf("ARD %.4f ns, critical %s -> %s\n", res.ARD, res.CritSrc, res.CritSink)
+	// Output:
+	// wire: 10000 µm
+	// ARD 1.2800 ns, critical dev -> cpu
+}
+
+// ExampleSuite_MinCost solves Problem 2.1: the minimum-cost repeater
+// assignment meeting a timing spec.
+func ExampleSuite_MinCost() {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	a := b.AddTerminal("a", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	z := b.AddTerminal("z", 12000, 0, msrnet.Roles{Source: true, Sink: true})
+	b.Connect(a, z)
+	net, err := b.AutoRoute()
+	if err != nil {
+		panic(err)
+	}
+	suite, err := net.OptimizeRepeaters()
+	if err != nil {
+		panic(err)
+	}
+	unbuffered := suite[0]
+	sol, ok := suite.MinCost(unbuffered.ARD * 0.8)
+	if !ok {
+		panic("infeasible")
+	}
+	fmt.Printf("unbuffered %.4f ns; meeting 80%% of that needs %d repeaters (cost %.0f)\n",
+		unbuffered.ARD, sol.Repeaters(), sol.Cost)
+	// Output:
+	// unbuffered 1.5552 ns; meeting 80% of that needs 2 repeaters (cost 4)
+}

@@ -1,0 +1,82 @@
+// driversizing: compare discrete driver sizing against repeater insertion
+// on the same net — the §VI/Table II story of the paper at API level.
+// Driver sizing can only shrink the driver's share of the delay; repeater
+// insertion also breaks the quadratic wire delay and decouples branches,
+// so it reaches lower diameters and reaches the sizing diameter at lower
+// cost.
+//
+//	go run ./examples/driversizing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"msrnet"
+)
+
+func main() {
+	tech := msrnet.DefaultTech()
+
+	// Ten random drops on a 1 cm die, every terminal both source and
+	// sink — the paper's symmetric benchmark.
+	r := rand.New(rand.NewSource(7))
+	b := msrnet.NewBuilder(tech)
+	for i := 0; i < 10; i++ {
+		b.AddTerminal(fmt.Sprintf("t%d", i),
+			r.Float64()*10000, r.Float64()*10000,
+			msrnet.Roles{Source: true, Sink: true})
+	}
+	net, err := b.AutoRoute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := net.ARD(msrnet.Assignment{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (all 1X drivers, no repeaters): ARD %.4f ns\n", base.ARD)
+
+	sizing, err := net.SizeDrivers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsBest := sizing.MinARD()
+	fmt.Printf("driver sizing:      best ARD %.4f ns (%.0f%% of baseline), driver cost %.0f\n",
+		dsBest.ARD, 100*dsBest.ARD/base.ARD, dsBest.Cost)
+
+	reps, err := net.OptimizeRepeaters()
+	if err != nil {
+		log.Fatal(err)
+	}
+	riBest := reps.MinARD()
+	fmt.Printf("repeater insertion: best ARD %.4f ns (%.0f%% of baseline), %d repeaters\n",
+		riBest.ARD, 100*riBest.ARD/base.ARD, riBest.Repeaters())
+
+	// The paper's second observation: to merely match the best sizing
+	// diameter, repeaters are much cheaper than the sizing solution.
+	match, ok := reps.MinCost(dsBest.ARD)
+	if !ok {
+		log.Fatal("repeaters cannot match sizing (unexpected)")
+	}
+	fmt.Printf("matching sizing's %.4f ns with repeaters costs only %.0f buffer-equivalents (%d repeaters)\n",
+		dsBest.ARD, match.Cost, match.Repeaters())
+
+	// Print both suites side by side.
+	fmt.Println("\ndriver-sizing suite:        repeater suite:")
+	n := len(sizing)
+	if len(reps) > n {
+		n = len(reps)
+	}
+	for i := 0; i < n; i++ {
+		left, right := "", ""
+		if i < len(sizing) {
+			left = fmt.Sprintf("cost %5.1f -> %.4f ns", sizing[i].Cost, sizing[i].ARD)
+		}
+		if i < len(reps) {
+			right = fmt.Sprintf("cost %5.1f -> %.4f ns", reps[i].Cost, reps[i].ARD)
+		}
+		fmt.Printf("  %-26s%s\n", left, right)
+	}
+}

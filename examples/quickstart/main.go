@@ -1,0 +1,70 @@
+// Quickstart: build a small multisource bus, measure its augmented
+// RC-diameter, and run optimal repeater insertion.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msrnet"
+)
+
+func main() {
+	tech := msrnet.DefaultTech()
+
+	// A four-drop bus on a 1 cm die: two bus masters and two targets
+	// (one read-only). Coordinates are in µm.
+	b := msrnet.NewBuilder(tech)
+	b.AddTerminal("cpu", 500, 500, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("dma", 9500, 800, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("sram", 5200, 9000, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("rom", 9000, 8500, msrnet.Roles{Sink: true})
+
+	// Route with the built-in rectilinear Steiner heuristic and place
+	// candidate repeater locations every ≤800 µm (the paper's setup).
+	net, err := b.AutoRoute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed: %.1f mm of wire, %d candidate repeater locations\n",
+		net.WireLength()/1000, net.InsertionPoints())
+
+	// The augmented RC-diameter of the bare net: the worst augmented
+	// source→sink Elmore delay, computed in linear time.
+	base, err := net.ARD(msrnet.Assignment{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unoptimized ARD: %.4f ns (critical path %s → %s)\n",
+		base.ARD, base.CritSrc, base.CritSink)
+
+	// Optimal repeater insertion: the full cost/performance suite.
+	suite, err := net.OptimizeRepeaters()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cost/ARD tradeoff:")
+	for _, s := range suite {
+		fmt.Printf("  %2.0f buffer-equivalents -> %.4f ns (%d repeaters)\n",
+			s.Cost, s.ARD, s.Repeaters())
+	}
+
+	// Problem 2.1: cheapest solution meeting a timing spec.
+	spec := base.ARD * 0.75
+	sol, ok := suite.MinCost(spec)
+	if !ok {
+		log.Fatalf("no solution meets %.4f ns", spec)
+	}
+	fmt.Printf("cheapest solution meeting ARD ≤ %.4f ns: cost %.0f, ARD %.4f ns\n",
+		spec, sol.Cost, sol.ARD)
+
+	// The assignment is concrete: evaluate it independently.
+	check, err := net.ARD(sol.Assignment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-evaluated assignment: ARD %.4f ns (critical %s → %s)\n",
+		check.ARD, check.CritSrc, check.CritSink)
+}

@@ -1,0 +1,92 @@
+// spefflow: interoperate with a standard EDA flow — export a routed bus
+// as IEEE 1481 SPEF parasitics, re-import it as if it came from an
+// external extractor, optimize, and print the resulting placement in a
+// sign-off-style report.
+//
+//	go run ./examples/spefflow
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"msrnet"
+)
+
+func main() {
+	tech := msrnet.DefaultTech()
+
+	// A six-drop bus we pretend was routed elsewhere.
+	b := msrnet.NewBuilder(tech)
+	b.AddTerminal("core0", 300, 300, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("core1", 9700, 600, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("l3", 5000, 5200, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("ddrphy", 9500, 9400, msrnet.Roles{Sink: true})
+	b.AddTerminal("noc", 700, 9100, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("dbg", 5200, 700, msrnet.Roles{Sink: true})
+	net, err := b.AutoRoute()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Export → import round trip (what an external flow would see).
+	var spefBuf bytes.Buffer
+	if err := net.SaveSPEF(&spefBuf, "sysbus"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d bytes of SPEF (header below)\n", spefBuf.Len())
+	for i, line := range strings.SplitN(spefBuf.String(), "\n", 7)[:6] {
+		fmt.Printf("  %d| %s\n", i+1, line)
+	}
+
+	// Terminal roles are not part of SPEF; reapply them on import.
+	roles := map[string]msrnet.Roles{
+		"core0": {Source: true, Sink: true}, "core1": {Source: true, Sink: true},
+		"l3": {Source: true, Sink: true}, "noc": {Source: true, Sink: true},
+		"ddrphy": {Sink: true}, "dbg": {Sink: true},
+	}
+	imported, err := msrnet.LoadSPEF(&spefBuf, tech, func(name string) msrnet.Terminal {
+		t := msrnet.DefaultTerminal(name)
+		t.IsSource = roles[name].Source
+		t.IsSink = roles[name].Sink
+		return t
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a0, _ := net.ARD(msrnet.Assignment{})
+	a1, _ := imported.ARD(msrnet.Assignment{})
+	fmt.Printf("ARD before export %.4f ns, after import %.4f ns (Δ %.2g)\n",
+		a0.ARD, a1.ARD, a1.ARD-a0.ARD)
+
+	// Optimize the imported net and print a placement report.
+	suite, err := imported.OptimizeRepeaters()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol := suite.MinARD()
+	asg := sol.Assignment()
+	fmt.Printf("\nplacement report: %d repeaters, cost %.0f, ARD %.4f ns\n",
+		sol.Repeaters(), sol.Cost, sol.ARD)
+	type row struct {
+		node int
+		desc string
+	}
+	var rows []row
+	for node, pl := range asg.Repeaters {
+		orient := "A-up"
+		if !pl.ASideUp {
+			orient = "B-up"
+		}
+		pt := imported.Tree.Node(node).Pt
+		rows = append(rows, row{node, fmt.Sprintf("  n%-4d %-10s %-5s at (%6.0f, %6.0f) µm",
+			node, pl.Rep.Name, orient, pt.X, pt.Y)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].node < rows[j].node })
+	for _, r := range rows {
+		fmt.Println(r.desc)
+	}
+}

@@ -1,0 +1,3 @@
+module msrnet
+
+go 1.22

@@ -1,0 +1,289 @@
+// Package buslib models the electrical library used by the multisource
+// timing optimizer: unit wire parasitics, unidirectional buffers,
+// bidirectional repeaters composed of buffer pairs, kX driver libraries,
+// and the per-terminal electrical parameters of §II of Lillis & Cheng
+// (TCAD'99): arrival time AAT, downstream delay Q, input capacitance and
+// driver output resistance.
+//
+// Units follow DESIGN.md §3: µm, pF, kΩ, ns (kΩ·pF = ns).
+package buslib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire holds the per-unit-length parasitics of the target technology
+// (the r̂ and ĉ of §II).
+type Wire struct {
+	ResPerUm float64 // kΩ per µm
+	CapPerUm float64 // pF per µm
+}
+
+// Res returns the total resistance of a wire of the given length in µm.
+func (w Wire) Res(lengthUm float64) float64 { return w.ResPerUm * lengthUm }
+
+// Cap returns the total capacitance of a wire of the given length in µm.
+func (w Wire) Cap(lengthUm float64) float64 { return w.CapPerUm * lengthUm }
+
+// Buffer is a unidirectional buffer characterized by the basic two-stage
+// model: delay = Intrinsic + Rout·Cload.
+type Buffer struct {
+	Name      string
+	Intrinsic float64 // ns
+	Rout      float64 // kΩ
+	Cin       float64 // pF
+	Cost      float64 // in equivalent 1X buffer areas
+}
+
+// Delay returns the buffer delay driving the given load.
+func (b Buffer) Delay(cload float64) float64 { return b.Intrinsic + b.Rout*cload }
+
+// Scale returns the kX version of the buffer: cost k, output resistance
+// Rout/k, input capacitance k·Cin (the scaling rule stated in §VI of the
+// paper for the driver-sizing experiments).
+func (b Buffer) Scale(k float64) Buffer {
+	return Buffer{
+		Name:      fmt.Sprintf("%s_%gX", b.Name, k),
+		Intrinsic: b.Intrinsic,
+		Rout:      b.Rout / k,
+		Cin:       b.Cin * k,
+		Cost:      b.Cost * k,
+	}
+}
+
+// Repeater is a bidirectional buffer with an A-side and a B-side (§II).
+// Signal flow is either A→B or B→A; the subscripted parameters follow the
+// paper. For repeaters built from a pair of unidirectional buffers the two
+// directions are symmetric, but asymmetric devices are representable.
+//
+// Inverting marks a repeater that inverts polarity (the inverter-as-
+// repeater extension of §V); the optimizer then enforces polarity
+// feasibility across all source/sink pairs.
+type Repeater struct {
+	Name string
+
+	DelayAB, DelayBA float64 // intrinsic delay per direction, ns
+	RoutAB, RoutBA   float64 // output resistance driving B-ward / A-ward, kΩ
+	CapA, CapB       float64 // input capacitance presented at each side, pF
+
+	Cost      float64
+	Inverting bool
+}
+
+// RepeaterFromPair builds the canonical bidirectional repeater used in the
+// paper's experiments: a pair of the given unidirectional buffer wired
+// anti-parallel. Each side presents the input capacitance of one buffer;
+// each direction has the buffer's intrinsic delay and output resistance;
+// the cost is twice the buffer cost.
+func RepeaterFromPair(b Buffer) Repeater {
+	return Repeater{
+		Name:    b.Name + "_pair",
+		DelayAB: b.Intrinsic, DelayBA: b.Intrinsic,
+		RoutAB: b.Rout, RoutBA: b.Rout,
+		CapA: b.Cin, CapB: b.Cin,
+		Cost: 2 * b.Cost,
+	}
+}
+
+// Flip returns the repeater with its A and B sides exchanged. Orientation
+// matters for asymmetric repeaters; the optimizer tries both orientations
+// at each insertion point.
+func (r Repeater) Flip() Repeater {
+	return Repeater{
+		Name:    r.Name + "_flip",
+		DelayAB: r.DelayBA, DelayBA: r.DelayAB,
+		RoutAB: r.RoutBA, RoutBA: r.RoutAB,
+		CapA: r.CapB, CapB: r.CapA,
+		Cost:      r.Cost,
+		Inverting: r.Inverting,
+	}
+}
+
+// Symmetric reports whether the repeater behaves identically in both
+// orientations, letting the optimizer skip the flipped variant.
+func (r Repeater) Symmetric() bool {
+	return r.DelayAB == r.DelayBA && r.RoutAB == r.RoutBA && r.CapA == r.CapB
+}
+
+// Driver is a terminal's bus-driving (input) buffer option in the
+// driver-sizing formulation. EffIntrinsic folds in the "two-stage"
+// accounting of §V: because the driver is single-input, the extra delay
+// its input capacitance imposes on the preceding stage
+// (PrevStageRes·Cin) can be charged to the driver choice itself.
+type Driver struct {
+	Name      string
+	Intrinsic float64 // ns, including previous-stage loading penalty
+	Rout      float64 // kΩ
+	Cost      float64
+}
+
+// Terminal carries the net-specific parameters of one pin (Fig. 1 of the
+// paper). A terminal may be a source, a sink, or both.
+type Terminal struct {
+	Name string
+
+	IsSource bool
+	IsSink   bool
+
+	// AAT is the maximum delay from a primary input of the circuit to the
+	// input (bus-driving) buffer at this terminal (\hat{a} in the paper).
+	AAT float64
+	// Q is the maximum delay from the output buffer at this terminal to a
+	// primary output (\hat{q}); the output buffer's own intrinsic and RC
+	// delay are folded in per footnote 5.
+	Q float64
+	// Cin is the capacitance the terminal presents to the net (c(v)).
+	Cin float64
+	// Rout is the output resistance of the input buffer when the terminal
+	// acts as a source (r(v)); used in the fixed-driver formulation.
+	Rout float64
+	// DriverIntrinsic is the intrinsic delay of the terminal's driver,
+	// added to AAT when the terminal launches a signal.
+	DriverIntrinsic float64
+}
+
+// Tech bundles everything the optimizer needs about the target process
+// and cell library.
+type Tech struct {
+	Wire      Wire
+	Repeaters []Repeater // candidate repeaters at each insertion point
+	Drivers   []Driver   // candidate drivers in driver-sizing mode
+
+	// PrevStageRes and NextStageCap are the boundary assumptions of the
+	// paper's experiments (§VI): the resistance of the stage feeding each
+	// terminal's driver and the capacitance loading each terminal's
+	// output buffer.
+	PrevStageRes float64 // kΩ
+	NextStageCap float64 // pF
+}
+
+// Validate checks the library for physical plausibility.
+func (t Tech) Validate() error {
+	if t.Wire.ResPerUm <= 0 || t.Wire.CapPerUm <= 0 {
+		return errors.New("buslib: wire parasitics must be positive")
+	}
+	for _, r := range t.Repeaters {
+		if r.Cost < 0 || r.CapA < 0 || r.CapB < 0 ||
+			r.RoutAB <= 0 || r.RoutBA <= 0 || r.DelayAB < 0 || r.DelayBA < 0 {
+			return fmt.Errorf("buslib: repeater %q has invalid parameters", r.Name)
+		}
+	}
+	for _, d := range t.Drivers {
+		if d.Rout <= 0 || d.Cost < 0 || d.Intrinsic < 0 {
+			return fmt.Errorf("buslib: driver %q has invalid parameters", d.Name)
+		}
+	}
+	return nil
+}
+
+// Default technology constants. Table I of the paper states that its
+// parameters equal those of Okamoto & Cong [20]; the numeric cells are
+// not legible in the available scan, so DESIGN.md §4 documents the
+// representative submicron values fixed here. The constraints the text
+// does state are honored exactly: a kX driver has cost k, resistance
+// R1X/k and input capacitance k·0.05 pF; the previous-stage resistance is
+// 400 Ω and the next-stage capacitance 0.2 pF.
+const (
+	DefaultResPerUm    = 8.0e-5 // 0.08 Ω/µm  = 8e-5 kΩ/µm
+	DefaultCapPerUm    = 1.2e-4 // 0.12 fF/µm = 1.2e-4 pF/µm
+	Default1XIntrinsic = 0.05   // ns
+	Default1XRout      = 0.40   // kΩ (400 Ω)
+	Default1XCin       = 0.05   // pF (stated in §VI)
+	DefaultPrevStageR  = 0.40   // kΩ (stated in §VI)
+	DefaultNextStageC  = 0.20   // pF (stated in §VI)
+)
+
+// Buffer1X returns the basic 1X buffer of Table I.
+func Buffer1X() Buffer {
+	return Buffer{
+		Name:      "buf",
+		Intrinsic: Default1XIntrinsic,
+		Rout:      Default1XRout,
+		Cin:       Default1XCin,
+		Cost:      1,
+	}
+}
+
+// DriverLibrary returns the kX driver options derived from the 1X buffer,
+// with the previous-stage loading penalty folded into the intrinsic delay
+// (the "two-stage" driver accounting of §V).
+func DriverLibrary(base Buffer, prevStageRes float64, sizes ...float64) []Driver {
+	out := make([]Driver, 0, len(sizes))
+	for _, k := range sizes {
+		b := base.Scale(k)
+		out = append(out, Driver{
+			Name:      fmt.Sprintf("drv%gX", k),
+			Intrinsic: b.Intrinsic + prevStageRes*b.Cin,
+			Rout:      b.Rout,
+			Cost:      b.Cost,
+		})
+	}
+	return out
+}
+
+// Default returns the full experimental technology of §VI: the 1X-pair
+// repeater and the {1X, 2X, 3X, 4X} driver library.
+func Default() Tech {
+	b := Buffer1X()
+	return Tech{
+		Wire:         Wire{ResPerUm: DefaultResPerUm, CapPerUm: DefaultCapPerUm},
+		Repeaters:    []Repeater{RepeaterFromPair(b)},
+		Drivers:      DriverLibrary(b, DefaultPrevStageR, 1, 2, 3, 4),
+		PrevStageRes: DefaultPrevStageR,
+		NextStageCap: DefaultNextStageC,
+	}
+}
+
+// DefaultTerminal returns the symmetric source+sink terminal model used in
+// the Table II experiments: AAT = Q̂ = 0 (unaugmented RC-diameter), a 1X
+// driver with its previous-stage penalty, a receiver presenting the 1X
+// input capacitance, and the next-stage load folded into Q via the output
+// buffer delay.
+func DefaultTerminal(name string) Terminal {
+	b := Buffer1X()
+	return Terminal{
+		Name:     name,
+		IsSource: true,
+		IsSink:   true,
+		AAT:      0,
+		// Output buffer drives the next stage: intrinsic + Rout·Cnext,
+		// folded into Q per footnote 5 of the paper.
+		Q:               b.Intrinsic + b.Rout*DefaultNextStageC,
+		Cin:             b.Cin,
+		Rout:            b.Rout,
+		DriverIntrinsic: b.Intrinsic + DefaultPrevStageR*b.Cin,
+	}
+}
+
+// ScaledRC returns a copy of the technology with every resistance
+// multiplied by k — equivalently, with every RC product scaled by k while
+// intrinsic delays are untouched. The Elmore measure corresponds to the
+// first moment of the impulse response; scaling by ln 2 ≈ 0.69 calibrates
+// it to the 50%-threshold delay of a single RC stage, which typically
+// tracks transient simulation much more closely. The paper notes (§II,
+// footnote 7) that the ARD is well defined under any delay measure; this
+// family of measures keeps every delay affine in the load capacitance, so
+// the full PWL optimization machinery remains exact under it.
+func (t Tech) ScaledRC(k float64) Tech {
+	out := t
+	out.Wire.ResPerUm *= k
+	out.Repeaters = append([]Repeater(nil), t.Repeaters...)
+	for i := range out.Repeaters {
+		out.Repeaters[i].RoutAB *= k
+		out.Repeaters[i].RoutBA *= k
+	}
+	out.Drivers = append([]Driver(nil), t.Drivers...)
+	for i := range out.Drivers {
+		out.Drivers[i].Rout *= k
+	}
+	out.PrevStageRes *= k
+	return out
+}
+
+// ScaleTerminalRC applies the same RC scaling to a terminal's driver
+// resistance, for use together with Tech.ScaledRC.
+func ScaleTerminalRC(term Terminal, k float64) Terminal {
+	term.Rout *= k
+	return term
+}

@@ -1,0 +1,160 @@
+package buslib
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWire(t *testing.T) {
+	w := Wire{ResPerUm: 8e-5, CapPerUm: 1.2e-4}
+	if got := w.Res(1000); math.Abs(got-0.08) > 1e-15 {
+		t.Errorf("Res(1000) = %g", got)
+	}
+	if got := w.Cap(1000); math.Abs(got-0.12) > 1e-15 {
+		t.Errorf("Cap(1000) = %g", got)
+	}
+}
+
+func TestBufferDelayAndScale(t *testing.T) {
+	b := Buffer1X()
+	if got := b.Delay(0.5); math.Abs(got-(Default1XIntrinsic+0.40*0.5)) > 1e-15 {
+		t.Errorf("Delay = %g", got)
+	}
+	k3 := b.Scale(3)
+	if k3.Cost != 3 || math.Abs(k3.Rout-b.Rout/3) > 1e-15 || math.Abs(k3.Cin-3*b.Cin) > 1e-15 {
+		t.Errorf("Scale(3) = %+v", k3)
+	}
+	if k3.Intrinsic != b.Intrinsic {
+		t.Error("Scale changed intrinsic delay")
+	}
+}
+
+func TestRepeaterFromPairSymmetric(t *testing.T) {
+	r := RepeaterFromPair(Buffer1X())
+	if !r.Symmetric() {
+		t.Error("pair repeater should be symmetric")
+	}
+	if r.Cost != 2 {
+		t.Errorf("pair cost = %g, want 2", r.Cost)
+	}
+	if r.CapA != Default1XCin || r.CapB != Default1XCin {
+		t.Error("side caps wrong")
+	}
+}
+
+func TestFlip(t *testing.T) {
+	r := Repeater{Name: "x", DelayAB: 1, DelayBA: 2, RoutAB: 3, RoutBA: 4,
+		CapA: 5, CapB: 6, Cost: 7, Inverting: true}
+	f := r.Flip()
+	if f.DelayAB != 2 || f.DelayBA != 1 || f.RoutAB != 4 || f.RoutBA != 3 ||
+		f.CapA != 6 || f.CapB != 5 || f.Cost != 7 || !f.Inverting {
+		t.Errorf("Flip = %+v", f)
+	}
+	if r.Symmetric() {
+		t.Error("asymmetric repeater reported symmetric")
+	}
+	// Double flip restores electrical identity.
+	ff := f.Flip()
+	if ff.DelayAB != r.DelayAB || ff.CapA != r.CapA {
+		t.Error("double flip not identity")
+	}
+}
+
+func TestDriverLibrary(t *testing.T) {
+	lib := DriverLibrary(Buffer1X(), DefaultPrevStageR, 1, 2, 3, 4)
+	if len(lib) != 4 {
+		t.Fatalf("library size %d", len(lib))
+	}
+	for i, d := range lib {
+		k := float64(i + 1)
+		if math.Abs(d.Cost-k) > 1e-15 {
+			t.Errorf("driver %d cost %g", i, d.Cost)
+		}
+		if math.Abs(d.Rout-Default1XRout/k) > 1e-15 {
+			t.Errorf("driver %d rout %g", i, d.Rout)
+		}
+		// Larger drivers pay more previous-stage penalty.
+		want := Default1XIntrinsic + DefaultPrevStageR*k*Default1XCin
+		if math.Abs(d.Intrinsic-want) > 1e-15 {
+			t.Errorf("driver %d intrinsic %g, want %g", i, d.Intrinsic, want)
+		}
+	}
+	// Bigger drivers have lower resistance but higher intrinsic.
+	if lib[3].Rout >= lib[0].Rout || lib[3].Intrinsic <= lib[0].Intrinsic {
+		t.Error("driver scaling trend wrong")
+	}
+}
+
+func TestDefaultTechValidates(t *testing.T) {
+	tech := Default()
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tech.Repeaters) != 1 || len(tech.Drivers) != 4 {
+		t.Errorf("default library sizes: %d repeaters, %d drivers",
+			len(tech.Repeaters), len(tech.Drivers))
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	bad := Default()
+	bad.Wire.ResPerUm = 0
+	if bad.Validate() == nil {
+		t.Error("zero wire resistance accepted")
+	}
+	bad2 := Default()
+	bad2.Repeaters[0].RoutAB = -1
+	if bad2.Validate() == nil {
+		t.Error("negative repeater resistance accepted")
+	}
+	bad3 := Default()
+	bad3.Drivers[0].Rout = 0
+	if bad3.Validate() == nil {
+		t.Error("zero driver resistance accepted")
+	}
+}
+
+func TestDefaultTerminal(t *testing.T) {
+	term := DefaultTerminal("x")
+	if !term.IsSource || !term.IsSink {
+		t.Error("default terminal should be source+sink")
+	}
+	if term.AAT != 0 {
+		t.Error("default AAT should be 0")
+	}
+	// Q folds in the output buffer driving the next stage.
+	want := Default1XIntrinsic + Default1XRout*DefaultNextStageC
+	if math.Abs(term.Q-want) > 1e-15 {
+		t.Errorf("Q = %g, want %g", term.Q, want)
+	}
+	// Driver intrinsic folds in the previous-stage penalty.
+	wantIntr := Default1XIntrinsic + DefaultPrevStageR*Default1XCin
+	if math.Abs(term.DriverIntrinsic-wantIntr) > 1e-15 {
+		t.Errorf("DriverIntrinsic = %g, want %g", term.DriverIntrinsic, wantIntr)
+	}
+}
+
+func TestScaledRC(t *testing.T) {
+	tech := Default()
+	s := tech.ScaledRC(0.69)
+	if math.Abs(s.Wire.ResPerUm-0.69*tech.Wire.ResPerUm) > 1e-18 {
+		t.Error("wire not scaled")
+	}
+	if math.Abs(s.Repeaters[0].RoutAB-0.69*tech.Repeaters[0].RoutAB) > 1e-18 {
+		t.Error("repeater not scaled")
+	}
+	if math.Abs(s.Drivers[0].Rout-0.69*tech.Drivers[0].Rout) > 1e-18 {
+		t.Error("driver not scaled")
+	}
+	// Capacitances and intrinsics untouched; original not mutated.
+	if s.Wire.CapPerUm != tech.Wire.CapPerUm || s.Repeaters[0].DelayAB != tech.Repeaters[0].DelayAB {
+		t.Error("scaled more than resistances")
+	}
+	if tech.Repeaters[0].RoutAB != Default1XRout {
+		t.Error("original mutated")
+	}
+	term := ScaleTerminalRC(DefaultTerminal("x"), 0.5)
+	if math.Abs(term.Rout-0.5*Default1XRout) > 1e-18 {
+		t.Error("terminal not scaled")
+	}
+}

@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// TestCoincidentTerminals: all pins at one point, zero-length wires
+// everywhere. The optimizer must run and report a finite ARD dominated by
+// intrinsic delays.
+func TestCoincidentTerminals(t *testing.T) {
+	tr := topo.New()
+	var ids []int
+	for i := 0; i < 4; i++ {
+		ids = append(ids, tr.AddTerminal(geom.Pt(100, 100), buslib.DefaultTerminal("t")))
+	}
+	s := tr.AddSteiner(geom.Pt(100, 100))
+	for _, id := range ids {
+		tr.AddEdge(s, id, 0)
+	}
+	tech := buslib.Default()
+	rt := tr.RootAt(ids[0])
+	res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Suite.MinARD()
+	if math.IsInf(best.ARD, 0) || best.ARD <= 0 {
+		t.Fatalf("degenerate ARD: %g", best.ARD)
+	}
+	// No insertion points, so no repeaters can be placed.
+	if best.Repeaters() != 0 || len(res.Suite) != 1 {
+		t.Errorf("expected a single unbuffered solution, got %d points", len(res.Suite))
+	}
+}
+
+// TestHugeAATSkew: one source arrives extremely late; it must own the
+// critical path and the reported ARD must track its AAT exactly.
+func TestHugeAATSkew(t *testing.T) {
+	tr := topo.New()
+	late := buslib.DefaultTerminal("late")
+	late.AAT = 1e6
+	a := tr.AddTerminal(geom.Pt(0, 0), late)
+	b := tr.AddTerminal(geom.Pt(4000, 0), buslib.DefaultTerminal("b"))
+	e := tr.AddEdge(a, b, 4000)
+	tr.SplitEdge(e, 0.5, topo.Insertion)
+	tech := buslib.Default()
+	rt := tr.RootAt(a)
+	res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Suite {
+		if s.ARD < 1e6 {
+			t.Errorf("suite entry below the AAT floor: %g", s.ARD)
+		}
+		asg := s.Assignment()
+		n := rctree.NewNet(rt, tech, asg)
+		r := ard.Compute(n, ard.Options{})
+		if r.CritSrc != a {
+			t.Errorf("critical source should be the late terminal")
+		}
+	}
+}
+
+// TestZeroIntrinsicZeroCostRepeater: a free, zero-delay repeater library
+// must never make things worse and the DP must still terminate with a
+// finite suite.
+func TestZeroIntrinsicZeroCostRepeater(t *testing.T) {
+	tr := topo.New()
+	a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+	b := tr.AddTerminal(geom.Pt(6000, 0), buslib.DefaultTerminal("b"))
+	e := tr.AddEdge(a, b, 6000)
+	tr.SplitEdge(e, 0.3, topo.Insertion)
+	tr.SplitEdge(e, 0.5, topo.Insertion)
+	tech := buslib.Default()
+	tech.Repeaters = []buslib.Repeater{{
+		Name: "free", RoutAB: 0.05, RoutBA: 0.05, CapA: 0.001, CapB: 0.001,
+	}}
+	rt := tr.RootAt(a)
+	res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-cost repeaters collapse the cost axis: the suite has exactly
+	// one point (cost 0), with the best achievable ARD.
+	if len(res.Suite) != 1 || res.Suite[0].Cost != 0 {
+		t.Fatalf("suite = %d points, first cost %g", len(res.Suite), res.Suite[0].Cost)
+	}
+	base := rctree.NewNet(rt, tech, rctree.Assignment{})
+	baseARD := ard.Compute(base, ard.Options{}).ARD
+	if res.Suite[0].ARD > baseARD+1e-9 {
+		t.Errorf("free repeaters made things worse: %g vs %g", res.Suite[0].ARD, baseARD)
+	}
+}
+
+// TestSingleSourceManySinks: classic single-source buffering as a special
+// case of the multisource machinery.
+func TestSingleSourceManySinks(t *testing.T) {
+	tr := topo.New()
+	src := buslib.DefaultTerminal("src")
+	src.IsSink = false
+	root := tr.AddTerminal(geom.Pt(0, 0), src)
+	hub := tr.AddSteiner(geom.Pt(3000, 0))
+	tr.AddEdge(root, hub, 3000)
+	for i := 0; i < 3; i++ {
+		snk := buslib.DefaultTerminal("snk")
+		snk.IsSource = false
+		id := tr.AddTerminal(geom.Pt(6000, float64(i)*1000), snk)
+		tr.AddEdge(hub, id, 3000+float64(i)*1000)
+	}
+	tr.PlaceInsertionPoints(800)
+	tech := buslib.Default()
+	rt := tr.RootAt(root)
+	res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check best solution against the naive single-source radius.
+	best := res.Suite.MinARD()
+	n := rctree.NewNet(rt, tech, best.Assignment())
+	dist := n.DelaysFrom(root)
+	worst := math.Inf(-1)
+	for _, v := range tr.Sinks() {
+		if d := dist[v] + tr.Node(v).Term.Q; d > worst {
+			worst = d
+		}
+	}
+	if math.Abs(worst-best.ARD) > 1e-9*(1+worst) {
+		t.Errorf("single-source ARD mismatch: %g vs %g", worst, best.ARD)
+	}
+}
+
+// TestRepeaterAtEveryPoint: dense insertion with a strong incentive — the
+// min-ARD solution on a very resistive line should buffer nearly every
+// candidate, and reconstruction must stay consistent.
+func TestRepeaterAtEveryPoint(t *testing.T) {
+	tr := topo.New()
+	a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+	b := tr.AddTerminal(geom.Pt(20000, 0), buslib.DefaultTerminal("b"))
+	tr.AddEdge(a, b, 20000)
+	tr.PlaceInsertionPoints(2000)
+	tech := buslib.Default()
+	tech.Wire.ResPerUm *= 10 // very resistive wire
+	rt := tr.RootAt(a)
+	res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Suite.MinARD()
+	if best.Repeaters() < 5 {
+		t.Errorf("resistive line buffered with only %d repeaters", best.Repeaters())
+	}
+	n := rctree.NewNet(rt, tech, best.Assignment())
+	check := ard.Compute(n, ard.Options{})
+	if math.Abs(check.ARD-best.ARD) > 1e-6*(1+best.ARD) {
+		t.Errorf("reconstruction mismatch: %g vs %g", check.ARD, best.ARD)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// GreedyInsertion is a baseline heuristic for comparison with the optimal
+// dynamic program: starting from the unbuffered net, repeatedly place the
+// single (repeater, insertion point, orientation) choice that most
+// reduces the ARD, stopping when no placement improves it. Each step
+// costs O(|points| · |library| · n) ARD evaluations.
+//
+// It returns the greedy trajectory as a suite-like sequence: entry k is
+// the best assignment found with k repeaters. The trajectory is *not*
+// Pareto-pruned — by construction cost increases and ARD decreases until
+// the loop stops — and it is in general suboptimal, which is exactly what
+// the comparison benchmarks demonstrate.
+func GreedyInsertion(rt *topo.Rooted, tech buslib.Tech, opt Options) ([]CostARD, []rctree.Assignment) {
+	cur := rctree.Assignment{Repeaters: map[int]rctree.Placed{}}
+	eval := func(a rctree.Assignment) float64 {
+		n := rctree.NewNet(rt, tech, a)
+		return ard.Compute(n, ard.Options{IncludeSelf: opt.IncludeSelf}).ARD
+	}
+	curARD := eval(cur)
+	curCost := 0.0
+	pts := []CostARD{{Cost: 0, ARD: curARD}}
+	asgs := []rctree.Assignment{cur.Clone()}
+	ins := rt.Tree.Insertions()
+	for {
+		bestARD := curARD
+		var bestNode int
+		var bestPlaced rctree.Placed
+		found := false
+		for _, v := range ins {
+			if _, occupied := cur.Repeaters[v]; occupied {
+				continue
+			}
+			for _, rep := range tech.Repeaters {
+				if rep.Inverting && !opt.AllowInverting {
+					continue
+				}
+				orientations := []bool{true}
+				if !rep.Symmetric() {
+					orientations = []bool{true, false}
+				}
+				for _, aUp := range orientations {
+					cur.Repeaters[v] = rctree.Placed{Rep: rep, ASideUp: aUp}
+					if rep.Inverting && !parityFeasible(rt, cur) {
+						delete(cur.Repeaters, v)
+						continue
+					}
+					if a := eval(cur); a < bestARD-1e-12 {
+						bestARD = a
+						bestNode = v
+						bestPlaced = cur.Repeaters[v]
+						found = true
+					}
+					delete(cur.Repeaters, v)
+				}
+			}
+		}
+		if !found {
+			return pts, asgs
+		}
+		cur.Repeaters[bestNode] = bestPlaced
+		curARD = bestARD
+		curCost += bestPlaced.Rep.Cost
+		pts = append(pts, CostARD{Cost: curCost, ARD: curARD})
+		asgs = append(asgs, cur.Clone())
+	}
+}
+
+// OptimalityGap compares the greedy baseline with the optimal suite: for
+// every greedy trajectory point it reports the cost premium greedy pays
+// relative to the cheapest optimal solution achieving at least the same
+// ARD, and the ARD excess at equal cost. Positive gaps demonstrate the
+// value of the exact dynamic program.
+type OptimalityGap struct {
+	GreedyPoints  int
+	WorstARDGapNs float64 // max over costs of greedy ARD − optimal ARD at that cost
+	TotalARDGapNs float64
+}
+
+// CompareGreedy computes the gap between a greedy trajectory and an
+// optimal suite.
+func CompareGreedy(greedy []CostARD, optimal Suite) OptimalityGap {
+	g := OptimalityGap{GreedyPoints: len(greedy)}
+	for _, p := range greedy {
+		// Best optimal ARD achievable at cost ≤ p.Cost.
+		best := math.Inf(1)
+		for _, s := range optimal {
+			if s.Cost <= p.Cost+domTol && s.ARD < best {
+				best = s.ARD
+			}
+		}
+		if math.IsInf(best, 1) {
+			continue
+		}
+		gap := p.ARD - best
+		if gap < 0 {
+			gap = 0
+		}
+		if gap > g.WorstARDGapNs {
+			g.WorstARDGapNs = gap
+		}
+		g.TotalARDGapNs += gap
+	}
+	return g
+}

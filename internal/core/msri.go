@@ -1,0 +1,571 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/pwl"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Pruner selects the minimal-functional-subset implementation.
+type Pruner int
+
+const (
+	// PruneDivide is the divide-and-conquer scheme of Fig. 4 (default).
+	PruneDivide Pruner = iota
+	// PruneNaive is the quadratic pairwise scheme, kept as a baseline and
+	// cross-check.
+	PruneNaive
+	// PruneOff disables pruning entirely (exponential; only for tiny
+	// ablation experiments).
+	PruneOff
+)
+
+// Options configures an optimization run.
+type Options struct {
+	// Repeaters enables repeater insertion at the topology's insertion
+	// points using Tech.Repeaters.
+	Repeaters bool
+	// SizeDrivers enables discrete driver sizing: every source terminal
+	// chooses a driver from Tech.Drivers (cost included) instead of its
+	// fixed built-in driver.
+	SizeDrivers bool
+	// IncludeSelf counts u==v source/sink pairs in the ARD.
+	IncludeSelf bool
+	// AllowInverting permits repeaters marked Inverting, enforcing global
+	// polarity feasibility (all terminals must see even inversion parity,
+	// §V extension).
+	AllowInverting bool
+	// WireWidths, when non-empty, lets Augment choose a width factor for
+	// every wire (wire-sizing extension; width w scales R by 1/w and C by
+	// w). Width 1 should normally be included.
+	WireWidths []float64
+	// WireCostPerUm is the cost of one µm of wire at one unit of extra
+	// width: a wire of length L at width w adds (w−1)·L·WireCostPerUm.
+	WireCostPerUm float64
+	// Pruner selects the MFS implementation.
+	Pruner Pruner
+	// MaxSolutions, when positive, aborts the run with an error if any
+	// pruned per-node solution set exceeds this size — a guard against
+	// the (rare, but possible; see the paper's footnote 13) exponential
+	// growth of the PWL solution space on adversarial inputs.
+	MaxSolutions int
+	// Parallel evaluates independent sibling subtrees on separate
+	// goroutines (bounded by GOMAXPROCS). The result is identical to the
+	// serial run; only wall-clock time changes.
+	Parallel bool
+}
+
+// Stats reports work done by the dynamic program.
+type Stats struct {
+	SolutionsCreated int // total candidate solutions constructed
+	MaxSetSize       int // largest pruned per-node solution set
+	MaxSegs          int // largest PWL segment count observed
+	PruneCalls       int
+}
+
+// Result is the outcome of Optimize: the Pareto suite plus run statistics.
+type Result struct {
+	Suite Suite
+	Stats Stats
+}
+
+// Optimize runs the MSRI dynamic program (Fig. 5) on the rooted topology
+// and returns the suite of Pareto-optimal (cost, ARD) solutions. The root
+// must be a leaf terminal and the net must contain at least one source
+// and one sink.
+func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
+	t := rt.Tree
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	rootNd := t.Node(rt.Root)
+	if rootNd.Kind != topo.Terminal {
+		return nil, fmt.Errorf("core: root node %d is %v, must be a terminal", rt.Root, rootNd.Kind)
+	}
+	if len(t.Sources()) == 0 || len(t.Sinks()) == 0 {
+		return nil, fmt.Errorf("core: net needs at least one source and one sink")
+	}
+	if opt.SizeDrivers && len(tech.Drivers) == 0 {
+		return nil, fmt.Errorf("core: SizeDrivers set but technology has no drivers")
+	}
+	if opt.Repeaters && len(tech.Repeaters) == 0 {
+		return nil, fmt.Errorf("core: Repeaters set but technology has no repeaters")
+	}
+	d := &dp{rt: rt, tech: tech, opt: opt}
+	if opt.Parallel {
+		d.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	// Root: single child (root is a leaf terminal).
+	children := rt.Children[rt.Root]
+	if len(children) != 1 {
+		return nil, fmt.Errorf("core: root terminal has %d children, want 1", len(children))
+	}
+	c := children[0]
+	childSet := d.solve(c)
+	if err := d.getErr(); err != nil {
+		return nil, err
+	}
+	final := d.augment(childSet, rt.ParentEdge[c])
+	suite := d.rootSolutions(final)
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("core: no feasible solution (all domains pruned)")
+	}
+	return &Result{Suite: suite, Stats: d.stats}, nil
+}
+
+// solve computes the pruned solution set for the subtree rooted at v.
+// In parallel mode, sibling subtrees of a branch node are evaluated on
+// separate goroutines; results are combined in deterministic child order
+// so serial and parallel runs produce identical suites.
+func (d *dp) solve(v int) []*Solution {
+	if d.getErr() != nil {
+		return nil
+	}
+	t := d.rt.Tree
+	nd := t.Node(v)
+	if nd.Kind == topo.Terminal {
+		return d.leafSolutions(v)
+	}
+	children := d.rt.Children[v]
+	if len(children) == 0 {
+		// A dangling Steiner stub: contributes no sources, sinks or
+		// capacitance of its own (its wire is added when the parent
+		// augments).
+		return []*Solution{{
+			Cost: 0, Cap: 0, Q: math.Inf(-1),
+			A: pwl.NegInf(), D: pwl.NegInf(), Dom: pwl.Full(),
+		}}
+	}
+	lifted := make([][]*Solution, len(children))
+	if d.opt.Parallel && len(children) > 1 {
+		var wg sync.WaitGroup
+		for i, c := range children {
+			wg.Add(1)
+			go func(i, c int) {
+				defer wg.Done()
+				// Soft bound: acquire a slot when available; when the
+				// semaphore is full (deep nesting) proceed anyway rather
+				// than risk deadlock — the oversubscription is bounded by
+				// the tree's branching.
+				select {
+				case d.sem <- struct{}{}:
+					defer func() { <-d.sem }()
+				default:
+				}
+				lifted[i] = d.augment(d.solve(c), d.rt.ParentEdge[c])
+			}(i, c)
+		}
+		wg.Wait()
+	} else {
+		for i, c := range children {
+			lifted[i] = d.augment(d.solve(c), d.rt.ParentEdge[c])
+		}
+	}
+	if d.getErr() != nil {
+		return nil
+	}
+	cur := lifted[0]
+	for i := 1; i < len(lifted); i++ {
+		cur = d.prune(d.joinSets(cur, lifted[i]))
+	}
+	if nd.Kind == topo.Insertion && d.opt.Repeaters {
+		cur = d.prune(d.repeaterSolutions(cur, v))
+	}
+	return cur
+}
+
+// dp carries per-run state. The stats and error fields are shared across
+// subtree goroutines in parallel mode and guarded by mu.
+type dp struct {
+	rt   *topo.Rooted
+	tech buslib.Tech
+	opt  Options
+
+	mu    sync.Mutex
+	stats Stats
+	err   error
+	sem   chan struct{} // bounds concurrent subtree goroutines
+}
+
+// setErr records the first error.
+func (d *dp) setErr(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+func (d *dp) getErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *dp) note(sols []*Solution) {
+	d.mu.Lock()
+	d.stats.SolutionsCreated += len(sols)
+	for _, s := range sols {
+		if n := s.A.NumSegs(); n > d.stats.MaxSegs {
+			d.stats.MaxSegs = n
+		}
+		if n := s.D.NumSegs(); n > d.stats.MaxSegs {
+			d.stats.MaxSegs = n
+		}
+	}
+	d.mu.Unlock()
+}
+
+func (d *dp) prune(sols []*Solution) []*Solution {
+	var out []*Solution
+	switch d.opt.Pruner {
+	case PruneNaive:
+		out = pruneNaive(sols)
+		sortSolutions(out)
+	case PruneOff:
+		out = sols
+	default:
+		out = pruneDivide(sols)
+	}
+	d.mu.Lock()
+	d.stats.PruneCalls++
+	if len(out) > d.stats.MaxSetSize {
+		d.stats.MaxSetSize = len(out)
+	}
+	if d.opt.MaxSolutions > 0 && len(out) > d.opt.MaxSolutions && d.err == nil {
+		d.err = fmt.Errorf("core: solution set grew to %d (limit %d); see Options.MaxSolutions",
+			len(out), d.opt.MaxSolutions)
+	}
+	d.mu.Unlock()
+	return out
+}
+
+// leafSolutions implements LeafSolutions (Fig. 6), extended with the
+// driver-sizing option of §V.
+func (d *dp) leafSolutions(v int) []*Solution {
+	term := d.rt.Tree.Node(v).Term
+	q := math.Inf(-1)
+	if term.IsSink {
+		q = term.Q
+	}
+	mk := func(cost, routDrv, intr float64, drv *drvRec) *Solution {
+		a := pwl.NegInf()
+		if term.IsSource {
+			a = pwl.Linear(term.AAT+intr+routDrv*term.Cin, routDrv)
+		}
+		dd := pwl.NegInf()
+		if d.opt.IncludeSelf && term.IsSource && term.IsSink {
+			dd = a.AddConst(q)
+		}
+		return &Solution{
+			Cost: cost, Cap: term.Cin, Q: q,
+			A: a, D: dd, Dom: pwl.Full(), drv: drv,
+		}
+	}
+	if !d.opt.SizeDrivers || !term.IsSource {
+		return []*Solution{mk(0, term.Rout, term.DriverIntrinsic, nil)}
+	}
+	out := make([]*Solution, 0, len(d.tech.Drivers))
+	for _, drv := range d.tech.Drivers {
+		out = append(out, mk(drv.Cost, drv.Rout, drv.Intrinsic, &drvRec{node: v, driver: drv}))
+	}
+	d.note(out)
+	return d.prune(out)
+}
+
+// augment implements Augment (Fig. 10): extend every solution of a
+// subtree across the wire to its parent. With the wire-sizing extension a
+// solution is produced per width option. Dominance is preserved by the
+// width-1 transform, so no pruning is needed in the plain case.
+func (d *dp) augment(sols []*Solution, eid int) []*Solution {
+	length := d.rt.Tree.Edge(eid).Length
+	widths := d.opt.WireWidths
+	if len(widths) == 0 {
+		widths = []float64{1}
+	}
+	out := make([]*Solution, 0, len(sols)*len(widths))
+	for _, w := range widths {
+		re := d.tech.Wire.Res(length) / w
+		ce := d.tech.Wire.Cap(length) * w
+		extraCost := (w - 1) * length * d.opt.WireCostPerUm
+		for _, s := range sols {
+			dom := s.Dom.Shift(ce)
+			if dom.IsEmpty() {
+				continue
+			}
+			ns := &Solution{
+				Cost:   s.Cost + extraCost,
+				Cap:    s.Cap + ce,
+				Q:      s.Q + re*(ce/2+s.Cap),
+				A:      s.A.Shift(ce).AddLinear(re*ce/2, re),
+				D:      s.D.Shift(ce),
+				Dom:    dom,
+				Parity: s.Parity,
+				from1:  s,
+			}
+			if w != 1 {
+				ns.width = &widthRec{edge: eid, width: w}
+			}
+			out = append(out, ns)
+		}
+	}
+	d.note(out)
+	if len(widths) > 1 {
+		return d.prune(out)
+	}
+	return out
+}
+
+// joinSets implements JoinSets (Fig. 7): combine the solution sets of two
+// branches meeting at a common (Steiner) node. Each pairing sees the
+// sibling's capacitance as additional external load.
+func (d *dp) joinSets(s1, s2 []*Solution) []*Solution {
+	out := make([]*Solution, 0, len(s1)*len(s2))
+	for _, a := range s1 {
+		for _, b := range s2 {
+			if a.Parity != b.Parity {
+				continue
+			}
+			dom := a.Dom.Shift(b.Cap).Intersect(b.Dom.Shift(a.Cap))
+			if dom.IsEmpty() {
+				continue
+			}
+			aShift := a.A.Shift(b.Cap)
+			bShift := b.A.Shift(a.Cap)
+			dParts := []pwl.Func{
+				a.D.Shift(b.Cap),
+				b.D.Shift(a.Cap),
+			}
+			if !math.IsInf(b.Q, -1) {
+				dParts = append(dParts, aShift.AddConst(b.Q))
+			}
+			if !math.IsInf(a.Q, -1) {
+				dParts = append(dParts, bShift.AddConst(a.Q))
+			}
+			out = append(out, &Solution{
+				Cost:   a.Cost + b.Cost,
+				Cap:    a.Cap + b.Cap,
+				Q:      math.Max(a.Q, b.Q),
+				A:      aShift.Max(bShift),
+				D:      pwl.MaxOver(dParts...),
+				Dom:    dom,
+				Parity: a.Parity,
+				from1:  a,
+				from2:  b,
+			})
+		}
+	}
+	d.note(out)
+	return out
+}
+
+// repeaterSolutions implements RepeaterSolutions (Fig. 8): at insertion
+// point v, every unbuffered solution may additionally be capped with
+// every repeater in each orientation. The repeater decouples the subtree:
+// the external capacitance its child side presents is known exactly, so
+// A collapses to a single line and D to a constant.
+func (d *dp) repeaterSolutions(sols []*Solution, v int) []*Solution {
+	out := make([]*Solution, 0, 2*len(sols))
+	out = append(out, sols...)
+	for _, rep := range d.tech.Repeaters {
+		if rep.Inverting && !d.opt.AllowInverting {
+			continue
+		}
+		orientations := []bool{true}
+		if !rep.Symmetric() {
+			orientations = []bool{true, false}
+		}
+		for _, aUp := range orientations {
+			var capUp, capDown, dUp, rUp, dDown, rDown float64
+			if aUp {
+				capUp, capDown = rep.CapA, rep.CapB
+				dUp, rUp = rep.DelayBA, rep.RoutBA
+				dDown, rDown = rep.DelayAB, rep.RoutAB
+			} else {
+				capUp, capDown = rep.CapB, rep.CapA
+				dUp, rUp = rep.DelayAB, rep.RoutAB
+				dDown, rDown = rep.DelayBA, rep.RoutBA
+			}
+			for _, s := range sols {
+				if !s.Dom.Contains(capDown) {
+					continue
+				}
+				a0 := s.A.Eval(capDown)
+				na := pwl.NegInf()
+				if !math.IsInf(a0, -1) {
+					na = pwl.Linear(a0+dUp, rUp)
+				}
+				parity := s.Parity
+				if rep.Inverting {
+					parity = 1 - parity
+				}
+				out = append(out, &Solution{
+					Cost:   s.Cost + rep.Cost,
+					Cap:    capUp,
+					Q:      dDown + rDown*s.Cap + s.Q,
+					A:      na,
+					D:      pwl.Const(s.D.Eval(capDown)),
+					Dom:    pwl.Full(),
+					Parity: parity,
+					from1:  s,
+					place:  &placedRec{node: v, rep: rep, aUp: aUp},
+				})
+			}
+		}
+	}
+	d.note(out)
+	return out
+}
+
+// rootSolutions implements RootSolutions (Fig. 9): close every surviving
+// solution against the root terminal, producing concrete (cost, ARD)
+// outcomes, then keep the Pareto frontier.
+func (d *dp) rootSolutions(sols []*Solution) Suite {
+	term := d.rt.Tree.Node(d.rt.Root).Term
+	cE := term.Cin
+
+	type rootDrv struct {
+		rout, intr, cost float64
+		rec              *drvRec
+	}
+	var drivers []rootDrv
+	if d.opt.SizeDrivers && term.IsSource {
+		for _, drv := range d.tech.Drivers {
+			drivers = append(drivers, rootDrv{
+				rout: drv.Rout, intr: drv.Intrinsic, cost: drv.Cost,
+				rec: &drvRec{node: d.rt.Root, driver: drv},
+			})
+		}
+	} else {
+		drivers = []rootDrv{{rout: term.Rout, intr: term.DriverIntrinsic}}
+	}
+
+	var all Suite
+	for _, s := range sols {
+		if s.Parity != 0 || !s.Dom.Contains(cE) {
+			continue
+		}
+		for _, drv := range drivers {
+			ardVal := s.D.Eval(cE)
+			critNote := "internal"
+			if term.IsSink {
+				if v := s.A.Eval(cE) + term.Q; v > ardVal {
+					ardVal = v
+					critNote = "to-root"
+				}
+			}
+			if term.IsSource && !math.IsInf(s.Q, -1) {
+				if v := term.AAT + drv.intr + drv.rout*(cE+s.Cap) + s.Q; v > ardVal {
+					ardVal = v
+					critNote = "from-root"
+				}
+			}
+			if d.opt.IncludeSelf && term.IsSource && term.IsSink {
+				if v := term.AAT + drv.intr + drv.rout*(cE+s.Cap) + term.Q; v > ardVal {
+					ardVal = v
+					critNote = "root-self"
+				}
+			}
+			if math.IsInf(ardVal, -1) {
+				continue
+			}
+			rs := RootSolution{
+				Cost:    s.Cost + drv.cost,
+				ARD:     ardVal,
+				sol:     s,
+				rootDrv: drv.rec,
+				note:    critNote,
+			}
+			all = append(all, rs)
+		}
+	}
+	return all.pareto()
+}
+
+// RootSolution is one point of the cost/performance tradeoff suite.
+type RootSolution struct {
+	Cost float64
+	ARD  float64
+
+	sol     *Solution
+	rootDrv *drvRec
+	note    string
+}
+
+// Assignment reconstructs the full concrete assignment of the solution.
+func (r RootSolution) Assignment() rctree.Assignment {
+	asg := r.sol.Assignment()
+	if r.rootDrv != nil {
+		if asg.Drivers == nil {
+			asg.Drivers = map[int]buslib.Driver{}
+		}
+		asg.Drivers[r.rootDrv.node] = r.rootDrv.driver
+	}
+	return asg
+}
+
+// Repeaters returns the number of repeaters placed.
+func (r RootSolution) Repeaters() int { return r.sol.RepeaterCount() }
+
+// Suite is a set of root solutions sorted by increasing cost and strictly
+// decreasing ARD (a Pareto frontier).
+type Suite []RootSolution
+
+// pareto sorts and filters to the strict frontier.
+func (s Suite) pareto() Suite {
+	if len(s) == 0 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Cost != s[j].Cost {
+			return s[i].Cost < s[j].Cost
+		}
+		return s[i].ARD < s[j].ARD
+	})
+	out := s[:0]
+	best := math.Inf(1)
+	for _, r := range s {
+		if r.ARD < best-domTol {
+			out = append(out, r)
+			best = r.ARD
+		}
+	}
+	return out
+}
+
+// MinCost returns the cheapest solution meeting ARD ≤ spec — Problem 2.1.
+func (s Suite) MinCost(spec float64) (RootSolution, bool) {
+	for _, r := range s {
+		if r.ARD <= spec+domTol {
+			return r, true
+		}
+	}
+	return RootSolution{}, false
+}
+
+// MinARD returns the best-performance solution regardless of cost (the
+// cost-oblivious formulation the paper notes is subsumed by Problem 2.1).
+func (s Suite) MinARD() RootSolution {
+	if len(s) == 0 {
+		panic("core: empty suite")
+	}
+	return s[len(s)-1]
+}
+
+// MinCostSolution returns the cheapest solution overall.
+func (s Suite) MinCostSolution() RootSolution {
+	if len(s) == 0 {
+		panic("core: empty suite")
+	}
+	return s[0]
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/dominance"
+)
+
+// TestParetoPointsMatchesKLPMinima cross-validates the suite's frontier
+// rule against the classical minima algorithms of package dominance
+// (Kung–Luccio–Preparata, the paper's reference [14] for the point
+// dominance problem): the surviving (cost, ARD) pairs must be exactly
+// the 2-D minima of the candidate set.
+func TestParetoPointsMatchesKLPMinima(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(60)
+		pts := make([]CostARD, n)
+		dpts := make([]dominance.Point, n)
+		for i := range pts {
+			// Grid values to force ties and duplicates.
+			c := float64(r.Intn(12)) * 2
+			a := float64(r.Intn(20)) * 0.25
+			pts[i] = CostARD{Cost: c, ARD: a}
+			dpts[i] = dominance.Point{c, a}
+		}
+		minima := dominance.Minima2D(dpts, 1e-12)
+		wantSet := map[CostARD]bool{}
+		for _, i := range minima {
+			wantSet[CostARD{Cost: dpts[i][0], ARD: dpts[i][1]}] = true
+		}
+		got := ParetoPoints(pts)
+		if len(got) != len(wantSet) {
+			t.Fatalf("trial %d: frontier size %d, minima size %d\ngot %v",
+				trial, len(got), len(wantSet), got)
+		}
+		for _, p := range got {
+			if !wantSet[p] {
+				t.Fatalf("trial %d: frontier point %v not in KLP minima", trial, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/geom"
+	"msrnet/internal/topo"
+)
+
+// lineNet builds a 2-pin net of the given length with insertion points
+// every `pitch` µm.
+func lineNet(length, pitch float64) *topo.Tree {
+	tr := topo.New()
+	a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+	z := tr.AddTerminal(geom.Pt(length, 0), buslib.DefaultTerminal("z"))
+	tr.AddEdge(a, z, length)
+	tr.PlaceInsertionPoints(pitch)
+	return tr
+}
+
+// evenDelay computes the augmented delay of a two-pin line of the given
+// length with k identical repeaters evenly spaced — the classical
+// closed-form setting of Bakoglu [1] cited in the paper's related work.
+func evenDelay(tech buslib.Tech, length float64, k int) float64 {
+	term := buslib.DefaultTerminal("x")
+	rep := tech.Repeaters[0]
+	n := float64(k + 1)
+	segR := tech.Wire.Res(length) / n
+	segC := tech.Wire.Cap(length) / n
+
+	d := term.AAT + term.DriverIntrinsic
+	// Driver stage: the driver also sees its own terminal capacitance.
+	load := rep.CapA
+	if k == 0 {
+		load = term.Cin
+	}
+	d += term.Rout*(term.Cin+segC+load) + segR*(segC/2+load)
+	// Repeater stages.
+	for i := 1; i <= k; i++ {
+		load = rep.CapA
+		if i == k {
+			load = term.Cin
+		}
+		d += rep.DelayAB + rep.RoutAB*(segC+load) + segR*(segC/2+load)
+	}
+	return d + term.Q
+}
+
+// TestTwoPinMatchesEvenSpacing anchors the DP to the two-pin closed-form
+// setting: on a uniform line with a fine insertion grid, the DP's
+// minimum diameter must (a) not be worse than any evenly-spaced
+// configuration representable on the grid, (b) come within 1% of the
+// continuous evenly-spaced optimum, and (c) use a repeater count close
+// to the analytic optimum.
+func TestTwoPinMatchesEvenSpacing(t *testing.T) {
+	tech := buslib.Default()
+	const length = 16000.0
+	tr := lineNet(length, 250) // 16000/250 → 63 evenly spaced points
+	rt := tr.RootAt(tr.Terminals()[0])
+	res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Suite.MinARD()
+
+	// (a) k = 3, 7, 15 are exactly representable on the 64-segment grid.
+	for _, k := range []int{0, 3, 7, 15} {
+		if bound := evenDelay(tech, length, k); best.ARD > bound+1e-9 {
+			t.Errorf("DP min diameter %.6f worse than representable even spacing k=%d (%.6f)",
+				best.ARD, k, bound)
+		}
+	}
+	// (b, c) continuous optimum over all k.
+	bestK, bestEven := 0, math.Inf(1)
+	for k := 0; k <= 30; k++ {
+		if d := evenDelay(tech, length, k); d < bestEven {
+			bestEven, bestK = d, k
+		}
+	}
+	if best.ARD > bestEven*1.01 {
+		t.Errorf("DP min diameter %.6f more than 1%% above continuous optimum %.6f",
+			best.ARD, bestEven)
+	}
+	if diff := best.Repeaters() - bestK; diff < -2 || diff > 2 {
+		t.Errorf("DP uses %d repeaters, analytic optimum is %d", best.Repeaters(), bestK)
+	}
+}
+
+// TestTwoPinRepeaterCountGrowsWithLength: the optimal repeater count must
+// grow with line length (the sqrt scaling of the closed form).
+func TestTwoPinRepeaterCountGrowsWithLength(t *testing.T) {
+	tech := buslib.Default()
+	prev := -1
+	for _, length := range []float64{4000, 8000, 16000, 32000} {
+		tr := lineNet(length, 400)
+		rt := tr.RootAt(tr.Terminals()[0])
+		res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := res.Suite.MinARD().Repeaters()
+		if k < prev {
+			t.Errorf("length %g: repeater count dropped to %d from %d", length, k, prev)
+		}
+		prev = k
+	}
+	if prev < 2 {
+		t.Errorf("longest line uses only %d repeaters", prev)
+	}
+}
+
+// TestTwoPinDiameterMonotoneInLength: longer lines are slower, buffered
+// or not.
+func TestTwoPinDiameterMonotoneInLength(t *testing.T) {
+	tech := buslib.Default()
+	prev := 0.0
+	for _, length := range []float64{2000, 4000, 8000, 16000} {
+		tr := lineNet(length, 400)
+		rt := tr.RootAt(tr.Terminals()[0])
+		res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := res.Suite.MinARD().ARD
+		if d <= prev {
+			t.Errorf("length %g: optimized diameter %g not larger than %g", length, d, prev)
+		}
+		prev = d
+	}
+}

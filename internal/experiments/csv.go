@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTable2CSV emits Table II rows as CSV for downstream plotting.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"pins", "avg_insertion_points",
+		"ds_diam_norm", "ds_diam_std", "ds_cost_norm",
+		"ri_cost_at_ds_diam_norm", "ri_diam_norm", "ri_diam_std", "ri_cost_norm",
+		"avg_ds_seconds", "avg_ri_seconds",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			itoa(r.Pins), ftoa(r.AvgIns),
+			ftoa(r.DSDiam), ftoa(r.DSDiamStd), ftoa(r.DSCost),
+			ftoa(r.RIMatch), ftoa(r.RIDiam), ftoa(r.RIDiamStd), ftoa(r.RICost),
+			ftoa(r.AvgDSSec), ftoa(r.AvgRISec),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV emits Table III rows as CSV.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"net", "pins", "ds_diam_ns", "ds_cost", "ri_diam_ns", "ri_cost", "repeaters",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name, itoa(r.Pins), ftoa(r.DSDiam), ftoa(r.DSCost),
+			ftoa(r.RepDiam), ftoa(r.RepCost), itoa(r.NumReps),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSuiteCSV emits a tradeoff suite as CSV: cost, ARD, repeaters.
+func WriteSuiteCSV(w io.Writer, nr NetResult) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"mode", "cost", "ard_ns", "repeaters"}); err != nil {
+		return err
+	}
+	for _, s := range nr.SizingSuite {
+		if err := cw.Write([]string{"sizing", ftoa(s.Cost), ftoa(s.ARD), itoa(s.Repeaters())}); err != nil {
+			return err
+		}
+	}
+	for _, s := range nr.RepSuite {
+		if err := cw.Write([]string{"repeater", ftoa(s.Cost), ftoa(s.ARD), itoa(s.Repeaters())}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSpacingCSV emits the footnote-15 spacing study as CSV.
+func WriteSpacingCSV(w io.Writer, rows []SpacingRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"spacing_um", "avg_points", "ri_diam_norm", "avg_seconds"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			ftoa(r.SpacingUm), ftoa(r.AvgIns), ftoa(r.RIDiam), ftoa(r.AvgSec),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%g", v) }

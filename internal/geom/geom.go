@@ -1,0 +1,124 @@
+// Package geom provides planar geometry primitives used by the routing
+// and net-generation substrates: points in the plane, rectilinear
+// (Manhattan) metrics, bounding boxes and deterministic random point sets.
+//
+// All coordinates are in micrometers (µm), matching the unit conventions
+// of the rest of the module (see DESIGN.md §3).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in µm.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String renders the point as "(x, y)" with µm precision.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Dist returns the rectilinear (L1) distance between p and q.
+func Dist(p, q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// EuclidDist returns the Euclidean (L2) distance between p and q.
+func EuclidDist(p, q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Lerp returns the point a fraction t of the way from p to q along the
+// straight segment pq. t is clamped to [0, 1].
+func Lerp(p, q Point, t float64) Point {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return Point{X: p.X + t*(q.X-p.X), Y: p.Y + t*(q.Y-p.Y)}
+}
+
+// Eq reports whether p and q coincide within tolerance eps in each
+// coordinate.
+func Eq(p, q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+// Rect is an axis-aligned rectangle given by its min and max corners.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle with the given corners, normalizing the
+// corner order so that Min is component-wise ≤ Max.
+func NewRect(a, b Point) Rect {
+	r := Rect{Min: a, Max: b}
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// HalfPerimeter returns the half-perimeter of r, a standard lower bound on
+// the rectilinear Steiner tree length of points spanning r.
+func (r Rect) HalfPerimeter() float64 { return r.Width() + r.Height() }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Expand grows r by d on every side and returns the result.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{X: r.Min.X - d, Y: r.Min.Y - d},
+		Max: Point{X: r.Max.X + d, Y: r.Max.Y + d},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{X: math.Min(r.Min.X, s.Min.X), Y: math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{X: math.Max(r.Max.X, s.Max.X), Y: math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Bound returns the bounding box of the given points. It panics if pts is
+// empty, since an empty point set has no bounding box.
+func Bound(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: Bound of empty point set")
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}

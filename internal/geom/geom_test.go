@@ -1,0 +1,128 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(-1, -1), Pt(1, 1), 4},
+		{Pt(5, 0), Pt(0, 0), 5},
+	}
+	for _, c := range cases {
+		if got := Dist(c.p, c.q); got != c.want {
+			t.Errorf("Dist(%v, %v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetricAndTriangle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(math.Mod(ax, 1e4), math.Mod(ay, 1e4))
+		b := Pt(math.Mod(bx, 1e4), math.Mod(by, 1e4))
+		c := Pt(math.Mod(cx, 1e4), math.Mod(cy, 1e4))
+		if Dist(a, b) != Dist(b, a) {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclidVsManhattan(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		p := Pt(r.Float64()*100, r.Float64()*100)
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		e, m := EuclidDist(p, q), Dist(p, q)
+		if e > m+1e-9 || m > e*math.Sqrt2+1e-9 {
+			t.Fatalf("metric bounds violated: L2=%g L1=%g", e, m)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := Lerp(p, q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp mid = %v", got)
+	}
+	if got := Lerp(p, q, -1); got != p {
+		t.Errorf("Lerp clamp low = %v", got)
+	}
+	if got := Lerp(p, q, 2); got != q {
+		t.Errorf("Lerp clamp high = %v", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := NewRect(Pt(5, 1), Pt(2, 7))
+	if r.Min != Pt(2, 1) || r.Max != Pt(5, 7) {
+		t.Errorf("NewRect normalization failed: %+v", r)
+	}
+	if r.Width() != 3 || r.Height() != 6 || r.HalfPerimeter() != 9 {
+		t.Errorf("dims wrong: w=%g h=%g hp=%g", r.Width(), r.Height(), r.HalfPerimeter())
+	}
+}
+
+func TestRectContainsExpandUnion(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 10)) || r.Contains(Pt(11, 5)) {
+		t.Error("Contains wrong")
+	}
+	e := r.Expand(2)
+	if !e.Contains(Pt(-2, -2)) || e.Contains(Pt(-3, 0)) {
+		t.Error("Expand wrong")
+	}
+	u := r.Union(NewRect(Pt(20, 20), Pt(30, 30)))
+	if u.Min != Pt(0, 0) || u.Max != Pt(30, 30) {
+		t.Errorf("Union = %+v", u)
+	}
+}
+
+func TestBound(t *testing.T) {
+	pts := []Point{Pt(3, 9), Pt(-1, 4), Pt(7, 2)}
+	b := Bound(pts)
+	if b.Min != Pt(-1, 2) || b.Max != Pt(7, 9) {
+		t.Errorf("Bound = %+v", b)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("Bound does not contain %v", p)
+		}
+	}
+}
+
+func TestBoundEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bound(nil) did not panic")
+		}
+	}()
+	Bound(nil)
+}
+
+func TestEq(t *testing.T) {
+	if !Eq(Pt(1, 1), Pt(1+1e-10, 1-1e-10), 1e-9) {
+		t.Error("Eq with tolerance failed")
+	}
+	if Eq(Pt(1, 1), Pt(1.1, 1), 1e-9) {
+		t.Error("Eq false positive")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt(1.25, 3).String(); s == "" {
+		t.Error("empty String")
+	}
+}

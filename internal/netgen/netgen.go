@@ -1,0 +1,144 @@
+// Package netgen generates the benchmark workloads of §VI of Lillis &
+// Cheng (TCAD'99): random terminal sets on a 1 cm × 1 cm grid, routed
+// with a rectilinear Steiner heuristic, with repeater insertion points
+// placed so consecutive candidates are at most 800 µm apart and every
+// wire carries at least one point. All generation is deterministic in the
+// seed.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/rsmt"
+	"msrnet/internal/topo"
+)
+
+// Params controls net generation. The zero value is not useful; start
+// from Defaults.
+type Params struct {
+	// Terminals is the number of pins.
+	Terminals int
+	// GridUm is the side of the square placement region (µm).
+	GridUm float64
+	// MaxInsertionSpacingUm bounds the distance between consecutive
+	// candidate repeater locations; every wire gets at least one.
+	// Zero disables insertion points.
+	MaxInsertionSpacingUm float64
+	// UseSteiner selects iterated 1-Steiner refinement (true, the
+	// default) or the plain rectilinear MST.
+	UseSteiner bool
+	// SourceFrac and SinkFrac give the fraction of terminals acting as
+	// sources resp. sinks (each ≥ one terminal; a terminal can be both).
+	// 1.0 and 1.0 reproduce the paper's symmetric experiments.
+	SourceFrac, SinkFrac float64
+}
+
+// Defaults returns the Table II configuration: n terminals on a 1 cm
+// grid, Steiner routing, 800 µm insertion spacing, all terminals both
+// source and sink.
+func Defaults(n int) Params {
+	return Params{
+		Terminals:             n,
+		GridUm:                10000,
+		MaxInsertionSpacingUm: 800,
+		UseSteiner:            true,
+		SourceFrac:            1,
+		SinkFrac:              1,
+	}
+}
+
+// Generate builds a random net. The terminal electrical model is the
+// experiments' default (buslib.DefaultTerminal); adjust per-terminal
+// parameters afterwards with Tree.SetTerminal if needed.
+func Generate(seed int64, p Params) (*topo.Tree, error) {
+	if p.Terminals < 2 {
+		return nil, fmt.Errorf("netgen: need at least 2 terminals, got %d", p.Terminals)
+	}
+	if p.GridUm <= 0 {
+		return nil, fmt.Errorf("netgen: non-positive grid size")
+	}
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, p.Terminals)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*p.GridUm, r.Float64()*p.GridUm)
+	}
+	var st rsmt.Tree
+	if p.UseSteiner {
+		st = rsmt.Steiner(pts)
+	} else {
+		st = rsmt.MST(pts)
+	}
+	tr, err := FromRSMT(st, func(i int) buslib.Terminal {
+		return buslib.DefaultTerminal(fmt.Sprintf("t%d", i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	assignRoles(tr, r, p.SourceFrac, p.SinkFrac)
+	if p.MaxInsertionSpacingUm > 0 {
+		tr.PlaceInsertionPoints(p.MaxInsertionSpacingUm)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("netgen: generated invalid topology: %w", err)
+	}
+	return tr, nil
+}
+
+// FromRSMT converts an abstract Steiner tree into a routing topology:
+// point i < NumTerminals becomes a terminal with electrical parameters
+// from mk(i); the rest become Steiner nodes. Non-leaf terminals are
+// rewritten with zero-length pendants per the paper's convention.
+func FromRSMT(st rsmt.Tree, mk func(i int) buslib.Terminal) (*topo.Tree, error) {
+	tr := topo.New()
+	ids := make([]int, len(st.Points))
+	for i, pt := range st.Points {
+		if i < st.NumTerminals {
+			ids[i] = tr.AddTerminal(pt, mk(i))
+		} else {
+			ids[i] = tr.AddSteiner(pt)
+		}
+	}
+	for _, e := range st.Edges {
+		tr.AddEdge(ids[e[0]], ids[e[1]], geom.Dist(st.Points[e[0]], st.Points[e[1]]))
+	}
+	tr.EnsureTerminalLeaves()
+	return tr, nil
+}
+
+// assignRoles restricts source/sink roles to random subsets of the given
+// fractions, guaranteeing at least one of each.
+func assignRoles(tr *topo.Tree, r *rand.Rand, srcFrac, snkFrac float64) {
+	terms := tr.Terminals()
+	nSrc := atLeastOne(srcFrac, len(terms))
+	nSnk := atLeastOne(snkFrac, len(terms))
+	srcPick := pick(r, len(terms), nSrc)
+	snkPick := pick(r, len(terms), nSnk)
+	for i, id := range terms {
+		t := tr.Node(id).Term
+		t.IsSource = srcPick[i]
+		t.IsSink = snkPick[i]
+		tr.SetTerminal(id, t)
+	}
+}
+
+func atLeastOne(frac float64, n int) int {
+	k := int(frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+func pick(r *rand.Rand, n, k int) []bool {
+	out := make([]bool, n)
+	for _, i := range r.Perm(n)[:k] {
+		out[i] = true
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"msrnet/internal/topo"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(42, Defaults(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, Defaults(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different structure")
+	}
+	if math.Abs(a.TotalWireLength()-b.TotalWireLength()) > 1e-9 {
+		t.Fatal("same seed produced different wirelength")
+	}
+	c, err := Generate(43, Defaults(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalWireLength() == c.TotalWireLength() {
+		t.Fatal("different seeds produced identical wirelength (suspicious)")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 20} {
+		tr, err := Generate(7, Defaults(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := len(tr.Terminals()); got != n {
+			t.Errorf("n=%d: %d terminals", n, got)
+		}
+		if len(tr.Sources()) != n || len(tr.Sinks()) != n {
+			t.Errorf("n=%d: roles not symmetric", n)
+		}
+		// Insertion spacing respected, every wire ≤ 800 µm.
+		for i := 0; i < tr.NumEdges(); i++ {
+			if l := tr.Edge(i).Length; l > 800+1e-9 {
+				t.Errorf("n=%d: wire %d length %g > 800", n, i, l)
+			}
+		}
+		if len(tr.Insertions()) == 0 {
+			t.Errorf("n=%d: no insertion points", n)
+		}
+		// All terminals within the grid.
+		for _, id := range tr.Terminals() {
+			p := tr.Node(id).Pt
+			if p.X < 0 || p.X > 10000 || p.Y < 0 || p.Y > 10000 {
+				t.Errorf("terminal outside grid: %v", p)
+			}
+		}
+	}
+}
+
+func TestGenerateAsymmetricRoles(t *testing.T) {
+	p := Defaults(10)
+	p.SourceFrac = 0.3
+	p.SinkFrac = 0.7
+	tr, err := Generate(3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Sources()); got != 3 {
+		t.Errorf("sources = %d, want 3", got)
+	}
+	if got := len(tr.Sinks()); got != 7 {
+		t.Errorf("sinks = %d, want 7", got)
+	}
+}
+
+func TestGenerateMSTvsSteiner(t *testing.T) {
+	p := Defaults(12)
+	p.MaxInsertionSpacingUm = 0
+	st, err := Generate(11, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.UseSteiner = false
+	mst, err := Generate(11, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalWireLength() > mst.TotalWireLength()+1e-9 {
+		t.Errorf("Steiner wirelength %g > MST %g", st.TotalWireLength(), mst.TotalWireLength())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(1, Defaults(1)); err == nil {
+		t.Error("expected error for 1 terminal")
+	}
+	p := Defaults(5)
+	p.GridUm = 0
+	if _, err := Generate(1, p); err == nil {
+		t.Error("expected error for zero grid")
+	}
+}
+
+func TestTerminalsAreLeaves(t *testing.T) {
+	tr, err := Generate(99, Defaults(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.Terminals() {
+		if tr.Degree(id) != 1 {
+			t.Errorf("terminal %d degree %d", id, tr.Degree(id))
+		}
+	}
+	for _, id := range tr.Insertions() {
+		if tr.Degree(id) != 2 {
+			t.Errorf("insertion %d degree %d", id, tr.Degree(id))
+		}
+	}
+	_ = topo.Terminal
+}

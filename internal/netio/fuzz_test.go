@@ -1,0 +1,36 @@
+package netio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures arbitrary input never panics the decoder and that
+// anything it accepts round-trips structurally.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"version":1,"nodes":[],"edges":[]}`)
+	f.Add(`{"version":1,"nodes":[{"id":0,"kind":"terminal","is_source":true,"is_sink":true}],"edges":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"version":1,"nodes":[{"id":0,"kind":"steiner"},{"id":1,"kind":"terminal"}],"edges":[{"a":0,"b":1,"length":10}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		nf, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		tr, tech, err := Decode(nf)
+		if err != nil {
+			return
+		}
+		// Anything decodable must survive re-encode + re-decode.
+		nf2 := Encode(nf.Name, tr, tech)
+		tr2, _, err := Decode(nf2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.NumNodes() != tr.NumNodes() || tr2.NumEdges() != tr.NumEdges() {
+			t.Fatalf("round-trip changed structure: %d/%d vs %d/%d",
+				tr.NumNodes(), tr.NumEdges(), tr2.NumNodes(), tr2.NumEdges())
+		}
+	})
+}

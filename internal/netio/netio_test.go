@@ -1,0 +1,125 @@
+package netio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/rctree"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := netgen.Generate(5, netgen.Defaults(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := buslib.Default()
+	var buf bytes.Buffer
+	if err := Write(&buf, Encode("test-net", tr, tech)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "test-net" || f.Version != FormatVersion {
+		t.Errorf("header wrong: %+v", f.Name)
+	}
+	tr2, tech2, err := Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumNodes() != tr.NumNodes() || tr2.NumEdges() != tr.NumEdges() {
+		t.Fatal("structure not preserved")
+	}
+	if math.Abs(tr2.TotalWireLength()-tr.TotalWireLength()) > 1e-9 {
+		t.Fatal("wirelength not preserved")
+	}
+	if tech2.Wire != tech.Wire || len(tech2.Repeaters) != len(tech.Repeaters) ||
+		len(tech2.Drivers) != len(tech.Drivers) {
+		t.Fatal("tech not preserved")
+	}
+	for i := 0; i < tr.NumNodes(); i++ {
+		a, b := tr.Node(i), tr2.Node(i)
+		if a.Kind != b.Kind || a.Pt != b.Pt || a.Term != b.Term {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	tr, err := netgen.Generate(1, netgen.Defaults(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "n5", tr, buslib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	tr2, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumNodes() != tr.NumNodes() {
+		t.Fatal("load mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Bad version.
+	if _, _, err := Decode(NetFile{Version: 99}); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Bad node kind.
+	f := NetFile{Version: 1, Nodes: []NodeJSON{{ID: 0, Kind: "alien"}}}
+	if _, _, err := Decode(f); err == nil {
+		t.Error("bad kind accepted")
+	}
+	// Non-dense ids.
+	f2 := NetFile{Version: 1, Nodes: []NodeJSON{{ID: 3, Kind: "steiner"}}}
+	if _, _, err := Decode(f2); err == nil {
+		t.Error("sparse ids accepted")
+	}
+	// Edge out of range.
+	f3 := NetFile{Version: 1,
+		Nodes: []NodeJSON{{ID: 0, Kind: "terminal", IsSource: true, IsSink: true}},
+		Edges: []EdgeJSON{{A: 0, B: 5, Length: 1}}}
+	if _, _, err := Decode(f3); err == nil {
+		t.Error("bad edge accepted")
+	}
+	// Invalid topology (disconnected).
+	f4 := NetFile{Version: 1, Nodes: []NodeJSON{
+		{ID: 0, Kind: "terminal"}, {ID: 1, Kind: "terminal"},
+	}}
+	if _, _, err := Decode(f4); err == nil {
+		t.Error("forest accepted")
+	}
+	// Garbage JSON.
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEncodeAssignment(t *testing.T) {
+	rep := buslib.RepeaterFromPair(buslib.Buffer1X())
+	asg := rctree.Assignment{
+		Repeaters: map[int]rctree.Placed{7: {Rep: rep, ASideUp: true}},
+		Drivers:   map[int]buslib.Driver{2: {Name: "drv2X"}},
+		Widths:    map[int]float64{3: 2},
+	}
+	aj := EncodeAssignment(4, 1.5, asg)
+	if aj.Cost != 4 || aj.ARD != 1.5 {
+		t.Error("header wrong")
+	}
+	if len(aj.Repeaters) != 1 || aj.Repeaters[0].Node != 7 || !aj.Repeaters[0].ASideUp {
+		t.Errorf("repeaters wrong: %+v", aj.Repeaters)
+	}
+	if aj.Drivers["2"] != "drv2X" || aj.Widths["3"] != "2" {
+		t.Error("maps wrong")
+	}
+}

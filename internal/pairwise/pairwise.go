@@ -1,0 +1,223 @@
+// Package pairwise implements the "arbitrary pair-wise constraints"
+// formulation that §II of Lillis & Cheng (TCAD'99) contrasts with the
+// ARD: instead of one spec derived from per-terminal arrival times and
+// requirements, every (source, sink) pair may carry its own delay bound.
+//
+// The paper makes two points about this formulation, both of which this
+// package makes concrete:
+//
+//   - Verification alone costs Θ(s·n): all pairs must be examined
+//     (footnote 8). Check implements exactly that.
+//   - The dynamic-programming decomposition behind the optimal ARD
+//     algorithm breaks: with arbitrary bounds, different external sinks
+//     can have different critical sources inside the same subtree
+//     (footnote 10), so no single per-subtree arrival function suffices.
+//     The tests exhibit such an instance.
+//
+// For small instances the package still solves the constrained min-cost
+// problem exactly — by exhaustive enumeration — which doubles as a
+// consistency check: with uniform bounds the answer must coincide with
+// the ARD machinery's Problem 2.1 solution.
+package pairwise
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Constraints maps (source node id, sink node id) to a maximum allowed
+// augmented delay AAT(u) + PD(u,v) + Q(v). Pairs not present are
+// unconstrained. Self pairs are ignored.
+type Constraints map[[2]int]float64
+
+// Uniform builds constraints bounding every source/sink pair by the same
+// spec — the special case equivalent to ARD ≤ spec.
+func Uniform(tr *topo.Tree, spec float64) Constraints {
+	c := Constraints{}
+	for _, u := range tr.Sources() {
+		for _, v := range tr.Sinks() {
+			if u != v {
+				c[[2]int{u, v}] = spec
+			}
+		}
+	}
+	return c
+}
+
+// Violation reports one failed constraint.
+type Violation struct {
+	Src, Sink int
+	Delay     float64
+	Limit     float64
+}
+
+// Check verifies an assignment against the constraints by the necessary
+// Θ(s·n) sweep: one Elmore propagation per constrained source. It returns
+// all violations, sorted by excess.
+func Check(n *rctree.Net, c Constraints) []Violation {
+	t := n.R.Tree
+	bySrc := map[int][][2]int{}
+	for pair := range c {
+		bySrc[pair[0]] = append(bySrc[pair[0]], pair)
+	}
+	var out []Violation
+	for src, pairs := range bySrc {
+		nd := t.Node(src)
+		if nd.Kind != topo.Terminal || !nd.Term.IsSource {
+			continue
+		}
+		dist := n.DelaysFrom(src)
+		for _, pair := range pairs {
+			sink := pair[1]
+			if sink == src {
+				continue
+			}
+			snd := t.Node(sink)
+			if snd.Kind != topo.Terminal || !snd.Term.IsSink {
+				continue
+			}
+			d := nd.Term.AAT + dist[sink] + snd.Term.Q
+			if limit := c[pair]; d > limit+1e-12 {
+				out = append(out, Violation{Src: src, Sink: sink, Delay: d, Limit: limit})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Delay-out[i].Limit > out[j].Delay-out[j].Limit
+	})
+	return out
+}
+
+// MinCost exhaustively finds the minimum-cost repeater assignment (over
+// the insertion points of rt, with the repeaters and orientations of
+// tech) that satisfies all pairwise constraints. Exponential; intended
+// for small instances and for cross-validating the ARD machinery on
+// uniform constraints. Returns ok=false when no assignment is feasible.
+func MinCost(rt *topo.Rooted, tech buslib.Tech, c Constraints) (rctree.Assignment, float64, bool) {
+	type choice struct {
+		placed *rctree.Placed
+		cost   float64
+	}
+	choices := []choice{{}}
+	for _, rep := range tech.Repeaters {
+		orientations := []bool{true}
+		if !rep.Symmetric() {
+			orientations = []bool{true, false}
+		}
+		for _, aUp := range orientations {
+			r := rep
+			choices = append(choices, choice{placed: &rctree.Placed{Rep: r, ASideUp: aUp}, cost: rep.Cost})
+		}
+	}
+	ins := rt.Tree.Insertions()
+	bestCost := math.Inf(1)
+	var best rctree.Assignment
+	found := false
+	var rec func(i int, asg rctree.Assignment, cost float64)
+	rec = func(i int, asg rctree.Assignment, cost float64) {
+		if cost >= bestCost {
+			return // branch and bound on cost
+		}
+		if i == len(ins) {
+			n := rctree.NewNet(rt, tech, asg)
+			if len(Check(n, c)) == 0 {
+				bestCost = cost
+				best = asg.Clone()
+				found = true
+			}
+			return
+		}
+		for _, ch := range choices {
+			na := asg
+			if ch.placed != nil {
+				na = asg.Clone()
+				if na.Repeaters == nil {
+					na.Repeaters = map[int]rctree.Placed{}
+				}
+				na.Repeaters[ins[i]] = *ch.placed
+			}
+			rec(i+1, na, cost+ch.cost)
+		}
+	}
+	rec(0, rctree.Assignment{}, 0)
+	return best, bestCost, found
+}
+
+// CriticalSources returns, for each given external sink, the source
+// inside the subtree rooted at `sub` with the *least slack* to that sink
+// — slack being the pair's constraint minus its achieved augmented delay
+// (unconstrained pairs have infinite slack). Under the ARD formulation
+// the delay-critical source of a subtree is the same for every external
+// sink, which is exactly what makes the A(c_E) decomposition sound; with
+// arbitrary pairwise limits, slack-criticality differs across sinks —
+// the obstruction of the paper's footnote 10, exhibited by the tests.
+func CriticalSources(n *rctree.Net, sub int, sinks []int, c Constraints) (map[int]int, error) {
+	t := n.R.Tree
+	// Collect source terminals inside the subtree.
+	var internal []int
+	var walk func(v int)
+	walk = func(v int) {
+		nd := t.Node(v)
+		if nd.Kind == topo.Terminal && nd.Term.IsSource {
+			internal = append(internal, v)
+		}
+		for _, ch := range n.R.Children[v] {
+			walk(ch)
+		}
+	}
+	walk(sub)
+	if len(internal) == 0 {
+		return nil, fmt.Errorf("pairwise: subtree %d has no sources", sub)
+	}
+	slackOf := func(u, snk int, dist []float64) float64 {
+		d := t.Node(u).Term.AAT + dist[snk] + t.Node(snk).Term.Q
+		limit, ok := c[[2]int{u, snk}]
+		if !ok {
+			if c == nil {
+				// No constraints given: fall back to pure delay
+				// criticality (most delay = least "slack").
+				return -d
+			}
+			limit = math.Inf(1)
+		}
+		return limit - d
+	}
+	out := map[int]int{}
+	bestSlack := map[int]float64{}
+	for _, u := range internal {
+		dist := n.DelaysFrom(u)
+		for _, snk := range sinks {
+			sl := slackOf(u, snk, dist)
+			if cur, ok := bestSlack[snk]; !ok || sl < cur {
+				bestSlack[snk] = sl
+				out[snk] = u
+			}
+		}
+	}
+	return out, nil
+}
+
+// UniformEquivalence cross-checks the two formulations on one instance:
+// the min-cost assignment under uniform pairwise bounds must cost the
+// same as the ARD machinery's Problem 2.1 answer. Returns both costs.
+func UniformEquivalence(rt *topo.Rooted, tech buslib.Tech, spec float64) (pairwiseCost, ardCost float64, err error) {
+	_, pc, ok := MinCost(rt, tech, Uniform(rt.Tree, spec))
+	res, oerr := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	if oerr != nil {
+		return 0, 0, oerr
+	}
+	sol, ok2 := res.Suite.MinCost(spec)
+	switch {
+	case !ok && !ok2:
+		return math.Inf(1), math.Inf(1), nil
+	case ok != ok2:
+		return 0, 0, fmt.Errorf("pairwise: feasibility disagreement (brute %v, dp %v)", ok, ok2)
+	}
+	return pc, sol.Cost, nil
+}

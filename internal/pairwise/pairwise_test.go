@@ -1,0 +1,178 @@
+package pairwise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/testnet"
+	"msrnet/internal/topo"
+)
+
+// TestUniformEquivalence: with every pair bounded by the same spec, the
+// exhaustive pairwise solver and the ARD dynamic program must agree on
+// the minimum feasible cost — the two formulations coincide exactly in
+// this special case (§II).
+func TestUniformEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3001))
+	checked := 0
+	for trial := 0; trial < 20; trial++ {
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 1 + r.Intn(3)
+		cfg.InsSpacing = 0
+		cfg.AllRoles = true
+		tr := testnet.RandTree(r, cfg)
+		for i := 0; i < 3 && i < tr.NumEdges(); i++ {
+			eid := r.Intn(tr.NumEdges())
+			if tr.Edge(eid).Length > 0 {
+				tr.SplitEdge(eid, 0.3+0.4*r.Float64(), topo.Insertion)
+			}
+		}
+		tech := testnet.RandTech(r, 1, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		// Pick a spec between best and worst achievable.
+		base := rctree.NewNet(rt, tech, rctree.Assignment{})
+		worst, _, _ := base.NaiveARD(false)
+		spec := worst * (0.85 + 0.2*r.Float64())
+		pc, ac, err := UniformEquivalence(rt, tech, spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.IsInf(pc, 1) {
+			continue // spec infeasible for both: consistent
+		}
+		if math.Abs(pc-ac) > 1e-9 {
+			t.Fatalf("trial %d: pairwise min cost %g != ARD min cost %g (spec %g)",
+				trial, pc, ac, spec)
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("too few feasible trials: %d", checked)
+	}
+}
+
+// TestCheckFindsViolations: constraints tighter than the achieved delays
+// must be reported, ordered by excess.
+func TestCheckFindsViolations(t *testing.T) {
+	tr := topo.New()
+	a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+	b := tr.AddTerminal(geom.Pt(5000, 0), buslib.DefaultTerminal("b"))
+	tr.AddEdge(a, b, 5000)
+	tech := buslib.Default()
+	n := rctree.NewNet(tr.RootAt(a), tech, rctree.Assignment{})
+	// Actual delay a→b:
+	actual := tr.Node(a).Term.AAT + n.PathDelay(a, b) + tr.Node(b).Term.Q
+	c := Constraints{
+		{a, b}: actual / 2, // violated
+		{b, a}: 1e9,        // satisfied
+	}
+	v := Check(n, c)
+	if len(v) != 1 || v[0].Src != a || v[0].Sink != b {
+		t.Fatalf("violations = %+v", v)
+	}
+	if v[0].Delay <= v[0].Limit {
+		t.Error("violation not actually violating")
+	}
+	// Loose constraints: clean.
+	if v := Check(n, Uniform(tr, actual*2)); len(v) != 0 {
+		t.Errorf("unexpected violations: %+v", v)
+	}
+}
+
+// TestFootnote10Obstruction exhibits the structural reason the ARD
+// decomposition fails under arbitrary pairwise constraints. Under the
+// ARD formulation the *delay*-critical source of a subtree is the same
+// for every external sink (the delay splits as arrival-at-join plus a
+// source-independent tail, which is what makes A(c_E) well defined) —
+// the first half of the test verifies that. Under arbitrary pairwise
+// limits, criticality is *slack* (limit − delay), and the second half
+// shows two external sinks with different slack-critical sources in the
+// same subtree: no single per-subtree function can summarize them.
+func TestFootnote10Obstruction(t *testing.T) {
+	tr := topo.New()
+	t1 := buslib.DefaultTerminal("s1")
+	t1.IsSink = false
+	t2 := buslib.DefaultTerminal("s2")
+	t2.IsSink = false
+	t2.AAT = 0.5 // s2 launches later: the delay-critical source everywhere
+	s1 := tr.AddTerminal(geom.Pt(0, 0), t1)
+	s2 := tr.AddTerminal(geom.Pt(2000, 0), t2)
+	j := tr.AddSteiner(geom.Pt(1000, 500))
+	tr.AddEdge(s1, j, 1000)
+	tr.AddEdge(s2, j, 1000)
+	near := buslib.DefaultTerminal("near")
+	near.IsSource = false
+	far := buslib.DefaultTerminal("far")
+	far.IsSource = false
+	nid := tr.AddTerminal(geom.Pt(1000, 1000), near)
+	fid := tr.AddTerminal(geom.Pt(1000, 20000), far)
+	tr.AddEdge(j, nid, 500)
+	tr.AddEdge(j, fid, 19000)
+	rt := tr.RootAt(nid) // subtree under j contains s1, s2
+	tech := buslib.Default()
+	n := rctree.NewNet(rt, tech, rctree.Assignment{})
+
+	// (1) Pure delay criticality: identical across external sinks.
+	delayCrit, err := CriticalSources(n, j, []int{nid, fid}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayCrit[nid] != delayCrit[fid] || delayCrit[nid] != s2 {
+		t.Fatalf("delay-critical sources should both be s2: %v", delayCrit)
+	}
+
+	// (2) Arbitrary pairwise limits: tighten s1→far and loosen s2→far,
+	// so the far sink's least-slack source flips to s1 while the near
+	// sink's stays s2.
+	d := func(u, v int) float64 {
+		return tr.Node(u).Term.AAT + n.PathDelay(u, v) + tr.Node(v).Term.Q
+	}
+	c := Constraints{
+		{s1, nid}: d(s1, nid) + 1.0,  // lots of slack
+		{s2, nid}: d(s2, nid) + 0.1,  // tight: s2 critical at near
+		{s1, fid}: d(s1, fid) + 0.05, // very tight: s1 critical at far
+		{s2, fid}: d(s2, fid) + 2.0,  // loose
+	}
+	slackCrit, err := CriticalSources(n, j, []int{nid, fid}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slackCrit[nid] != s2 || slackCrit[fid] != s1 {
+		t.Fatalf("slack-critical sources: near=%d far=%d, want near=s2(%d) far=s1(%d)",
+			slackCrit[nid], slackCrit[fid], s2, s1)
+	}
+}
+
+// TestMinCostInfeasible returns ok=false for impossible bounds.
+func TestMinCostInfeasible(t *testing.T) {
+	tr := topo.New()
+	a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+	b := tr.AddTerminal(geom.Pt(5000, 0), buslib.DefaultTerminal("b"))
+	e := tr.AddEdge(a, b, 5000)
+	tr.SplitEdge(e, 0.5, topo.Insertion)
+	tech := buslib.Default()
+	rt := tr.RootAt(a)
+	if _, _, ok := MinCost(rt, tech, Uniform(tr, 1e-6)); ok {
+		t.Error("impossible spec reported feasible")
+	}
+}
+
+// TestCriticalSourcesErrors rejects sourceless subtrees.
+func TestCriticalSourcesErrors(t *testing.T) {
+	tr := topo.New()
+	src := buslib.DefaultTerminal("src")
+	snk := buslib.DefaultTerminal("snk")
+	snk.IsSource = false
+	a := tr.AddTerminal(geom.Pt(0, 0), src)
+	b := tr.AddTerminal(geom.Pt(100, 0), snk)
+	tr.AddEdge(a, b, 100)
+	rt := tr.RootAt(a)
+	n := rctree.NewNet(rt, buslib.Default(), rctree.Assignment{})
+	if _, err := CriticalSources(n, b, []int{a}, nil); err == nil {
+		t.Error("sourceless subtree accepted")
+	}
+}

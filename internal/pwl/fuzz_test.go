@@ -1,0 +1,70 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMaxShiftAdd drives the PWL algebra with arbitrary line parameters
+// and operation inputs, asserting representation invariants and pointwise
+// semantics. Run with `go test -fuzz FuzzMaxShiftAdd ./internal/pwl` for
+// continuous fuzzing; the seed corpus runs in normal `go test`.
+func FuzzMaxShiftAdd(f *testing.F) {
+	f.Add(0.0, 1.0, 5.0, -2.0, 0.5, 1.5, 2.0)
+	f.Add(1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-3.0, 2.5, 4.0, -1.25, 7.0, 0.25, 100.0)
+	f.Fuzz(func(t *testing.T, b1, m1, b2, m2, shift, addM, x float64) {
+		for _, v := range []float64{b1, m1, b2, m2, shift, addM, x} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip("out of modeled range")
+			}
+		}
+		if shift < 0 {
+			shift = -shift
+		}
+		if x < 0 {
+			x = -x
+		}
+		fn := Linear(b1, m1).Max(Linear(b2, m2))
+		if err := fn.CheckInvariants(); err != nil {
+			t.Fatalf("max invariants: %v", err)
+		}
+		want := math.Max(b1+m1*(x+shift), b2+m2*(x+shift)) + addM*x
+		got := fn.Shift(shift).AddLinear(0, addM).Eval(x)
+		// Relative tolerance: the fuzzer explores huge magnitudes.
+		tol := 1e-6 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Fatalf("Eval mismatch: got %g, want %g (b1=%g m1=%g b2=%g m2=%g shift=%g addM=%g x=%g)",
+				got, want, b1, m1, b2, m2, shift, addM, x)
+		}
+	})
+}
+
+// FuzzLeqRegions checks that the dominance-region primitive agrees with
+// direct comparison at arbitrary probe points.
+func FuzzLeqRegions(f *testing.F) {
+	f.Add(0.0, 1.0, 5.0, -1.0, 2.5)
+	f.Add(1.0, 1.0, 1.0, 1.0, 0.0)
+	f.Fuzz(func(t *testing.T, b1, m1, b2, m2, x float64) {
+		for _, v := range []float64{b1, m1, b2, m2, x} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				t.Skip()
+			}
+		}
+		if x < 0 {
+			x = -x
+		}
+		fa := Linear(b1, m1)
+		fb := Linear(b2, m2)
+		regions := fa.LeqRegions(fb, 0)
+		va, vb := fa.Eval(x), fb.Eval(x)
+		margin := 1e-6 * (1 + math.Max(math.Abs(va), math.Abs(vb)))
+		in := regions.Contains(x)
+		if va < vb-margin && !in {
+			t.Fatalf("f<g at %g but not in region %v", x, regions)
+		}
+		if va > vb+margin && in {
+			t.Fatalf("f>g at %g but in region %v", x, regions)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package pwl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open interval [Lo, Hi) on the external-capacitance
+// axis. Hi may be +Inf.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Empty reports whether the interval contains no points (beyond Eps).
+func (iv Interval) Empty() bool { return iv.Hi-iv.Lo <= Eps }
+
+// Len returns Hi − Lo (possibly +Inf).
+func (iv Interval) Len() float64 { return iv.Hi - iv.Lo }
+
+// IntervalSet is a set of disjoint, sorted intervals. It represents the
+// validity domain of a candidate solution: the values of external
+// capacitance for which the solution is not dominated by any other (the
+// "minimal functional subset" of Definition 4.3). The zero value is the
+// empty set; use Full() for [0, +∞).
+type IntervalSet []Interval
+
+// Full returns the interval set covering all of [0, +∞).
+func Full() IntervalSet {
+	return IntervalSet{{Lo: 0, Hi: math.Inf(1)}}
+}
+
+// Canon sorts, clips to [0, +∞), drops empty intervals and merges
+// adjacent/overlapping ones, returning the canonical form.
+func (s IntervalSet) Canon() IntervalSet {
+	cp := make(IntervalSet, 0, len(s))
+	for _, iv := range s {
+		if iv.Lo < 0 {
+			iv.Lo = 0
+		}
+		if !iv.Empty() {
+			cp = append(cp, iv)
+		}
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Lo < cp[j].Lo })
+	out := cp[:0]
+	for _, iv := range cp {
+		if len(out) > 0 && iv.Lo <= out[len(out)-1].Hi+Eps {
+			if iv.Hi > out[len(out)-1].Hi {
+				out[len(out)-1].Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// IsEmpty reports whether the set contains no points.
+func (s IntervalSet) IsEmpty() bool {
+	for _, iv := range s {
+		if !iv.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether x lies in the set.
+func (s IntervalSet) Contains(x float64) bool {
+	for _, iv := range s {
+		if x >= iv.Lo-Eps && x < iv.Hi+Eps {
+			return true
+		}
+	}
+	return false
+}
+
+// Measure returns the total length of the set (possibly +Inf).
+func (s IntervalSet) Measure() float64 {
+	var m float64
+	for _, iv := range s {
+		m += iv.Len()
+	}
+	return m
+}
+
+// Intersect returns s ∩ t.
+func (s IntervalSet) Intersect(t IntervalSet) IntervalSet {
+	var out IntervalSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		lo := math.Max(s[i].Lo, t[j].Lo)
+		hi := math.Min(s[i].Hi, t[j].Hi)
+		if hi > lo {
+			out = append(out, Interval{Lo: lo, Hi: hi})
+		}
+		if s[i].Hi < t[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out.Canon()
+}
+
+// Subtract returns s \ t.
+func (s IntervalSet) Subtract(t IntervalSet) IntervalSet {
+	t = t.Canon()
+	var out IntervalSet
+	for _, iv := range s {
+		lo := iv.Lo
+		for _, cut := range t {
+			if cut.Hi <= lo {
+				continue
+			}
+			if cut.Lo >= iv.Hi {
+				break
+			}
+			if cut.Lo > lo {
+				out = append(out, Interval{Lo: lo, Hi: math.Min(cut.Lo, iv.Hi)})
+			}
+			if cut.Hi > lo {
+				lo = cut.Hi
+			}
+		}
+		if lo < iv.Hi {
+			out = append(out, Interval{Lo: lo, Hi: iv.Hi})
+		}
+	}
+	return out.Canon()
+}
+
+// Union returns s ∪ t.
+func (s IntervalSet) Union(t IntervalSet) IntervalSet {
+	out := make(IntervalSet, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out.Canon()
+}
+
+// Shift returns { x : x + d ∈ s } ∩ [0, +∞), i.e. the domain expressed in
+// a new variable x' = x − d. It is applied when a subtree's external
+// capacitance is known to include an extra fixed load d (a sibling's
+// capacitance or an augmenting wire's capacitance).
+func (s IntervalSet) Shift(d float64) IntervalSet {
+	out := make(IntervalSet, 0, len(s))
+	for _, iv := range s {
+		out = append(out, Interval{Lo: iv.Lo - d, Hi: iv.Hi - d})
+	}
+	return out.Canon()
+}
+
+// String renders the set for debugging.
+func (s IntervalSet) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	var b strings.Builder
+	for i, iv := range s {
+		if i > 0 {
+			b.WriteString(" ∪ ")
+		}
+		fmt.Fprintf(&b, "[%.4g,%.4g)", iv.Lo, iv.Hi)
+	}
+	return b.String()
+}

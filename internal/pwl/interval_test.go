@@ -1,0 +1,174 @@
+package pwl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ivs(vals ...float64) IntervalSet {
+	if len(vals)%2 != 0 {
+		panic("ivs needs pairs")
+	}
+	var s IntervalSet
+	for i := 0; i < len(vals); i += 2 {
+		s = append(s, Interval{Lo: vals[i], Hi: vals[i+1]})
+	}
+	return s.Canon()
+}
+
+func setsEqual(a, b IntervalSet) bool {
+	a, b = a.Canon(), b.Canon()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].Lo-b[i].Lo) > 1e-9 {
+			return false
+		}
+		if a[i].Hi != b[i].Hi && math.Abs(a[i].Hi-b[i].Hi) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCanonMergesAndSorts(t *testing.T) {
+	s := IntervalSet{{Lo: 3, Hi: 5}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3.5}}
+	got := s.Canon()
+	want := ivs(1, 5)
+	if !setsEqual(got, want) {
+		t.Errorf("Canon = %v, want %v", got, want)
+	}
+}
+
+func TestCanonClipsNegative(t *testing.T) {
+	s := IntervalSet{{Lo: -3, Hi: 2}, {Lo: -10, Hi: -5}}
+	got := s.Canon()
+	if !setsEqual(got, ivs(0, 2)) {
+		t.Errorf("Canon = %v, want [0,2)", got)
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := ivs(0, 5, 10, 20)
+	b := ivs(3, 12)
+	got := a.Intersect(b)
+	if !setsEqual(got, ivs(3, 5, 10, 12)) {
+		t.Errorf("Intersect = %v", got)
+	}
+}
+
+func TestSubtractBasic(t *testing.T) {
+	a := ivs(0, 10)
+	b := ivs(2, 4, 6, 8)
+	got := a.Subtract(b)
+	if !setsEqual(got, ivs(0, 2, 4, 6, 8, 10)) {
+		t.Errorf("Subtract = %v", got)
+	}
+}
+
+func TestSubtractAll(t *testing.T) {
+	a := ivs(1, 5)
+	if got := a.Subtract(Full()); !got.IsEmpty() {
+		t.Errorf("Subtract(Full) = %v, want empty", got)
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	a := ivs(0, 2)
+	b := ivs(5, math.Inf(1))
+	got := a.Union(b)
+	if len(got) != 2 || !got.Contains(1) || !got.Contains(100) || got.Contains(3) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestShiftSet(t *testing.T) {
+	a := ivs(2, 6)
+	got := a.Shift(3) // {x : x+3 ∈ [2,6)} ∩ [0,∞) = [0,3)
+	if !setsEqual(got, ivs(0, 3)) {
+		t.Errorf("Shift = %v, want [0,3)", got)
+	}
+	got = a.Shift(7) // entirely below zero
+	if !got.IsEmpty() {
+		t.Errorf("Shift past set = %v, want empty", got)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	if m := ivs(0, 2, 5, 8).Measure(); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Measure = %g, want 5", m)
+	}
+	if m := Full().Measure(); !math.IsInf(m, 1) {
+		t.Errorf("Full Measure = %g, want +Inf", m)
+	}
+}
+
+func TestContainsBoundaries(t *testing.T) {
+	s := ivs(1, 3)
+	for _, c := range []struct {
+		x    float64
+		want bool
+	}{{0.5, false}, {1, true}, {2, true}, {3 - 1e-12, true}, {4, false}} {
+		if got := s.Contains(c.x); got != c.want {
+			t.Errorf("Contains(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: set algebra matches pointwise membership semantics on random
+// sets sampled at random points.
+func TestSetAlgebraProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	randSet := func() IntervalSet {
+		var s IntervalSet
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			lo := r.Float64() * 20
+			s = append(s, Interval{Lo: lo, Hi: lo + r.Float64()*5})
+		}
+		return s.Canon()
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := randSet(), randSet()
+		inter := a.Intersect(b)
+		sub := a.Subtract(b)
+		uni := a.Union(b)
+		for i := 0; i < 30; i++ {
+			x := r.Float64() * 25
+			// Skip points within Eps of any boundary to avoid
+			// half-open-boundary ambiguity in Contains.
+			nearEdge := false
+			for _, s := range []IntervalSet{a, b} {
+				for _, iv := range s {
+					if math.Abs(x-iv.Lo) < 1e-6 || math.Abs(x-iv.Hi) < 1e-6 {
+						nearEdge = true
+					}
+				}
+			}
+			if nearEdge {
+				continue
+			}
+			ina, inb := a.Contains(x), b.Contains(x)
+			if got, want := inter.Contains(x), ina && inb; got != want {
+				t.Fatalf("Intersect membership mismatch at %g: a=%v b=%v", x, a, b)
+			}
+			if got, want := sub.Contains(x), ina && !inb; got != want {
+				t.Fatalf("Subtract membership mismatch at %g: a=%v b=%v", x, a, b)
+			}
+			if got, want := uni.Contains(x), ina || inb; got != want {
+				t.Fatalf("Union membership mismatch at %g: a=%v b=%v", x, a, b)
+			}
+		}
+	}
+}
+
+func TestIntervalSetString(t *testing.T) {
+	if s := (IntervalSet{}).String(); s != "∅" {
+		t.Errorf("empty String = %q", s)
+	}
+	if s := ivs(0, 1).String(); s == "" || s == "∅" {
+		t.Errorf("nonempty String = %q", s)
+	}
+}

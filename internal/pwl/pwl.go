@@ -1,0 +1,519 @@
+// Package pwl implements the piecewise-linear (PWL) function algebra that
+// underlies the multisource timing characterization of Lillis & Cheng
+// (TCAD'99, §IV-C). Candidate repeater-insertion solutions carry two PWL
+// functions of the external capacitance c_E — the arrival-time function
+// A(c_E) and the internal-diameter function D(c_E) — and the dynamic
+// program manipulates them with the primitives defined here: pointwise
+// maximum, scalar and linear addition, and domain shift.
+//
+// A Func is total on [0, +∞). Validity restrictions introduced by the
+// minimal-functional-subset pruning are represented separately as
+// IntervalSet values (see interval.go), so the function algebra itself
+// never has to handle partial functions.
+//
+// Functions are stored as an ordered list of segments that tile [0, +∞)
+// exactly: the first segment starts at 0, each segment ends where the next
+// begins, and the final segment extends to +∞. Within a segment the
+// function is the line y = Y0 + M·(x − X0).
+package pwl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Eps is the default tolerance used when comparing ordinates and
+// abscissae. Capacitances are in pF and times in ns, so 1e-9 is far below
+// any physically meaningful difference.
+const Eps = 1e-9
+
+// Seg is one linear piece: y = Y0 + M·(x − X0) for x ∈ [X0, X1).
+type Seg struct {
+	X0, X1 float64 // domain of the piece; X1 may be +Inf
+	Y0     float64 // value at X0
+	M      float64 // slope
+}
+
+// At evaluates the segment's line at x (which need not lie in [X0, X1)).
+func (s Seg) At(x float64) float64 {
+	if math.IsInf(x, 1) {
+		// Only meaningful for limits; return signed infinity by slope.
+		switch {
+		case s.M > 0:
+			return math.Inf(1)
+		case s.M < 0:
+			return math.Inf(-1)
+		default:
+			return s.Y0
+		}
+	}
+	return s.Y0 + s.M*(x-s.X0)
+}
+
+// end returns the value approaching X1 from the left (may be ±Inf).
+func (s Seg) end() float64 { return s.At(s.X1) }
+
+// Func is a total piecewise-linear function on [0, +∞).
+//
+// The zero value is not a valid Func; use the constructors. Funcs are
+// immutable: every operation returns a new Func.
+type Func struct {
+	segs []Seg
+}
+
+// Const returns the constant function f(x) = c on [0, +∞).
+func Const(c float64) Func {
+	return Func{segs: []Seg{{X0: 0, X1: math.Inf(1), Y0: c, M: 0}}}
+}
+
+// Linear returns the function f(x) = b + m·x on [0, +∞).
+func Linear(b, m float64) Func {
+	return Func{segs: []Seg{{X0: 0, X1: math.Inf(1), Y0: b, M: m}}}
+}
+
+// NegInf returns the identity element for Max: a function that is −∞
+// everywhere. It is used as the seed when folding maxima over solution
+// sets (e.g. the internal-diameter function of a leaf, which has no
+// internal source/sink pair).
+func NegInf() Func {
+	return Const(math.Inf(-1))
+}
+
+// FromSegments builds a Func from explicit segments. The segments must be
+// sorted by X0, tile [0, +∞) without gaps or overlaps. It panics on
+// malformed input; it is intended for tests and deserialization.
+func FromSegments(segs []Seg) Func {
+	if len(segs) == 0 {
+		panic("pwl: FromSegments with no segments")
+	}
+	if segs[0].X0 != 0 {
+		panic("pwl: first segment must start at 0")
+	}
+	for i, s := range segs {
+		if s.X1 <= s.X0 {
+			panic(fmt.Sprintf("pwl: segment %d has empty domain [%g,%g)", i, s.X0, s.X1))
+		}
+		if i+1 < len(segs) && math.Abs(segs[i+1].X0-s.X1) > Eps {
+			panic(fmt.Sprintf("pwl: gap between segment %d and %d", i, i+1))
+		}
+	}
+	if !math.IsInf(segs[len(segs)-1].X1, 1) {
+		panic("pwl: last segment must extend to +Inf")
+	}
+	cp := make([]Seg, len(segs))
+	copy(cp, segs)
+	return Func{segs: cp}.canon()
+}
+
+// Segments returns a copy of the function's segments.
+func (f Func) Segments() []Seg {
+	cp := make([]Seg, len(f.segs))
+	copy(cp, f.segs)
+	return cp
+}
+
+// NumSegs returns the number of linear pieces.
+func (f Func) NumSegs() int { return len(f.segs) }
+
+// IsZero reports whether f is the (invalid) zero value, i.e. was never
+// initialized through a constructor.
+func (f Func) IsZero() bool { return f.segs == nil }
+
+// Eval returns f(x). x must be ≥ 0; negative x evaluates the first
+// segment's line (extrapolation), which keeps callers robust against tiny
+// negative rounding noise.
+func (f Func) Eval(x float64) float64 {
+	if f.IsZero() {
+		panic("pwl: Eval on zero Func")
+	}
+	i := f.segIndex(x)
+	return f.segs[i].At(x)
+}
+
+// segIndex returns the index of the segment whose domain contains x
+// (clamping below 0 and above the last start).
+func (f Func) segIndex(x float64) int {
+	// Binary search for the last segment with X0 <= x.
+	i := sort.Search(len(f.segs), func(i int) bool { return f.segs[i].X0 > x })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// AddConst returns f + c.
+func (f Func) AddConst(c float64) Func {
+	return f.mapSegs(func(s Seg) Seg {
+		s.Y0 += c
+		return s
+	})
+}
+
+// AddLinear returns g(x) = f(x) + b + m·x.
+func (f Func) AddLinear(b, m float64) Func {
+	return f.mapSegs(func(s Seg) Seg {
+		s.Y0 += b + m*s.X0
+		s.M += m
+		return s
+	})
+}
+
+// Scale returns g(x) = k·f(x). Useful for averaging in tests; k must be
+// finite.
+func (f Func) Scale(k float64) Func {
+	return f.mapSegs(func(s Seg) Seg {
+		s.Y0 *= k
+		s.M *= k
+		return s
+	})
+}
+
+func (f Func) mapSegs(fn func(Seg) Seg) Func {
+	out := make([]Seg, len(f.segs))
+	for i, s := range f.segs {
+		out[i] = fn(s)
+	}
+	return Func{segs: out}.canon()
+}
+
+// Shift returns g(x) = f(x + d) for d ≥ 0. This is the "external
+// capacitance grows by d" operator used when a subtree is augmented by a
+// wire or joined with a sibling of capacitance d. Segments that fall
+// entirely below the new origin are dropped; the first surviving segment
+// is re-anchored at 0.
+func (f Func) Shift(d float64) Func {
+	if d < 0 {
+		if d > -Eps {
+			d = 0
+		} else {
+			panic(fmt.Sprintf("pwl: Shift by negative %g", d))
+		}
+	}
+	if d == 0 {
+		return f
+	}
+	out := make([]Seg, 0, len(f.segs))
+	for _, s := range f.segs {
+		x0 := s.X0 - d
+		x1 := s.X1 - d
+		if x1 <= 0 {
+			continue // entirely left of new origin
+		}
+		if x0 < 0 {
+			// Re-anchor at 0.
+			s.Y0 = s.At(d) // value of original at x=d is new value at 0
+			x0 = 0
+		} else {
+			// value unchanged; only the anchor moves
+		}
+		out = append(out, Seg{X0: x0, X1: x1, Y0: s.Y0, M: s.M})
+	}
+	if len(out) == 0 {
+		// d beyond all finite breakpoints of a degenerate function —
+		// cannot happen because the last segment is infinite.
+		panic("pwl: Shift produced empty function")
+	}
+	return Func{segs: out}.canon()
+}
+
+// Max returns the pointwise maximum of f and g.
+func (f Func) Max(g Func) Func { return merge(f, g, math.Max) }
+
+// Min returns the pointwise minimum of f and g.
+func (f Func) Min(g Func) Func { return merge(f, g, math.Min) }
+
+// Add returns the pointwise sum f + g.
+func (f Func) Add(g Func) Func {
+	return merge(f, g, func(a, b float64) float64 { return a + b })
+}
+
+// MaxOver folds Max over fs, returning NegInf for an empty slice.
+func MaxOver(fs ...Func) Func {
+	out := NegInf()
+	for _, f := range fs {
+		out = out.Max(f)
+	}
+	return out
+}
+
+// merge combines two PWL functions with a binary operator, splitting at
+// the union of their breakpoints and, for Max/Min, also at interior
+// crossing points of the two lines.
+func merge(f, g Func, op func(a, b float64) float64) Func {
+	if f.IsZero() || g.IsZero() {
+		panic("pwl: merge on zero Func")
+	}
+	// Gather breakpoints.
+	xs := make([]float64, 0, len(f.segs)+len(g.segs)+4)
+	for _, s := range f.segs {
+		xs = append(xs, s.X0)
+	}
+	for _, s := range g.segs {
+		xs = append(xs, s.X0)
+	}
+	// Crossing points within overlapping pieces. We walk both lists.
+	i, j := 0, 0
+	for i < len(f.segs) && j < len(g.segs) {
+		a, b := f.segs[i], g.segs[j]
+		lo := math.Max(a.X0, b.X0)
+		hi := math.Min(a.X1, b.X1)
+		if hi > lo {
+			if x, ok := lineCross(a, b); ok && x > lo+Eps && x < hi-Eps {
+				xs = append(xs, x)
+			}
+		}
+		if a.X1 <= b.X1 {
+			i++
+		} else {
+			j++
+		}
+	}
+	sort.Float64s(xs)
+	// Deduplicate.
+	uniq := xs[:0]
+	for _, x := range xs {
+		if len(uniq) == 0 || x > uniq[len(uniq)-1]+Eps {
+			uniq = append(uniq, x)
+		}
+	}
+	if len(uniq) == 0 || uniq[0] != 0 {
+		uniq = append([]float64{0}, uniq...)
+	}
+	out := make([]Seg, 0, len(uniq))
+	for k, x0 := range uniq {
+		x1 := math.Inf(1)
+		if k+1 < len(uniq) {
+			x1 = uniq[k+1]
+		}
+		// Use the midpoint to decide which line wins on this piece; at
+		// infinity use a point past x0.
+		var mid float64
+		if math.IsInf(x1, 1) {
+			mid = x0 + 1
+		} else {
+			mid = (x0 + x1) / 2
+		}
+		fa, fb := f.segs[f.segIndex(mid)], g.segs[g.segIndex(mid)]
+		y0 := op(fa.At(x0), fb.At(x0))
+		ym := op(fa.At(mid), fb.At(mid))
+		// Reconstruct the segment line from its values at x0 and mid.
+		var m float64
+		switch {
+		case math.IsInf(y0, 0) && math.IsInf(ym, 0):
+			// Both endpoints infinite (NegInf operand): constant ±Inf.
+			m = 0
+		default:
+			m = (ym - y0) / (mid - x0)
+		}
+		out = append(out, Seg{X0: x0, X1: x1, Y0: y0, M: m})
+	}
+	return Func{segs: out}.canon()
+}
+
+// safeSub computes a − b with the conventions needed for dominance
+// comparison: −∞ − (−∞) = −∞ (a ≤ b holds when both are absent), and a
+// finite value minus −∞ is +∞ (a ≤ b fails).
+func safeSub(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return math.Inf(-1)
+	}
+	if math.IsInf(b, -1) {
+		return math.Inf(1)
+	}
+	return a - b
+}
+
+// lineCross returns the x at which the extended lines of segments a and b
+// intersect, and whether they are non-parallel.
+func lineCross(a, b Seg) (float64, bool) {
+	dm := a.M - b.M
+	if math.Abs(dm) < Eps {
+		return 0, false
+	}
+	// a.Y0 + a.M (x - a.X0) = b.Y0 + b.M (x - b.X0)
+	num := (b.Y0 - b.M*b.X0) - (a.Y0 - a.M*a.X0)
+	return num / dm, true
+}
+
+// canon merges adjacent segments that lie on the same line (within Eps)
+// and normalizes tiny negative zero values.
+func (f Func) canon() Func {
+	if len(f.segs) == 0 {
+		return f
+	}
+	out := f.segs[:0:0]
+	for _, s := range f.segs {
+		if len(out) > 0 {
+			p := &out[len(out)-1]
+			sameSlope := math.Abs(p.M-s.M) <= Eps ||
+				(math.IsInf(p.Y0, 0) && math.IsInf(s.Y0, 0) && p.Y0 == s.Y0)
+			contOK := math.IsInf(p.Y0, 0) && p.Y0 == s.Y0 ||
+				math.Abs(p.At(s.X0)-s.Y0) <= Eps*(1+math.Abs(s.Y0))
+			if sameSlope && contOK {
+				p.X1 = s.X1
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return Func{segs: out}
+}
+
+// EqualWithin reports whether f and g agree within tol at all breakpoints
+// of both functions and at midpoints of the induced pieces.
+func (f Func) EqualWithin(g Func, tol float64) bool {
+	xs := breakpointUnion(f, g)
+	for _, x := range xs {
+		if !closeOrBothInf(f.Eval(x), g.Eval(x), tol) {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(xs); i++ {
+		m := (xs[i] + xs[i+1]) / 2
+		if !closeOrBothInf(f.Eval(m), g.Eval(m), tol) {
+			return false
+		}
+	}
+	// Compare asymptotic slope.
+	lf, lg := f.segs[len(f.segs)-1], g.segs[len(g.segs)-1]
+	if math.IsInf(lf.Y0, -1) != math.IsInf(lg.Y0, -1) {
+		return false
+	}
+	if !math.IsInf(lf.Y0, -1) && math.Abs(lf.M-lg.M) > tol {
+		return false
+	}
+	return true
+}
+
+func closeOrBothInf(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func breakpointUnion(f, g Func) []float64 {
+	xs := make([]float64, 0, len(f.segs)+len(g.segs))
+	for _, s := range f.segs {
+		xs = append(xs, s.X0)
+	}
+	for _, s := range g.segs {
+		xs = append(xs, s.X0)
+	}
+	sort.Float64s(xs)
+	uniq := xs[:0]
+	for _, x := range xs {
+		if len(uniq) == 0 || x > uniq[len(uniq)-1]+Eps {
+			uniq = append(uniq, x)
+		}
+	}
+	return uniq
+}
+
+// LeqRegions returns the set of x ≥ 0 where f(x) ≤ g(x) + tol. This is
+// the primitive behind minimal-functional-subset pruning: the region where
+// one solution's PWL coordinate does not exceed another's. Infinities are
+// handled so that −∞ ≤ −∞ holds (both-empty diameter functions compare as
+// equal rather than producing NaN).
+func (f Func) LeqRegions(g Func, tol float64) IntervalSet {
+	d := merge(f, g, safeSub) // f - g
+	var out IntervalSet
+	for _, s := range d.segs {
+		lo, hi := s.X0, s.X1
+		v0 := s.Y0
+		v1 := s.end()
+		switch {
+		case v0 <= tol && v1 <= tol:
+			out = append(out, Interval{Lo: lo, Hi: hi})
+		case v0 > tol && v1 > tol:
+			// nothing
+		default:
+			// One crossing inside the piece.
+			if s.M == 0 || math.IsInf(v0, 0) {
+				// Constant piece straddling is impossible; infinite
+				// endpoints: treat -Inf as ≤, +Inf as >.
+				if v0 <= tol {
+					out = append(out, Interval{Lo: lo, Hi: hi})
+				}
+				continue
+			}
+			x := s.X0 + (tol-s.Y0)/s.M
+			if v0 <= tol {
+				out = append(out, Interval{Lo: lo, Hi: math.Min(x, hi)})
+			} else {
+				out = append(out, Interval{Lo: math.Max(x, lo), Hi: hi})
+			}
+		}
+	}
+	return out.Canon()
+}
+
+// MinOn returns the minimum value of f on the interval set dom, and the
+// x achieving it. Returns +Inf if dom is empty.
+func (f Func) MinOn(dom IntervalSet) (xmin, ymin float64) {
+	ymin = math.Inf(1)
+	xmin = math.NaN()
+	for _, iv := range dom {
+		for _, s := range f.segs {
+			lo := math.Max(s.X0, iv.Lo)
+			hi := math.Min(s.X1, iv.Hi)
+			if hi < lo {
+				continue
+			}
+			// Linear on [lo,hi]: min at an endpoint.
+			if y := s.At(lo); y < ymin {
+				ymin, xmin = y, lo
+			}
+			if !math.IsInf(hi, 1) {
+				if y := s.At(hi); y < ymin {
+					ymin, xmin = y, hi
+				}
+			} else if s.M < 0 {
+				ymin, xmin = math.Inf(-1), math.Inf(1)
+			}
+		}
+	}
+	return xmin, ymin
+}
+
+// String renders the function as a sequence of pieces for debugging.
+func (f Func) String() string {
+	if f.IsZero() {
+		return "pwl.Func(zero)"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range f.segs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "[%.4g,%.4g): %.6g + %.6g·Δx", s.X0, s.X1, s.Y0, s.M)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CheckInvariants validates the internal representation; tests call this
+// after every operation.
+func (f Func) CheckInvariants() error {
+	if f.IsZero() {
+		return fmt.Errorf("zero Func")
+	}
+	if f.segs[0].X0 != 0 {
+		return fmt.Errorf("first segment starts at %g, want 0", f.segs[0].X0)
+	}
+	for i, s := range f.segs {
+		if s.X1 <= s.X0 {
+			return fmt.Errorf("segment %d empty: [%g,%g)", i, s.X0, s.X1)
+		}
+		if i+1 < len(f.segs) && math.Abs(f.segs[i+1].X0-s.X1) > Eps {
+			return fmt.Errorf("gap after segment %d: %g vs %g", i, s.X1, f.segs[i+1].X0)
+		}
+	}
+	if !math.IsInf(f.segs[len(f.segs)-1].X1, 1) {
+		return fmt.Errorf("last segment ends at %g, want +Inf", f.segs[len(f.segs)-1].X1)
+	}
+	return nil
+}

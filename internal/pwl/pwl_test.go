@@ -1,0 +1,433 @@
+package pwl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randFunc builds a random continuous PWL function as the max of up to n
+// random lines — exactly the family produced by the paper's DP.
+func randFunc(r *rand.Rand, n int) Func {
+	f := Linear(r.Float64()*10-5, r.Float64()*4-2)
+	k := 1 + r.Intn(n)
+	for i := 0; i < k; i++ {
+		f = f.Max(Linear(r.Float64()*10-5, r.Float64()*4-2))
+	}
+	return f
+}
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestConstEval(t *testing.T) {
+	f := Const(3.5)
+	for _, x := range []float64{0, 0.1, 1, 100, 1e9} {
+		if got := f.Eval(x); got != 3.5 {
+			t.Errorf("Const(3.5).Eval(%g) = %g", x, got)
+		}
+	}
+	if f.NumSegs() != 1 {
+		t.Errorf("Const has %d segments, want 1", f.NumSegs())
+	}
+}
+
+func TestLinearEval(t *testing.T) {
+	f := Linear(2, 0.5)
+	cases := []struct{ x, want float64 }{{0, 2}, {1, 2.5}, {4, 4}, {10, 7}}
+	for _, c := range cases {
+		if got := f.Eval(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Linear(2,0.5).Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestMaxTwoLines(t *testing.T) {
+	// f(x)=1+2x, g(x)=5. Cross at x=2.
+	h := Linear(1, 2).Max(Const(5))
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumSegs() != 2 {
+		t.Fatalf("expected 2 segments, got %d: %v", h.NumSegs(), h)
+	}
+	cases := []struct{ x, want float64 }{{0, 5}, {1, 5}, {2, 5}, {3, 7}, {10, 21}}
+	for _, c := range cases {
+		if got := h.Eval(c.x); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("max.Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestMaxIsPointwise(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		f := randFunc(r, 5)
+		g := randFunc(r, 5)
+		h := f.Max(g)
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 50; i++ {
+			x := r.Float64() * 20
+			want := math.Max(f.Eval(x), g.Eval(x))
+			if got := h.Eval(x); !almostEq(got, want, 1e-7) {
+				t.Fatalf("trial %d: Max(%v, %v).Eval(%g) = %g, want %g",
+					trial, f, g, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMinIsPointwise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		f := randFunc(r, 5)
+		g := randFunc(r, 5)
+		h := f.Min(g)
+		for i := 0; i < 50; i++ {
+			x := r.Float64() * 20
+			want := math.Min(f.Eval(x), g.Eval(x))
+			if got := h.Eval(x); !almostEq(got, want, 1e-7) {
+				t.Fatalf("trial %d: Min.Eval(%g) = %g, want %g", trial, x, got, want)
+			}
+		}
+	}
+}
+
+func TestAddIsPointwise(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		f := randFunc(r, 5)
+		g := randFunc(r, 5)
+		h := f.Add(g)
+		for i := 0; i < 50; i++ {
+			x := r.Float64() * 20
+			want := f.Eval(x) + g.Eval(x)
+			if got := h.Eval(x); !almostEq(got, want, 1e-7) {
+				t.Fatalf("trial %d: Add.Eval(%g) = %g, want %g", trial, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(r, 4)
+		g := randFunc(r, 4)
+		if !f.Max(g).EqualWithin(g.Max(f), 1e-9) {
+			t.Fatalf("Max not commutative for %v, %v", f, g)
+		}
+	}
+}
+
+func TestMaxAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(r, 3)
+		g := randFunc(r, 3)
+		h := randFunc(r, 3)
+		a := f.Max(g).Max(h)
+		b := f.Max(g.Max(h))
+		if !a.EqualWithin(b, 1e-7) {
+			t.Fatalf("Max not associative: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMaxIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(r, 5)
+		if !f.Max(f).EqualWithin(f, 1e-9) {
+			t.Fatalf("Max not idempotent for %v", f)
+		}
+	}
+}
+
+func TestNegInfIsMaxIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		f := randFunc(r, 5)
+		if !NegInf().Max(f).EqualWithin(f, 1e-9) {
+			t.Fatalf("NegInf ⊔ f ≠ f for %v", f)
+		}
+		if !f.Max(NegInf()).EqualWithin(f, 1e-9) {
+			t.Fatalf("f ⊔ NegInf ≠ f for %v", f)
+		}
+	}
+}
+
+func TestAddConstAddLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(r, 4)
+		c := r.Float64()*10 - 5
+		m := r.Float64()*2 - 1
+		g := f.AddConst(c)
+		h := f.AddLinear(c, m)
+		for i := 0; i < 20; i++ {
+			x := r.Float64() * 15
+			if got, want := g.Eval(x), f.Eval(x)+c; !almostEq(got, want, 1e-9) {
+				t.Fatalf("AddConst mismatch at %g: %g vs %g", x, got, want)
+			}
+			if got, want := h.Eval(x), f.Eval(x)+c+m*x; !almostEq(got, want, 1e-9) {
+				t.Fatalf("AddLinear mismatch at %g: %g vs %g", x, got, want)
+			}
+		}
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(r, 5)
+		d := r.Float64() * 8
+		g := f.Shift(d)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			x := r.Float64() * 15
+			if got, want := g.Eval(x), f.Eval(x+d); !almostEq(got, want, 1e-8) {
+				t.Fatalf("Shift(%g) mismatch at %g: %g vs %g (f=%v)", d, x, got, want, f)
+			}
+		}
+	}
+}
+
+func TestShiftZeroIsIdentity(t *testing.T) {
+	f := Linear(1, 2).Max(Const(5))
+	if !f.Shift(0).EqualWithin(f, 0) {
+		t.Error("Shift(0) changed function")
+	}
+}
+
+func TestShiftComposition(t *testing.T) {
+	// Shift(a) then Shift(b) == Shift(a+b).
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(r, 4)
+		a := r.Float64() * 4
+		b := r.Float64() * 4
+		g1 := f.Shift(a).Shift(b)
+		g2 := f.Shift(a + b)
+		if !g1.EqualWithin(g2, 1e-8) {
+			t.Fatalf("shift composition failed: %v vs %v", g1, g2)
+		}
+	}
+}
+
+func TestEvalAgreesWithSegments(t *testing.T) {
+	// Hand-built 3-piece function.
+	f := FromSegments([]Seg{
+		{X0: 0, X1: 2, Y0: 10, M: -1},
+		{X0: 2, X1: 5, Y0: 8, M: 0.5},
+		{X0: 5, X1: math.Inf(1), Y0: 9.5, M: 2},
+	})
+	cases := []struct{ x, want float64 }{
+		{0, 10}, {1, 9}, {2, 8}, {3.5, 8.75}, {5, 9.5}, {7, 13.5},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCanonMergesCollinear(t *testing.T) {
+	f := FromSegments([]Seg{
+		{X0: 0, X1: 1, Y0: 0, M: 1},
+		{X0: 1, X1: 2, Y0: 1, M: 1},
+		{X0: 2, X1: math.Inf(1), Y0: 2, M: 1},
+	})
+	if f.NumSegs() != 1 {
+		t.Errorf("collinear pieces not merged: %v", f)
+	}
+}
+
+func TestLeqRegionsTwoLines(t *testing.T) {
+	// f = 1 + 2x, g = 5: f ≤ g on [0, 2].
+	f := Linear(1, 2)
+	g := Const(5)
+	s := f.LeqRegions(g, 0)
+	if len(s) != 1 || !almostEq(s[0].Lo, 0, 1e-9) || !almostEq(s[0].Hi, 2, 1e-9) {
+		t.Errorf("LeqRegions = %v, want [0,2)", s)
+	}
+	// g ≤ f on [2, ∞).
+	s2 := g.LeqRegions(f, 0)
+	if len(s2) != 1 || !almostEq(s2[0].Lo, 2, 1e-9) || !math.IsInf(s2[0].Hi, 1) {
+		t.Errorf("LeqRegions reverse = %v, want [2,∞)", s2)
+	}
+}
+
+func TestLeqRegionsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		f := randFunc(r, 4)
+		g := randFunc(r, 4)
+		s := f.LeqRegions(g, 0)
+		for i := 0; i < 40; i++ {
+			x := r.Float64() * 20
+			in := s.Contains(x)
+			le := f.Eval(x) <= g.Eval(x)+1e-7
+			if in && !le && f.Eval(x) > g.Eval(x)+1e-5 {
+				t.Fatalf("x=%g in region but f>g: f=%g g=%g", x, f.Eval(x), g.Eval(x))
+			}
+			if !in && le && f.Eval(x) < g.Eval(x)-1e-5 {
+				t.Fatalf("x=%g not in region but f<g: f=%g g=%g", x, f.Eval(x), g.Eval(x))
+			}
+		}
+	}
+}
+
+func TestMinOn(t *testing.T) {
+	// V-shaped function: max(5-x, x-1). Min value 2 at x=3.
+	f := Linear(5, -1).Max(Linear(-1, 1))
+	x, y := f.MinOn(Full())
+	if !almostEq(x, 3, 1e-9) || !almostEq(y, 2, 1e-9) {
+		t.Errorf("MinOn(Full) = (%g, %g), want (3, 2)", x, y)
+	}
+	// Restricted away from the valley.
+	x, y = f.MinOn(IntervalSet{{Lo: 5, Hi: 8}})
+	if !almostEq(x, 5, 1e-9) || !almostEq(y, 4, 1e-9) {
+		t.Errorf("MinOn([5,8)) = (%g, %g), want (5, 4)", x, y)
+	}
+	// Empty domain.
+	_, y = f.MinOn(nil)
+	if !math.IsInf(y, 1) {
+		t.Errorf("MinOn(empty) = %g, want +Inf", y)
+	}
+}
+
+func TestQuickMaxUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	prop := func(b1, m1, b2, m2 float64, xr float64) bool {
+		b1, m1 = math.Mod(b1, 100), math.Mod(m1, 10)
+		b2, m2 = math.Mod(b2, 100), math.Mod(m2, 10)
+		x := math.Abs(math.Mod(xr, 50))
+		f := Linear(b1, m1)
+		g := Linear(b2, m2)
+		h := f.Max(g)
+		return h.Eval(x) >= f.Eval(x)-1e-9 && h.Eval(x) >= g.Eval(x)-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: r}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftAddCommute(t *testing.T) {
+	// Shift(d) of (f + c) == (Shift(d) of f) + c.
+	r := rand.New(rand.NewSource(13))
+	prop := func(seed int64, cr, dr float64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := randFunc(rr, 4)
+		c := math.Mod(cr, 50)
+		d := math.Abs(math.Mod(dr, 10))
+		a := f.AddConst(c).Shift(d)
+		b := f.Shift(d).AddConst(c)
+		return a.EqualWithin(b, 1e-8)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvexityPreserved(t *testing.T) {
+	// Max of lines is convex: slopes must be non-decreasing. All DP
+	// operations preserve this family.
+	r := rand.New(rand.NewSource(14))
+	convex := func(f Func) bool {
+		segs := f.Segments()
+		for i := 1; i < len(segs); i++ {
+			if segs[i].M < segs[i-1].M-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	for trial := 0; trial < 200; trial++ {
+		f := randFunc(r, 6)
+		if !convex(f) {
+			t.Fatalf("max-of-lines not convex: %v", f)
+		}
+		g := f.Shift(r.Float64()*5).AddLinear(r.Float64(), r.Float64())
+		if !convex(g) {
+			t.Fatalf("shift/add broke convexity: %v", g)
+		}
+		h := f.Max(randFunc(r, 6))
+		if !convex(h) {
+			t.Fatalf("max broke convexity: %v", h)
+		}
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if s := Linear(1, 2).Max(Const(5)).String(); s == "" {
+		t.Error("empty String()")
+	}
+	var z Func
+	if z.String() != "pwl.Func(zero)" {
+		t.Error("zero Func String() wrong")
+	}
+}
+
+func TestFromSegmentsPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []Seg
+	}{
+		{"empty", nil},
+		{"not-at-zero", []Seg{{X0: 1, X1: math.Inf(1)}}},
+		{"gap", []Seg{{X0: 0, X1: 1}, {X0: 2, X1: math.Inf(1)}}},
+		{"finite-end", []Seg{{X0: 0, X1: 5}}},
+		{"empty-seg", []Seg{{X0: 0, X1: 0}, {X0: 0, X1: math.Inf(1)}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromSegments(%v) did not panic", c.segs)
+				}
+			}()
+			FromSegments(c.segs)
+		})
+	}
+}
+
+func TestEvalNegativeExtrapolates(t *testing.T) {
+	f := Linear(2, 3)
+	if got := f.Eval(-1e-12); !almostEq(got, 2, 1e-9) {
+		t.Errorf("tiny negative Eval = %g", got)
+	}
+}
+
+func TestLeqRegionsWithNegInf(t *testing.T) {
+	f := NegInf()
+	g := NegInf()
+	// −∞ ≤ −∞ everywhere.
+	if s := f.LeqRegions(g, 0); !s.Contains(0) || !s.Contains(1e6) {
+		t.Errorf("NegInf ≤ NegInf regions = %v, want Full", s)
+	}
+	// finite ≤ −∞ nowhere.
+	if s := Const(1).LeqRegions(g, 0); !s.IsEmpty() {
+		t.Errorf("Const ≤ NegInf regions = %v, want empty", s)
+	}
+	// −∞ ≤ finite everywhere.
+	if s := f.LeqRegions(Const(1), 0); !s.Contains(0) || !s.Contains(1e6) {
+		t.Errorf("NegInf ≤ Const regions = %v, want Full", s)
+	}
+	// Mixed: max(NegInf, line) behaves like the line.
+	h := NegInf().Max(Linear(0, 1))
+	if s := h.LeqRegions(Const(5), 0); !s.Contains(3) || s.Contains(7) {
+		t.Errorf("mixed regions = %v", s)
+	}
+}

@@ -1,0 +1,323 @@
+// Package rcsim is a transient simulator for repeater-annotated RC trees.
+// It provides an independent, physics-level check on the Elmore metric
+// used throughout the optimizer: wires are π-segments, drivers and
+// repeaters are resistive switches with intrinsic delay, and node
+// voltages are integrated by backward Euler with an O(n) tree solver.
+// Stage boundaries (repeaters) are handled event-style: a repeater's
+// output stage launches when its input crosses the 50% threshold, offset
+// by the repeater's intrinsic delay — mirroring the staging structure of
+// the Elmore model so the two are directly comparable.
+//
+// This substrate is not part of the paper; DESIGN.md lists it as a
+// validation layer (Elmore 50% delays are expected to be close to, and
+// correlated with, simulated 50% delays).
+package rcsim
+
+import (
+	"fmt"
+	"math"
+
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Options controls integration.
+type Options struct {
+	// DT is the time step in ns. Default 1e-3.
+	DT float64
+	// TMax is the simulation horizon per stage in ns. Default 50.
+	TMax float64
+	// Threshold is the switching threshold as a fraction of the rail.
+	// Default 0.5 (the standard 50% delay point).
+	Threshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DT <= 0 {
+		o.DT = 1e-3
+	}
+	if o.TMax <= 0 {
+		o.TMax = 50
+	}
+	if o.Threshold <= 0 || o.Threshold >= 1 {
+		o.Threshold = 0.5
+	}
+	return o
+}
+
+// Delays simulates a rising transition launched by source terminal s and
+// returns the 50% (or Threshold) crossing time at every node, in ns,
+// measured from the switch of s's driver input and including the driver's
+// intrinsic delay — the same reference as rctree.DelaysFrom, so the two
+// are directly comparable. Nodes that never cross within TMax get +Inf.
+func Delays(n *rctree.Net, s int, opt Options) ([]float64, error) {
+	opt = opt.withDefaults()
+	t := n.R.Tree
+	nd := t.Node(s)
+	if nd.Kind != topo.Terminal || !nd.Term.IsSource {
+		return nil, fmt.Errorf("rcsim: node %d is not a source terminal", s)
+	}
+	out := make([]float64, t.NumNodes())
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	rout, intr := driverAt(n, s)
+	// Simulate the source stage, then recurse through repeaters.
+	type launch struct {
+		at     int     // node where the driving resistor connects
+		from   int     // neighbor to exclude (-1 for source stage)
+		rDrv   float64 // driving resistance
+		t0     float64 // absolute launch time
+		isRoot bool
+	}
+	queue := []launch{{at: s, from: -1, rDrv: rout, t0: intr}}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		cross, members, boundaries := simulateStage(n, l.at, l.from, l.rDrv, opt)
+		for _, m := range members {
+			tm := cross[m]
+			if math.IsInf(tm, 1) {
+				continue
+			}
+			abs := l.t0 + tm
+			if abs < out[m] {
+				out[m] = abs
+			}
+		}
+		for _, b := range boundaries {
+			tm := cross[b.node]
+			if math.IsInf(tm, 1) {
+				continue
+			}
+			pl := n.Assign.Repeaters[b.node]
+			var d, r float64
+			if b.fromParentSide {
+				d, r = pl.DownDelay()
+			} else {
+				d, r = pl.UpDelay()
+			}
+			queue = append(queue, launch{
+				at:   b.node,
+				from: b.from,
+				rDrv: r,
+				t0:   l.t0 + tm + d,
+			})
+		}
+	}
+	return out, nil
+}
+
+type boundary struct {
+	node           int // repeater node reached
+	from           int // node we reached it from
+	fromParentSide bool
+}
+
+// simulateStage integrates one RC stage: the region reachable from
+// `entry` without passing `exclude` and without crossing repeaters. The
+// driver is a unit step behind rDrv connected at entry. Returns crossing
+// times (relative to the stage launch), the member nodes and the boundary
+// repeaters reached.
+func simulateStage(n *rctree.Net, entry, exclude int, rDrv float64, opt Options) (map[int]float64, []int, []boundary) {
+	t := n.R.Tree
+	// Flood the stage.
+	type edgeRec struct{ a, b, eid int }
+	var members []int
+	var edges []edgeRec
+	var bounds []boundary
+	seen := map[int]bool{entry: true}
+	if exclude >= 0 {
+		seen[exclude] = true
+	}
+	stack := []int{entry}
+	members = append(members, entry)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range t.Incident(v) {
+			u := t.Edge(eid).Other(v)
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			edges = append(edges, edgeRec{a: v, b: u, eid: eid})
+			if _, ok := n.Assign.Repeaters[u]; ok {
+				members = append(members, u)
+				bounds = append(bounds, boundary{
+					node: u, from: v,
+					fromParentSide: n.R.Parent[u] == v,
+				})
+				continue // do not cross
+			}
+			members = append(members, u)
+			stack = append(stack, u)
+		}
+	}
+	// Build the stage circuit: local indices.
+	idx := make(map[int]int, len(members))
+	for i, m := range members {
+		idx[m] = i
+	}
+	k := len(members)
+	capv := make([]float64, k)
+	for i, m := range members {
+		nd := t.Node(m)
+		if nd.Kind == topo.Terminal {
+			capv[i] += nd.Term.Cin
+		}
+		if pl, ok := n.Assign.Repeaters[m]; ok {
+			// Boundary repeater input capacitance on the facing side.
+			var c float64
+			for _, b := range bounds {
+				if b.node == m {
+					if b.fromParentSide {
+						c = pl.CapUpSide()
+					} else {
+						c = pl.CapDownSide()
+					}
+				}
+			}
+			capv[i] += c
+		}
+	}
+	// π-model: each wire contributes half its cap to both endpoints and a
+	// resistor between them. Zero-resistance wires get a tiny resistance
+	// to keep the system well-posed.
+	type res struct {
+		a, b int
+		g    float64
+	}
+	rs := make([]res, 0, len(edges))
+	for _, e := range edges {
+		c := n.EdgeCap(e.eid)
+		capv[idx[e.a]] += c / 2
+		capv[idx[e.b]] += c / 2
+		r := n.EdgeRes(e.eid)
+		if r <= 0 {
+			r = 1e-9
+		}
+		rs = append(rs, res{a: idx[e.a], b: idx[e.b], g: 1 / r})
+	}
+	if rDrv <= 0 {
+		rDrv = 1e-9
+	}
+	gDrv := 1 / rDrv
+
+	// Tree solver setup: the stage is a tree; root it at entry.
+	parent := make([]int, k)
+	pg := make([]float64, k) // conductance to parent
+	for i := range parent {
+		parent[i] = -1
+	}
+	adj := make([][]res, k)
+	for _, r := range rs {
+		adj[r.a] = append(adj[r.a], r)
+		adj[r.b] = append(adj[r.b], res{a: r.b, b: r.a, g: r.g})
+	}
+	order := make([]int, 0, k) // pre-order
+	visited := make([]bool, k)
+	st2 := []int{idx[entry]}
+	visited[idx[entry]] = true
+	for len(st2) > 0 {
+		v := st2[len(st2)-1]
+		st2 = st2[:len(st2)-1]
+		order = append(order, v)
+		for _, r := range adj[v] {
+			if !visited[r.b] {
+				visited[r.b] = true
+				parent[r.b] = v
+				pg[r.b] = r.g
+				st2 = append(st2, r.b)
+			}
+		}
+	}
+
+	// Backward Euler: (C/dt + G) v' = C/dt v + b, where G is the
+	// conductance Laplacian plus gDrv at the entry, b = gDrv·1 at entry.
+	dt := opt.DT
+	// Some capacitances can be zero (bare Steiner node with zero-length
+	// wires); give them a tiny value for stability.
+	for i := range capv {
+		if capv[i] <= 0 {
+			capv[i] = 1e-9
+		}
+	}
+	baseDiag := make([]float64, k)
+	for i := range baseDiag {
+		baseDiag[i] = capv[i] / dt
+	}
+	for _, r := range rs {
+		baseDiag[r.a] += r.g
+		baseDiag[r.b] += r.g
+	}
+	baseDiag[idx[entry]] += gDrv
+
+	v := make([]float64, k)
+	cross := make(map[int]float64, k)
+	diag := make([]float64, k)
+	rhs := make([]float64, k)
+	thr := opt.Threshold
+	prev := make([]float64, k)
+	steps := int(opt.TMax / dt)
+	for step := 1; step <= steps; step++ {
+		copy(prev, v)
+		copy(diag, baseDiag)
+		for i := range rhs {
+			rhs[i] = capv[i] / dt * v[i]
+		}
+		rhs[idx[entry]] += gDrv
+		// Eliminate in reverse pre-order (children before parents).
+		for i := k - 1; i >= 1; i-- {
+			c := order[i]
+			p := parent[c]
+			f := pg[c] / diag[c]
+			diag[p] -= f * pg[c]
+			rhs[p] += f * rhs[c]
+		}
+		// Back-substitute in pre-order.
+		rt := order[0]
+		v[rt] = rhs[rt] / diag[rt]
+		for i := 1; i < k; i++ {
+			c := order[i]
+			v[c] = (rhs[c] + pg[c]*v[parent[c]]) / diag[c]
+		}
+		// Record threshold crossings with linear interpolation.
+		tNow := float64(step) * dt
+		done := true
+		for i, m := range members {
+			if _, ok := cross[m]; ok {
+				continue
+			}
+			if v[i] >= thr {
+				frac := 0.0
+				if v[i] > prev[i] {
+					frac = (thr - prev[i]) / (v[i] - prev[i])
+				}
+				cross[m] = tNow - dt + frac*dt
+			} else {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	out := make(map[int]float64, k)
+	for _, m := range members {
+		if c, ok := cross[m]; ok {
+			out[m] = c
+		} else {
+			out[m] = math.Inf(1)
+		}
+	}
+	return out, members, bounds
+}
+
+func driverAt(n *rctree.Net, s int) (rout, intr float64) {
+	term := n.R.Tree.Node(s).Term
+	if d, ok := n.Assign.Drivers[s]; ok {
+		return d.Rout, d.Intrinsic
+	}
+	return term.Rout, term.DriverIntrinsic
+}

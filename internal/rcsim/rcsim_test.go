@@ -1,0 +1,233 @@
+package rcsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/testnet"
+	"msrnet/internal/topo"
+)
+
+// TestSingleRCLump: a driver charging one lumped capacitor crosses 50% at
+// t = RC·ln2 (plus intrinsic). Built as a zero-length wire to a single
+// terminal.
+func TestSingleRCLump(t *testing.T) {
+	tr := topo.New()
+	ta := buslib.Terminal{Name: "a", IsSource: true, IsSink: true,
+		Cin: 0.2, Rout: 1.0, DriverIntrinsic: 0.0}
+	tb := buslib.Terminal{Name: "b", IsSink: true, Cin: 0.2}
+	a := tr.AddTerminal(geom.Pt(0, 0), ta)
+	b := tr.AddTerminal(geom.Pt(0, 0), tb)
+	tr.AddEdge(a, b, 0)
+	tech := buslib.Tech{Wire: buslib.Wire{ResPerUm: 1e-4, CapPerUm: 1e-4}}
+	n := rctree.NewNet(tr.RootAt(a), tech, rctree.Assignment{})
+	got, err := Delays(n, a, Options{DT: 1e-4, TMax: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R = 1 kΩ, C = 0.4 pF total → τ = 0.4 ns; t50 = τ·ln2 ≈ 0.2773.
+	want := 0.4 * math.Ln2
+	if math.Abs(got[a]-want) > 0.01*want {
+		t.Errorf("t50 at a = %g, want ≈ %g", got[a], want)
+	}
+	if math.Abs(got[b]-want) > 0.02*want {
+		t.Errorf("t50 at b = %g, want ≈ %g", got[b], want)
+	}
+}
+
+// TestElmoreIsUpperBoundish: for RC trees the Elmore delay is an upper
+// bound on the 50% delay (Gupta et al.); allow 2% numerical slack.
+func TestElmoreUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 2 + r.Intn(4)
+		cfg.InsSpacing = 0
+		tr := testnet.RandTree(r, cfg)
+		tech := testnet.RandTech(r, 0, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		n := rctree.NewNet(rt, tech, rctree.Assignment{})
+		s := tr.Sources()[0]
+		elm := n.DelaysFrom(s)
+		sim, err := Delays(n, s, Options{DT: 2e-3, TMax: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range tr.Sinks() {
+			if v == s {
+				continue
+			}
+			if math.IsInf(sim[v], 1) {
+				t.Fatalf("trial %d: node %d never crossed", trial, v)
+			}
+			if sim[v] > elm[v]*1.02+1e-3 {
+				t.Fatalf("trial %d: sim %g > elmore %g at node %d", trial, sim[v], elm[v], v)
+			}
+			// And not absurdly optimistic either (ln2 lower bound for
+			// the far-field; allow generous floor).
+			if sim[v] < 0.2*elm[v]-1e-3 {
+				t.Fatalf("trial %d: sim %g ≪ elmore %g at node %d", trial, sim[v], elm[v], v)
+			}
+		}
+	}
+}
+
+// TestRankCorrelation: Elmore ordering of sink delays should largely agree
+// with simulated ordering.
+func TestRankCorrelation(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cfg := testnet.DefaultConfig()
+	cfg.Backbone = 8
+	cfg.InsSpacing = 0
+	tr := testnet.RandTree(r, cfg)
+	tech := testnet.RandTech(r, 0, 0)
+	rt := tr.RootAt(testnet.RootTerminal(tr))
+	n := rctree.NewNet(rt, tech, rctree.Assignment{})
+	s := tr.Sources()[0]
+	elm := n.DelaysFrom(s)
+	sim, err := Delays(n, s, Options{DT: 2e-3, TMax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ e, s float64 }
+	var ps []pair
+	for _, v := range tr.Sinks() {
+		if v != s {
+			ps = append(ps, pair{elm[v], sim[v]})
+		}
+	}
+	if len(ps) < 3 {
+		t.Skip("too few sinks")
+	}
+	// Count concordant pairs.
+	conc, tot := 0, 0
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			tot++
+			if (ps[i].e-ps[j].e)*(ps[i].s-ps[j].s) >= 0 {
+				conc++
+			}
+		}
+	}
+	if float64(conc) < 0.8*float64(tot) {
+		t.Errorf("rank agreement %d/%d too low", conc, tot)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].e < ps[j].e })
+}
+
+// TestWithRepeater: staging through a repeater works and speeds up a long
+// line, matching the Elmore conclusion qualitatively.
+func TestWithRepeater(t *testing.T) {
+	mk := func(withRep bool) float64 {
+		tr := topo.New()
+		ta := buslib.DefaultTerminal("a")
+		tb := buslib.DefaultTerminal("b")
+		a := tr.AddTerminal(geom.Pt(0, 0), ta)
+		b := tr.AddTerminal(geom.Pt(8000, 0), tb)
+		e := tr.AddEdge(a, b, 8000)
+		mid := tr.SplitEdge(e, 0.5, topo.Insertion)
+		tech := buslib.Default()
+		asg := rctree.Assignment{}
+		if withRep {
+			asg.Repeaters = map[int]rctree.Placed{
+				mid: {Rep: tech.Repeaters[0], ASideUp: true},
+			}
+		}
+		n := rctree.NewNet(tr.RootAt(a), tech, asg)
+		sim, err := Delays(n, a, Options{DT: 1e-3, TMax: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim[b]
+	}
+	plain := mk(false)
+	buffered := mk(true)
+	if math.IsInf(plain, 1) || math.IsInf(buffered, 1) {
+		t.Fatal("no crossing")
+	}
+	if buffered >= plain {
+		t.Errorf("repeater did not help in simulation: %g vs %g", buffered, plain)
+	}
+}
+
+// TestRepeaterStagingMatchesElmoreShape: simulated delay through a
+// repeater should stay within a sane band of the Elmore value.
+func TestRepeaterStagingBand(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 3
+		tr := testnet.RandTree(r, cfg)
+		tech := testnet.RandTech(r, 1, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		asg := testnet.RandAssignment(r, rt, tech, 0.5)
+		n := rctree.NewNet(rt, tech, asg)
+		s := tr.Sources()[0]
+		elm := n.DelaysFrom(s)
+		sim, err := Delays(n, s, Options{DT: 2e-3, TMax: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range tr.Sinks() {
+			if v == s || math.IsInf(sim[v], 1) {
+				continue
+			}
+			if sim[v] > elm[v]*1.05+1e-2 {
+				t.Fatalf("trial %d node %d: sim %g vs elmore %g", trial, v, sim[v], elm[v])
+			}
+		}
+	}
+}
+
+// TestErrors rejects non-source launches.
+func TestErrors(t *testing.T) {
+	tr := topo.New()
+	ta := buslib.DefaultTerminal("a")
+	tb := buslib.DefaultTerminal("b")
+	tb.IsSource = false
+	a := tr.AddTerminal(geom.Pt(0, 0), ta)
+	b := tr.AddTerminal(geom.Pt(100, 0), tb)
+	tr.AddEdge(a, b, 100)
+	n := rctree.NewNet(tr.RootAt(a), buslib.Default(), rctree.Assignment{})
+	if _, err := Delays(n, b, Options{}); err == nil {
+		t.Error("expected error for non-source")
+	}
+}
+
+// TestDistributedLine50Percent: the 50% delay of a distributed RC line
+// driven by an ideal (very strong) source is ≈ 0.38·R·C — a classical
+// closed form. Model the line as many π segments and check convergence.
+func TestDistributedLine50Percent(t *testing.T) {
+	tr := topo.New()
+	drv := buslib.Terminal{Name: "drv", IsSource: true,
+		Cin: 0, Rout: 1e-4, DriverIntrinsic: 0} // near-ideal source
+	end := buslib.Terminal{Name: "end", IsSink: true, Cin: 0}
+	a := tr.AddTerminal(geom.Pt(0, 0), drv)
+	b := tr.AddTerminal(geom.Pt(10000, 0), end)
+	tr.AddEdge(a, b, 10000)
+	// Split into 32 segments for a good distributed approximation.
+	tr.PlaceInsertionPoints(10000.0/32 + 1)
+	tech := buslib.Tech{Wire: buslib.Wire{ResPerUm: 1e-4, CapPerUm: 2e-4}}
+	n := rctree.NewNet(tr.RootAt(a), tech, rctree.Assignment{})
+	sim, err := Delays(n, a, Options{DT: 5e-4, TMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := tech.Wire.Res(10000) // 1 kΩ
+	C := tech.Wire.Cap(10000) // 2 pF
+	want := 0.38 * R * C      // ≈ 0.76 ns
+	if math.Abs(sim[b]-want) > 0.06*want {
+		t.Errorf("distributed line t50 = %g ns, want ≈ %g (0.38RC)", sim[b], want)
+	}
+	// And the Elmore value for the same structure is ≈ RC/2, the other
+	// classical constant.
+	elm := n.DelaysFrom(a)
+	if math.Abs(elm[b]-0.5*R*C) > 0.06*0.5*R*C {
+		t.Errorf("distributed line Elmore = %g ns, want ≈ %g (RC/2)", elm[b], 0.5*R*C)
+	}
+}

@@ -1,0 +1,108 @@
+package rctree_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msrnet/internal/rctree"
+	"msrnet/internal/testnet"
+)
+
+// TestQuickCapConservation: without repeaters, the total capacitance the
+// root driver sees equals the sum of all wire capacitance plus all
+// non-root terminal loads — charge bookkeeping for the Cdown pass.
+func TestQuickCapConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 1 + rr.Intn(8)
+		tr := testnet.RandTree(rr, cfg)
+		tech := testnet.RandTech(rr, 0, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		n := rctree.NewNet(rt, tech, rctree.Assignment{})
+		var want float64
+		for i := 0; i < tr.NumEdges(); i++ {
+			want += tech.Wire.Cap(tr.Edge(i).Length)
+		}
+		for _, id := range tr.Terminals() {
+			if id != rt.Root {
+				want += tr.Node(id).Term.Cin
+			}
+		}
+		return math.Abs(n.TotalCap()-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDelayMonotoneInLoad: adding load anywhere cannot speed up any
+// source-to-node Elmore delay (all sensitivities are nonnegative).
+func TestQuickDelayMonotoneInLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	prop := func(seed int64, extra uint16) bool {
+		rr := rand.New(rand.NewSource(seed))
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 1 + rr.Intn(6)
+		tr := testnet.RandTree(rr, cfg)
+		tech := testnet.RandTech(rr, 0, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		n := rctree.NewNet(rt, tech, rctree.Assignment{})
+		s := tr.Sources()[0]
+		before := n.DelaysFrom(s)
+		// Grow one terminal's load.
+		terms := tr.Terminals()
+		victim := terms[int(extra)%len(terms)]
+		term := tr.Node(victim).Term
+		term.Cin += 0.1 + float64(extra%100)/100
+		tr.SetTerminal(victim, term)
+		n2 := rctree.NewNet(rt, tech, rctree.Assignment{})
+		after := n2.DelaysFrom(s)
+		for v := 0; v < tr.NumNodes(); v++ {
+			if after[v] < before[v]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecouplingReducesUpstreamLoad: placing any repeater at an
+// insertion point can only reduce (or keep) the capacitance the portion
+// of the net above it presents to the root driver, when the repeater's
+// input cap is below the subtree cap it hides.
+func TestQuickDecouplingReducesUpstreamLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	prop := func(seed int64, pick uint16) bool {
+		rr := rand.New(rand.NewSource(seed))
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 1 + rr.Intn(6)
+		tr := testnet.RandTree(rr, cfg)
+		tech := testnet.RandTech(rr, 1, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		ins := tr.Insertions()
+		if len(ins) == 0 {
+			return true
+		}
+		v := ins[int(pick)%len(ins)]
+		bare := rctree.NewNet(rt, tech, rctree.Assignment{})
+		hidden := bare.CapBelow[v]
+		rep := tech.Repeaters[0]
+		buffered := rctree.NewNet(rt, tech, rctree.Assignment{
+			Repeaters: map[int]rctree.Placed{v: {Rep: rep, ASideUp: true}},
+		})
+		if rep.CapA <= hidden {
+			return buffered.TotalCap() <= bare.TotalCap()+1e-12
+		}
+		return buffered.TotalCap() >= bare.TotalCap()-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

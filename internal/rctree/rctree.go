@@ -1,0 +1,393 @@
+// Package rctree is the Elmore-delay engine for repeater-annotated
+// multisource routing trees. Given a rooted topology, a technology and a
+// concrete assignment (repeaters at insertion points, optional driver
+// overrides, optional wire widths), it computes the directional stage
+// capacitances of eqs. (1)–(2) of Lillis & Cheng (TCAD'99) and from them
+// single-source Elmore delays, path delays, the RC-radius and the naive
+// all-pairs augmented RC-diameter used to cross-check the linear-time
+// algorithm of package ard.
+//
+// Conventions: trees are rooted (topo.Rooted); a repeater placed at an
+// insertion node with ASideUp=true has its A side facing the parent, so
+// downward signal flow is A→B and upward flow is B→A. Wires are uniform
+// distributed RC (π-model): a signal crossing a wire with total R, C into
+// a stage load CL incurs R·(C/2 + CL).
+package rctree
+
+import (
+	"fmt"
+	"math"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/topo"
+)
+
+// Placed is a repeater placed at an insertion point with an orientation
+// relative to the rooted tree.
+type Placed struct {
+	Rep buslib.Repeater
+	// ASideUp reports that the A side of the repeater faces the parent.
+	ASideUp bool
+}
+
+// DownDelay returns the intrinsic delay and output resistance for signal
+// flowing from parent to child through p.
+func (p Placed) DownDelay() (d, r float64) {
+	if p.ASideUp {
+		return p.Rep.DelayAB, p.Rep.RoutAB
+	}
+	return p.Rep.DelayBA, p.Rep.RoutBA
+}
+
+// UpDelay returns the intrinsic delay and output resistance for signal
+// flowing from child to parent through p.
+func (p Placed) UpDelay() (d, r float64) {
+	if p.ASideUp {
+		return p.Rep.DelayBA, p.Rep.RoutBA
+	}
+	return p.Rep.DelayAB, p.Rep.RoutAB
+}
+
+// CapUpSide returns the input capacitance presented toward the parent.
+func (p Placed) CapUpSide() float64 {
+	if p.ASideUp {
+		return p.Rep.CapA
+	}
+	return p.Rep.CapB
+}
+
+// CapDownSide returns the input capacitance presented toward the child.
+func (p Placed) CapDownSide() float64 {
+	if p.ASideUp {
+		return p.Rep.CapB
+	}
+	return p.Rep.CapA
+}
+
+// Assignment is a concrete optimization outcome to evaluate: which
+// repeater (if any) sits at each insertion point, optional driver
+// replacements at terminals (driver-sizing mode) and optional wire width
+// factors (wire-sizing extension; width w scales resistance by 1/w and
+// capacitance by w).
+type Assignment struct {
+	Repeaters map[int]Placed        // insertion node id -> placed repeater
+	Drivers   map[int]buslib.Driver // terminal node id -> driver override
+	Widths    map[int]float64       // edge id -> width factor (default 1)
+}
+
+// Cost returns the total cost of the assignment: placed repeaters plus
+// driver overrides (a terminal without an override contributes the cost
+// of the default 1X driver only implicitly — callers normalize).
+func (a Assignment) Cost() float64 {
+	var c float64
+	for _, p := range a.Repeaters {
+		c += p.Rep.Cost
+	}
+	for _, d := range a.Drivers {
+		c += d.Cost
+	}
+	return c
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := Assignment{}
+	if a.Repeaters != nil {
+		out.Repeaters = make(map[int]Placed, len(a.Repeaters))
+		for k, v := range a.Repeaters {
+			out.Repeaters[k] = v
+		}
+	}
+	if a.Drivers != nil {
+		out.Drivers = make(map[int]buslib.Driver, len(a.Drivers))
+		for k, v := range a.Drivers {
+			out.Drivers[k] = v
+		}
+	}
+	if a.Widths != nil {
+		out.Widths = make(map[int]float64, len(a.Widths))
+		for k, v := range a.Widths {
+			out.Widths[k] = v
+		}
+	}
+	return out
+}
+
+// Net is an evaluatable electrical view: topology + technology +
+// assignment, with the directional stage capacitances precomputed.
+type Net struct {
+	R      *topo.Rooted
+	Tech   buslib.Tech
+	Assign Assignment
+
+	// CapBelow[v] is the capacitance seen looking into v from its parent:
+	// the repeater's parent-side input capacitance if v carries one,
+	// otherwise v's own load plus the wire and CapBelow of each child
+	// (eq. (1) of the paper).
+	CapBelow []float64
+	// CapAboveFrom[v] is the capacitance seen from v looking up through
+	// its parent edge, excluding the wire itself: the stage capacitance
+	// hanging at the parent away from v (eq. (2)). Undefined (-1) for the
+	// root.
+	CapAboveFrom []float64
+}
+
+// NewNet builds the electrical view and computes the capacitance passes.
+func NewNet(r *topo.Rooted, tech buslib.Tech, a Assignment) *Net {
+	n := &Net{R: r, Tech: tech, Assign: a}
+	n.computeCaps()
+	return n
+}
+
+// placedAt returns the repeater at node v, if any.
+func (n *Net) placedAt(v int) (Placed, bool) {
+	p, ok := n.Assign.Repeaters[v]
+	return p, ok
+}
+
+// EdgeRes returns the resistance of edge eid under the assignment's width.
+func (n *Net) EdgeRes(eid int) float64 {
+	w := 1.0
+	if ww, ok := n.Assign.Widths[eid]; ok {
+		w = ww
+	}
+	return n.Tech.Wire.Res(n.R.Tree.Edge(eid).Length) / w
+}
+
+// EdgeCap returns the capacitance of edge eid under the assignment's width.
+func (n *Net) EdgeCap(eid int) float64 {
+	w := 1.0
+	if ww, ok := n.Assign.Widths[eid]; ok {
+		w = ww
+	}
+	return n.Tech.Wire.Cap(n.R.Tree.Edge(eid).Length) * w
+}
+
+// nodeSelfCap returns the capacitance the node itself hangs on the net
+// when no decoupling applies: a terminal's presented input capacitance.
+func (n *Net) nodeSelfCap(v int) float64 {
+	nd := n.R.Tree.Node(v)
+	if nd.Kind == topo.Terminal {
+		return nd.Term.Cin
+	}
+	return 0
+}
+
+// computeCaps runs the bottom-up (eq. 1) and top-down (eq. 2) passes.
+func (n *Net) computeCaps() {
+	t := n.R.Tree
+	nn := t.NumNodes()
+	n.CapBelow = make([]float64, nn)
+	n.CapAboveFrom = make([]float64, nn)
+	// Bottom-up: post-order guarantees children first.
+	for _, v := range n.R.PostOrder {
+		if p, ok := n.placedAt(v); ok {
+			n.CapBelow[v] = p.CapUpSide()
+			continue
+		}
+		c := n.nodeSelfCap(v)
+		for _, ch := range n.R.Children[v] {
+			c += n.EdgeCap(n.R.ParentEdge[ch]) + n.CapBelow[ch]
+		}
+		n.CapBelow[v] = c
+	}
+	// Top-down: pre-order (reverse post-order).
+	for i := len(n.R.PostOrder) - 1; i >= 0; i-- {
+		v := n.R.PostOrder[i]
+		if v == n.R.Root {
+			n.CapAboveFrom[v] = -1
+			continue
+		}
+		p := n.R.Parent[v]
+		if pl, ok := n.placedAt(p); ok {
+			// Repeater at the parent decouples: looking up we see only
+			// its child-side input capacitance.
+			n.CapAboveFrom[v] = pl.CapDownSide()
+			continue
+		}
+		c := n.nodeSelfCap(p)
+		for _, sib := range n.R.Children[p] {
+			if sib == v {
+				continue
+			}
+			c += n.EdgeCap(n.R.ParentEdge[sib]) + n.CapBelow[sib]
+		}
+		if p != n.R.Root {
+			c += n.EdgeCap(n.R.ParentEdge[p]) + n.CapAboveFrom[p]
+		}
+		n.CapAboveFrom[v] = c
+	}
+}
+
+// StageCapAt returns the total capacitance of the RC stage containing
+// node v: v's own load, each child branch up to decoupling, and the
+// upward region up to decoupling. This is the load a driver placed at v
+// would see (including v's own presented capacitance). v must not itself
+// carry a repeater.
+func (n *Net) StageCapAt(v int) float64 {
+	if _, ok := n.placedAt(v); ok {
+		panic("rctree: StageCapAt at a repeater node is ambiguous")
+	}
+	c := n.nodeSelfCap(v)
+	for _, ch := range n.R.Children[v] {
+		c += n.EdgeCap(n.R.ParentEdge[ch]) + n.CapBelow[ch]
+	}
+	if v != n.R.Root {
+		c += n.EdgeCap(n.R.ParentEdge[v]) + n.CapAboveFrom[v]
+	}
+	return c
+}
+
+// capAway returns the stage capacitance seen at node v arriving from
+// neighbor `from`: everything hanging at v away from `from`, up to
+// decoupling. If v carries a repeater, this is the input capacitance of
+// the side facing `from`.
+func (n *Net) capAway(v, from int) float64 {
+	if pl, ok := n.placedAt(v); ok {
+		if from == n.R.Parent[v] {
+			return pl.CapUpSide()
+		}
+		return pl.CapDownSide()
+	}
+	c := n.nodeSelfCap(v)
+	for _, ch := range n.R.Children[v] {
+		if ch == from {
+			continue
+		}
+		c += n.EdgeCap(n.R.ParentEdge[ch]) + n.CapBelow[ch]
+	}
+	if v != n.R.Root && n.R.Parent[v] != from {
+		c += n.EdgeCap(n.R.ParentEdge[v]) + n.CapAboveFrom[v]
+	}
+	return c
+}
+
+// driverAt returns the driving parameters of source terminal s under the
+// assignment: output resistance and launch delay (driver intrinsic, with
+// any sizing override).
+func (n *Net) driverAt(s int) (rout, intrinsic float64) {
+	term := n.R.Tree.Node(s).Term
+	if d, ok := n.Assign.Drivers[s]; ok {
+		return d.Rout, d.Intrinsic
+	}
+	return term.Rout, term.DriverIntrinsic
+}
+
+// DelaysFrom computes the Elmore delay from source terminal s to every
+// node, measured from the arrival of the signal at s's driver input
+// (i.e. including the driver's intrinsic and RC delay but not AAT).
+// Unreachable is impossible in a tree; every node gets a value.
+func (n *Net) DelaysFrom(s int) []float64 {
+	nd := n.R.Tree.Node(s)
+	if nd.Kind != topo.Terminal || !nd.Term.IsSource {
+		panic(fmt.Sprintf("rctree: node %d is not a source terminal", s))
+	}
+	rout, intr := n.driverAt(s)
+	dist := make([]float64, n.R.Tree.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[s] = intr + rout*n.StageCapAt(s)
+	// BFS over the undirected tree.
+	type hop struct{ from, to, eid int }
+	var queue []hop
+	push := func(from int) {
+		t := n.R.Tree
+		for _, eid := range t.Incident(from) {
+			to := t.Edge(eid).Other(from)
+			if math.IsInf(dist[to], 1) {
+				queue = append(queue, hop{from, to, eid})
+			}
+		}
+	}
+	push(s)
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if !math.IsInf(dist[h.to], 1) {
+			continue
+		}
+		t := dist[h.from]
+		// Leaving h.from: if h.from carries a repeater (and is not the
+		// source itself), the signal must first cross it.
+		if pl, ok := n.placedAt(h.from); ok {
+			var d, r float64
+			if h.to == n.R.Parent[h.from] {
+				d, r = pl.UpDelay()
+				t += d + r*(n.EdgeCap(h.eid)+n.CapAboveFrom[h.from])
+			} else {
+				d, r = pl.DownDelay()
+				// Insertion points have exactly one child.
+				t += d + r*(n.EdgeCap(h.eid)+n.CapBelow[h.to])
+			}
+			// The repeater output drives the whole next stage; the wire
+			// contribution within the stage is still charged per-resistor
+			// below, so subtract nothing here — but avoid double counting:
+			// the repeater RC above already includes the full stage cap
+			// (wire + beyond); the wire's own resistance still adds its
+			// distributed term next.
+		}
+		// Cross the wire h.from -> h.to.
+		t += n.EdgeRes(h.eid) * (n.EdgeCap(h.eid)/2 + n.capAway(h.to, h.from))
+		dist[h.to] = t
+		push(h.to)
+	}
+	return dist
+}
+
+// PathDelay returns PD(u, v): the Elmore delay from source u's driver
+// input to sink v, per Definition 2.1 (driver, wires and repeaters on the
+// path; excludes AAT and Q).
+func (n *Net) PathDelay(u, v int) float64 {
+	return n.DelaysFrom(u)[v]
+}
+
+// RCRadius returns the maximum delay from source s to any sink terminal
+// (the single-source performance measure generalized by the ARD).
+func (n *Net) RCRadius(s int) float64 {
+	dist := n.DelaysFrom(s)
+	worst := math.Inf(-1)
+	for _, v := range n.R.Tree.Sinks() {
+		if v == s {
+			continue
+		}
+		if dist[v] > worst {
+			worst = dist[v]
+		}
+	}
+	return worst
+}
+
+// NaiveARD computes the augmented RC-diameter by |sources| single-source
+// propagations — the O(s·n) baseline that the linear-time algorithm of
+// package ard must match. includeSelf controls whether u==v pairs count.
+// It also returns the critical source/sink pair.
+func (n *Net) NaiveARD(includeSelf bool) (ard float64, critSrc, critSink int) {
+	ard = math.Inf(-1)
+	critSrc, critSink = -1, -1
+	for _, s := range n.R.Tree.Sources() {
+		dist := n.DelaysFrom(s)
+		aat := n.R.Tree.Node(s).Term.AAT
+		for _, v := range n.R.Tree.Sinks() {
+			if v == s && !includeSelf {
+				continue
+			}
+			d := aat + dist[v] + n.R.Tree.Node(v).Term.Q
+			if d > ard {
+				ard, critSrc, critSink = d, s, v
+			}
+		}
+	}
+	return ard, critSrc, critSink
+}
+
+// TotalCap returns the total capacitance hanging on the root's stage —
+// the load the root terminal's driver sees (excluding the root's own
+// presented capacitance). Useful in tests.
+func (n *Net) TotalCap() float64 {
+	var c float64
+	for _, ch := range n.R.Children[n.R.Root] {
+		c += n.EdgeCap(n.R.ParentEdge[ch]) + n.CapBelow[ch]
+	}
+	return c
+}

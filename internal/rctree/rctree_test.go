@@ -1,0 +1,463 @@
+package rctree_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/testnet"
+	"msrnet/internal/topo"
+)
+
+// ---------------------------------------------------------------------------
+// Independent Elmore oracle.
+//
+// The oracle computes source-to-node delays on the expanded resistor
+// network: each wire becomes one resistor with half its capacitance lumped
+// at each endpoint. The Elmore delay from a driving point to a target is
+// the sum over resistors on the path of R × (total capacitance on the far
+// side of the resistor, where "far side" flooding stops at repeater nodes,
+// counting their facing input capacitance). Repeater crossings restart the
+// computation in the next stage. This is structurally unlike the
+// production code in rctree.go, which uses rooted Cdown/Cup passes.
+// ---------------------------------------------------------------------------
+
+// oracle wraps a net for brute-force evaluation.
+type oracle struct{ n *rctree.Net }
+
+// stageCapFrom floods from node v, not entering `ban`, stopping at
+// repeater nodes (adding their facing input cap), and returns the total
+// capacitance including half-caps of traversed wires.
+func (o oracle) stageCapFrom(v, ban int) float64 {
+	t := o.n.R.Tree
+	seen := map[int]bool{v: true, ban: true}
+	var cap float64
+	var visit func(x int)
+	visit = func(x int) {
+		nd := t.Node(x)
+		if nd.Kind == topo.Terminal {
+			cap += nd.Term.Cin
+		}
+		for _, eid := range t.Incident(x) {
+			u := t.Edge(eid).Other(x)
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			cap += o.n.EdgeCap(eid) // both half-caps of the wire
+			if pl, ok := o.n.Assign.Repeaters[u]; ok {
+				// Stop at the repeater; count its facing input cap.
+				if u != o.n.R.Root && o.n.R.Parent[u] == x {
+					cap += plCapFacingParent(pl)
+				} else {
+					cap += plCapFacingChild(pl)
+				}
+				continue
+			}
+			visit(u)
+		}
+	}
+	visit(v)
+	return cap
+}
+
+func plCapFacingParent(p rctree.Placed) float64 { return p.CapUpSide() }
+func plCapFacingChild(p rctree.Placed) float64  { return p.CapDownSide() }
+
+// delaysFrom computes delay from source s to every node via recursive
+// per-stage evaluation.
+func (o oracle) delaysFrom(s int) []float64 {
+	t := o.n.R.Tree
+	dist := make([]float64, t.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	rout, intr := o.driverAt(s)
+	start := intr + rout*o.stageCapFrom(s, -1)
+	o.propagateStage(s, -1, start, dist)
+	return dist
+}
+
+func (o oracle) driverAt(s int) (rout, intr float64) {
+	term := o.n.R.Tree.Node(s).Term
+	if d, ok := o.n.Assign.Drivers[s]; ok {
+		return d.Rout, d.Intrinsic
+	}
+	return term.Rout, term.DriverIntrinsic
+}
+
+// propagateStage sets dist for all nodes reachable from entry without
+// crossing a repeater, then recurses through repeaters into next stages.
+// base is the arrival time at entry; cameFrom is the node we entered from
+// (-1 for the source stage).
+func (o oracle) propagateStage(entry, cameFrom int, base float64, dist []float64) {
+	t := o.n.R.Tree
+	dist[entry] = base
+	type item struct{ node, from int }
+	stack := []item{{entry, cameFrom}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range t.Incident(it.node) {
+			u := t.Edge(eid).Other(it.node)
+			if u == it.from {
+				continue
+			}
+			// Wire resistance sees: half its own cap + everything beyond u
+			// away from it.node (stage-limited).
+			var beyond float64
+			if pl, ok := o.n.Assign.Repeaters[u]; ok {
+				if o.n.R.Parent[u] == it.node {
+					beyond = plCapFacingParent(pl)
+				} else {
+					beyond = plCapFacingChild(pl)
+				}
+			} else {
+				beyond = o.stageCapFrom(u, it.node)
+			}
+			d := dist[it.node] + o.n.EdgeRes(eid)*(o.n.EdgeCap(eid)/2+beyond)
+			if d >= dist[u] {
+				continue
+			}
+			dist[u] = d
+			if pl, ok := o.n.Assign.Repeaters[u]; ok {
+				// Cross the repeater into the next stage.
+				var nxt int
+				for _, e2 := range t.Incident(u) {
+					if v2 := t.Edge(e2).Other(u); v2 != it.node {
+						nxt = v2
+					}
+				}
+				var intr, rr float64
+				if o.n.R.Parent[u] == it.node {
+					// entered from parent side: signal flows down.
+					intr, rr = pl.DownDelay()
+				} else {
+					intr, rr = pl.UpDelay()
+				}
+				// Repeater drives the full next stage (wire caps included).
+				load := o.stageCapOutOf(u, it.node)
+				after := d + intr + rr*load
+				// Find the wire from u to nxt for the per-wire term —
+				// handled by recursing with the repeater output as a
+				// driving point at u.
+				o.propagateStageFromRepeater(u, nxt, after, dist)
+			} else {
+				stack = append(stack, item{u, it.node})
+			}
+		}
+	}
+}
+
+// stageCapOutOf returns the total capacitance of the stage on the far
+// side of repeater node u (entered from `from`).
+func (o oracle) stageCapOutOf(u, from int) float64 {
+	t := o.n.R.Tree
+	var cap float64
+	for _, eid := range t.Incident(u) {
+		v := t.Edge(eid).Other(u)
+		if v == from {
+			continue
+		}
+		cap += o.n.EdgeCap(eid)
+		if pl, ok := o.n.Assign.Repeaters[v]; ok {
+			if o.n.R.Parent[v] == u {
+				cap += plCapFacingParent(pl)
+			} else {
+				cap += plCapFacingChild(pl)
+			}
+		} else {
+			cap += o.stageCapFrom(v, u)
+		}
+	}
+	return cap
+}
+
+// propagateStageFromRepeater continues propagation out of repeater u
+// toward next, with `base` being the delay at the repeater output.
+func (o oracle) propagateStageFromRepeater(u, next int, base float64, dist []float64) {
+	t := o.n.R.Tree
+	// Find the connecting wire.
+	for _, eid := range t.Incident(u) {
+		if t.Edge(eid).Other(u) != next {
+			continue
+		}
+		var beyond float64
+		if pl, ok := o.n.Assign.Repeaters[next]; ok {
+			if o.n.R.Parent[next] == u {
+				beyond = plCapFacingParent(pl)
+			} else {
+				beyond = plCapFacingChild(pl)
+			}
+		} else {
+			beyond = o.stageCapFrom(next, u)
+		}
+		d := base + o.n.EdgeRes(eid)*(o.n.EdgeCap(eid)/2+beyond)
+		if d < dist[next] {
+			if pl, ok := o.n.Assign.Repeaters[next]; ok {
+				dist[next] = d
+				var nxt2 int
+				for _, e2 := range t.Incident(next) {
+					if v2 := t.Edge(e2).Other(next); v2 != u {
+						nxt2 = v2
+					}
+				}
+				var intr, rr float64
+				if o.n.R.Parent[next] == u {
+					intr, rr = pl.DownDelay()
+				} else {
+					intr, rr = pl.UpDelay()
+				}
+				load := o.stageCapOutOf(next, u)
+				o.propagateStageFromRepeater(next, nxt2, d+intr+rr*load, dist)
+			} else {
+				o.propagateStage(next, u, d, dist)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+func twoPinNet(length float64) (*rctree.Net, int, int) {
+	tr := topo.New()
+	ta := buslib.Terminal{Name: "a", IsSource: true, IsSink: true,
+		AAT: 1.0, Q: 0.5, Cin: 0.05, Rout: 0.4, DriverIntrinsic: 0.1}
+	tb := buslib.Terminal{Name: "b", IsSource: true, IsSink: true,
+		AAT: 0.2, Q: 2.0, Cin: 0.08, Rout: 0.3, DriverIntrinsic: 0.15}
+	a := tr.AddTerminal(geom.Pt(0, 0), ta)
+	b := tr.AddTerminal(geom.Pt(length, 0), tb)
+	tr.AddEdge(a, b, length)
+	tech := buslib.Tech{Wire: buslib.Wire{ResPerUm: 1e-4, CapPerUm: 2e-4}}
+	n := rctree.NewNet(tr.RootAt(a), tech, rctree.Assignment{})
+	return n, a, b
+}
+
+func TestTwoPinHandComputed(t *testing.T) {
+	// Wire: 1000 µm → R = 0.1 kΩ, C = 0.2 pF.
+	n, a, b := twoPinNet(1000)
+	const (
+		rw, cw = 0.1, 0.2
+		ca, cb = 0.05, 0.08
+	)
+	// Driver at a: intr 0.1, rout 0.4, load = ca + cw + cb.
+	wantA := 0.1 + 0.4*(ca+cw+cb)
+	dist := n.DelaysFrom(a)
+	if math.Abs(dist[a]-wantA) > 1e-12 {
+		t.Errorf("dist[a] = %g, want %g", dist[a], wantA)
+	}
+	wantB := wantA + rw*(cw/2+cb)
+	if math.Abs(dist[b]-wantB) > 1e-12 {
+		t.Errorf("dist[b] = %g, want %g", dist[b], wantB)
+	}
+	// PathDelay both directions.
+	if got := n.PathDelay(a, b); math.Abs(got-wantB) > 1e-12 {
+		t.Errorf("PathDelay(a,b) = %g, want %g", got, wantB)
+	}
+	wantBA := 0.15 + 0.3*(ca+cw+cb) + rw*(cw/2+ca)
+	if got := n.PathDelay(b, a); math.Abs(got-wantBA) > 1e-12 {
+		t.Errorf("PathDelay(b,a) = %g, want %g", got, wantBA)
+	}
+	// Naive ARD: max(AAT_a + PD(a,b) + Q_b, AAT_b + PD(b,a) + Q_a).
+	ardWant := math.Max(1.0+wantB+2.0, 0.2+wantBA+0.5)
+	got, cs, ck := n.NaiveARD(false)
+	if math.Abs(got-ardWant) > 1e-12 {
+		t.Errorf("NaiveARD = %g, want %g", got, ardWant)
+	}
+	if cs != a || ck != b {
+		t.Errorf("critical pair = (%d,%d), want (%d,%d)", cs, ck, a, b)
+	}
+}
+
+func TestTwoPinWithRepeaterHandComputed(t *testing.T) {
+	tr := topo.New()
+	ta := buslib.Terminal{Name: "a", IsSource: true, IsSink: true,
+		Cin: 0.05, Rout: 0.4, DriverIntrinsic: 0.1}
+	tb := buslib.Terminal{Name: "b", IsSource: true, IsSink: true,
+		Cin: 0.05, Rout: 0.4, DriverIntrinsic: 0.1}
+	a := tr.AddTerminal(geom.Pt(0, 0), ta)
+	b := tr.AddTerminal(geom.Pt(2000, 0), tb)
+	e := tr.AddEdge(a, b, 2000)
+	mid := tr.SplitEdge(e, 0.5, topo.Insertion)
+	tech := buslib.Tech{Wire: buslib.Wire{ResPerUm: 1e-4, CapPerUm: 2e-4}}
+	rep := buslib.Repeater{Name: "r", DelayAB: 0.05, DelayBA: 0.07,
+		RoutAB: 0.2, RoutBA: 0.25, CapA: 0.03, CapB: 0.04, Cost: 2}
+	asg := rctree.Assignment{Repeaters: map[int]rctree.Placed{mid: {Rep: rep, ASideUp: true}}}
+	n := rctree.NewNet(tr.RootAt(a), tech, asg)
+
+	// Each half-wire: R = 0.1, C = 0.2.
+	const rw, cw = 0.1, 0.2
+	// a → b: driver at a sees stage: ca + wire1 + CapA(rep).
+	s1 := 0.05 + cw + 0.03
+	atMid := 0.1 + 0.4*s1 + rw*(cw/2+0.03)
+	// Repeater drives down (A→B): intrinsic 0.05, rout 0.2, load = wire2 + cb.
+	s2 := cw + 0.05
+	atB := atMid + 0.05 + 0.2*s2 + rw*(cw/2+0.05)
+	if got := n.PathDelay(a, b); math.Abs(got-atB) > 1e-12 {
+		t.Errorf("PathDelay(a,b) = %g, want %g", got, atB)
+	}
+	// b → a: driver at b sees cb + wire2 + CapB.
+	s2b := 0.05 + cw + 0.04
+	atMidUp := 0.1 + 0.4*s2b + rw*(cw/2+0.04)
+	s1b := cw + 0.05
+	atA := atMidUp + 0.07 + 0.25*s1b + rw*(cw/2+0.05)
+	if got := n.PathDelay(b, a); math.Abs(got-atA) > 1e-12 {
+		t.Errorf("PathDelay(b,a) = %g, want %g", got, atA)
+	}
+}
+
+func TestCapPassesTwoPin(t *testing.T) {
+	n, a, b := twoPinNet(1000)
+	_ = a
+	// CapBelow[b] = Cin(b); stage cap at root = ca + cw + cb.
+	if got := n.CapBelow[b]; math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("CapBelow[b] = %g", got)
+	}
+	if got := n.StageCapAt(n.R.Root); math.Abs(got-(0.05+0.2+0.08)) > 1e-12 {
+		t.Errorf("StageCapAt(root) = %g", got)
+	}
+	if got := n.TotalCap(); math.Abs(got-(0.2+0.08)) > 1e-12 {
+		t.Errorf("TotalCap = %g", got)
+	}
+	// CapAboveFrom[b] = cap at a away from b = Cin(a).
+	if got := n.CapAboveFrom[b]; math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("CapAboveFrom[b] = %g", got)
+	}
+}
+
+func TestDelaysAgainstOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 150; trial++ {
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 2 + r.Intn(10)
+		cfg.ZeroLenEdges = trial%3 == 0
+		tr := testnet.RandTree(r, cfg)
+		tech := testnet.RandTech(r, 2, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		asg := testnet.RandAssignment(r, rt, tech, 0.5)
+		n := rctree.NewNet(rt, tech, asg)
+		o := oracle{n: n}
+		for _, s := range tr.Sources() {
+			got := n.DelaysFrom(s)
+			want := o.delaysFrom(s)
+			for v := 0; v < tr.NumNodes(); v++ {
+				if math.IsInf(want[v], 1) {
+					t.Fatalf("trial %d: oracle unreachable node %d", trial, v)
+				}
+				if math.Abs(got[v]-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+					t.Fatalf("trial %d: delay s=%d v=%d: got %.12g want %.12g",
+						trial, s, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRCRadiusMatchesMaxSinkDelay(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := testnet.RandTree(r, testnet.DefaultConfig())
+	tech := testnet.RandTech(r, 1, 0)
+	rt := tr.RootAt(testnet.RootTerminal(tr))
+	n := rctree.NewNet(rt, tech, testnet.RandAssignment(r, rt, tech, 0.4))
+	s := tr.Sources()[0]
+	dist := n.DelaysFrom(s)
+	want := math.Inf(-1)
+	for _, v := range tr.Sinks() {
+		if v != s && dist[v] > want {
+			want = dist[v]
+		}
+	}
+	if got := n.RCRadius(s); got != want {
+		t.Errorf("RCRadius = %g, want %g", got, want)
+	}
+}
+
+func TestWidthsScaleParasitics(t *testing.T) {
+	n, _, _ := twoPinNet(1000)
+	base := rctree.Assignment{Widths: map[int]float64{0: 2}}
+	n2 := rctree.NewNet(n.R, n.Tech, base)
+	if got, want := n2.EdgeRes(0), n.EdgeRes(0)/2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("wide EdgeRes = %g, want %g", got, want)
+	}
+	if got, want := n2.EdgeCap(0), n.EdgeCap(0)*2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("wide EdgeCap = %g, want %g", got, want)
+	}
+}
+
+func TestDriverOverride(t *testing.T) {
+	n, a, b := twoPinNet(1000)
+	drv := buslib.Driver{Name: "big", Intrinsic: 0.05, Rout: 0.1, Cost: 4}
+	n2 := rctree.NewNet(n.R, n.Tech, rctree.Assignment{Drivers: map[int]buslib.Driver{a: drv}})
+	// Faster driver ⇒ strictly smaller delay to b.
+	if d1, d2 := n.PathDelay(a, b), n2.PathDelay(a, b); d2 >= d1 {
+		t.Errorf("driver override did not speed up: %g vs %g", d1, d2)
+	}
+}
+
+func TestAssignmentCostAndClone(t *testing.T) {
+	rep := buslib.Repeater{Name: "r", Cost: 2, RoutAB: 1, RoutBA: 1}
+	drv := buslib.Driver{Name: "d", Cost: 3, Rout: 1}
+	a := rctree.Assignment{
+		Repeaters: map[int]rctree.Placed{5: {Rep: rep}},
+		Drivers:   map[int]buslib.Driver{1: drv},
+		Widths:    map[int]float64{0: 2},
+	}
+	if got := a.Cost(); got != 5 {
+		t.Errorf("Cost = %g, want 5", got)
+	}
+	c := a.Clone()
+	c.Repeaters[6] = rctree.Placed{Rep: rep}
+	c.Widths[0] = 3
+	if len(a.Repeaters) != 1 || a.Widths[0] != 2 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestNaiveARDExcludesSelf(t *testing.T) {
+	n, _, _ := twoPinNet(1000)
+	with, _, _ := n.NaiveARD(true)
+	without, _, _ := n.NaiveARD(false)
+	if with < without {
+		t.Errorf("including self pairs lowered ARD: %g < %g", with, without)
+	}
+}
+
+func TestDelaysFromPanicsOnNonSource(t *testing.T) {
+	tr := topo.New()
+	ta := buslib.Terminal{Name: "a", IsSource: true, Cin: 0.05, Rout: 0.4}
+	tb := buslib.Terminal{Name: "b", IsSink: true, Cin: 0.05}
+	a := tr.AddTerminal(geom.Pt(0, 0), ta)
+	b := tr.AddTerminal(geom.Pt(1000, 0), tb)
+	tr.AddEdge(a, b, 1000)
+	n := rctree.NewNet(tr.RootAt(a), buslib.Tech{Wire: buslib.Wire{ResPerUm: 1e-4, CapPerUm: 1e-4}}, rctree.Assignment{})
+	defer func() {
+		if recover() == nil {
+			t.Error("DelaysFrom(non-source) did not panic")
+		}
+	}()
+	n.DelaysFrom(b)
+}
+
+func TestStageCapAtRepeaterPanics(t *testing.T) {
+	tr := topo.New()
+	ta := buslib.Terminal{Name: "a", IsSource: true, IsSink: true, Cin: 0.05, Rout: 0.4}
+	tb := buslib.Terminal{Name: "b", IsSource: true, IsSink: true, Cin: 0.05, Rout: 0.4}
+	a := tr.AddTerminal(geom.Pt(0, 0), ta)
+	b := tr.AddTerminal(geom.Pt(1000, 0), tb)
+	e := tr.AddEdge(a, b, 1000)
+	mid := tr.SplitEdge(e, 0.5, topo.Insertion)
+	rep := buslib.Repeater{Name: "r", RoutAB: 0.2, RoutBA: 0.2, CapA: 0.02, CapB: 0.02}
+	n := rctree.NewNet(tr.RootAt(a), buslib.Tech{Wire: buslib.Wire{ResPerUm: 1e-4, CapPerUm: 1e-4}},
+		rctree.Assignment{Repeaters: map[int]rctree.Placed{mid: {Rep: rep, ASideUp: true}}})
+	defer func() {
+		if recover() == nil {
+			t.Error("StageCapAt(repeater node) did not panic")
+		}
+	}()
+	n.StageCapAt(mid)
+}

@@ -1,0 +1,104 @@
+// Package report renders optimization outcomes as human-readable text:
+// tradeoff suites, placement reports (which repeater at which location,
+// in which orientation), and before/after summaries. Shared by cmd/msri
+// and the examples so sign-off output looks the same everywhere.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Suite writes the cost/ARD tradeoff table.
+func Suite(w io.Writer, s core.Suite) error {
+	if _, err := fmt.Fprintln(w, "  cost   ARD(ns)  repeaters"); err != nil {
+		return err
+	}
+	for _, sol := range s {
+		if _, err := fmt.Fprintf(w, "  %5.1f  %8.4f  %9d\n", sol.Cost, sol.ARD, sol.Repeaters()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Placement writes a location-sorted listing of every placed repeater,
+// driver override and widened wire in the assignment.
+func Placement(w io.Writer, tr *topo.Tree, asg rctree.Assignment) error {
+	type line struct {
+		key  int
+		text string
+	}
+	var lines []line
+	for node, pl := range asg.Repeaters {
+		orient := "A-side-up"
+		if !pl.ASideUp {
+			orient = "B-side-up"
+		}
+		pt := tr.Node(node).Pt
+		lines = append(lines, line{node, fmt.Sprintf(
+			"repeater  n%-5d %-12s %-10s at (%8.1f, %8.1f) µm",
+			node, pl.Rep.Name, orient, pt.X, pt.Y)})
+	}
+	for node, drv := range asg.Drivers {
+		name := tr.Node(node).Term.Name
+		lines = append(lines, line{node, fmt.Sprintf(
+			"driver    %-6s -> %-12s (rout %.3g Ω, cost %.3g)",
+			name, drv.Name, drv.Rout*1000, drv.Cost)})
+	}
+	for eid, width := range asg.Widths {
+		e := tr.Edge(eid)
+		lines = append(lines, line{1<<20 | eid, fmt.Sprintf(
+			"wire      e%-5d width ×%g (%.0f µm, %d–%d)",
+			eid, width, e.Length, e.A, e.B)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].key < lines[j].key })
+	if len(lines) == 0 {
+		_, err := fmt.Fprintln(w, "  (no resources placed)")
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "  %s\n", l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary writes a before/after comparison for a chosen solution,
+// including the critical pair shift.
+func Summary(w io.Writer, rt *topo.Rooted, tech buslib.Tech, sol core.RootSolution) error {
+	tr := rt.Tree
+	name := func(id int) string {
+		if id < 0 {
+			return "-"
+		}
+		return tr.Node(id).Term.Name
+	}
+	before := ard.Compute(rctree.NewNet(rt, tech, rctree.Assignment{}), ard.Options{})
+	asg := sol.Assignment()
+	after := ard.Compute(rctree.NewNet(rt, tech, asg), ard.Options{})
+	var b strings.Builder
+	fmt.Fprintf(&b, "before : ARD %.4f ns, critical %s → %s\n",
+		before.ARD, name(before.CritSrc), name(before.CritSink))
+	fmt.Fprintf(&b, "after  : ARD %.4f ns, critical %s → %s\n",
+		after.ARD, name(after.CritSrc), name(after.CritSink))
+	improvement := 0.0
+	if before.ARD > 0 {
+		improvement = 100 * (before.ARD - after.ARD) / before.ARD
+	}
+	fmt.Fprintf(&b, "gain   : %.1f%% at cost %.1f (%d repeaters)\n",
+		improvement, sol.Cost, sol.Repeaters())
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	return Placement(w, tr, asg)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/netgen"
+	"msrnet/internal/rctree"
+)
+
+func optimized(t *testing.T) (*core.Result, interface{ Terminals() []int }, func() string) {
+	t.Helper()
+	tr, err := netgen.Generate(3, netgen.Defaults(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.RootAt(tr.Terminals()[0])
+	res, err := core.Optimize(rt, buslib.Default(), core.Options{Repeaters: true, SizeDrivers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Summary(&buf, rt, buslib.Default(), res.Suite.MinARD()); err != nil {
+		t.Fatal(err)
+	}
+	return res, tr, buf.String
+}
+
+func TestSuiteReport(t *testing.T) {
+	res, _, _ := optimized(t)
+	var buf bytes.Buffer
+	if err := Suite(&buf, res.Suite); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "cost") || !strings.Contains(s, "ARD") {
+		t.Errorf("suite header missing: %q", s)
+	}
+	if got := strings.Count(s, "\n"); got != len(res.Suite)+1 {
+		t.Errorf("rows = %d, want %d", got, len(res.Suite)+1)
+	}
+}
+
+func TestSummaryAndPlacement(t *testing.T) {
+	_, _, out := optimized(t)
+	s := out()
+	for _, want := range []string{"before", "after", "gain", "critical"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// The min-ARD repeater+sizing solution must place something.
+	if !strings.Contains(s, "repeater") && !strings.Contains(s, "driver") {
+		t.Errorf("no placements reported:\n%s", s)
+	}
+}
+
+func TestPlacementEmpty(t *testing.T) {
+	tr, err := netgen.Generate(3, netgen.Defaults(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Placement(&buf, tr, rctree.Assignment{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no resources placed") {
+		t.Errorf("empty placement output: %q", buf.String())
+	}
+}
+
+func TestPlacementWidths(t *testing.T) {
+	tr, err := netgen.Generate(3, netgen.Defaults(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	asg := rctree.Assignment{Widths: map[int]float64{0: 2}}
+	if err := Placement(&buf, tr, asg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "width ×2") {
+		t.Errorf("width line missing: %q", buf.String())
+	}
+}

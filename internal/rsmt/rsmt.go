@@ -1,0 +1,245 @@
+// Package rsmt constructs low-cost rectilinear Steiner trees over planar
+// terminal sets. It provides the routing-topology substrate for the
+// experiments of §VI of Lillis & Cheng (TCAD'99): the paper routes its
+// random nets with the P-Tree algorithm [16], which is not reproducible
+// from the paper itself; per DESIGN.md §4 we substitute the classical
+// rectilinear MST (Prim) refined by the iterated 1-Steiner heuristic of
+// Kahng & Robins, which likewise produces low-cost rectilinear trees.
+// The repeater-insertion optimizer is topology-agnostic, so the
+// substitution preserves the character of the results.
+package rsmt
+
+import (
+	"math"
+	"sort"
+
+	"msrnet/internal/geom"
+)
+
+// Tree is an abstract routing tree over points: Points[0..n-1] are the
+// terminals in input order; any additional points are Steiner points.
+// Edges index into Points. Edge lengths are rectilinear distances.
+type Tree struct {
+	Points []geom.Point
+	Edges  [][2]int
+	// NumTerminals is the count of original terminals at the front of
+	// Points.
+	NumTerminals int
+}
+
+// Length returns the total rectilinear length of the tree.
+func (t Tree) Length() float64 {
+	var sum float64
+	for _, e := range t.Edges {
+		sum += geom.Dist(t.Points[e[0]], t.Points[e[1]])
+	}
+	return sum
+}
+
+// MST builds the rectilinear minimum spanning tree of pts by Prim's
+// algorithm in O(n²). It panics on fewer than two points.
+func MST(pts []geom.Point) Tree {
+	n := len(pts)
+	if n < 2 {
+		panic("rsmt: MST needs at least two points")
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		from[i] = -1
+	}
+	dist[0] = 0
+	t := Tree{Points: append([]geom.Point(nil), pts...), NumTerminals: n}
+	for k := 0; k < n; k++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best == -1 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			t.Edges = append(t.Edges, [2]int{from[best], best})
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := geom.Dist(pts[best], pts[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return t
+}
+
+// HananGrid returns the Hanan grid of pts: every intersection of a
+// vertical line through one point with a horizontal line through another.
+// Hanan's theorem guarantees an optimal rectilinear Steiner tree using
+// only these candidates.
+func HananGrid(pts []geom.Point) []geom.Point {
+	xs := uniqueCoords(pts, func(p geom.Point) float64 { return p.X })
+	ys := uniqueCoords(pts, func(p geom.Point) float64 { return p.Y })
+	out := make([]geom.Point, 0, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			out = append(out, geom.Pt(x, y))
+		}
+	}
+	return out
+}
+
+func uniqueCoords(pts []geom.Point, get func(geom.Point) float64) []float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = get(p)
+	}
+	sort.Float64s(vals)
+	out := vals[:0]
+	for _, v := range vals {
+		if len(out) == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mstLength computes the rectilinear MST length of pts (Prim, O(n²))
+// without materializing the tree.
+func mstLength(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	var total float64
+	for k := 0; k < n; k++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best == -1 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := geom.Dist(pts[best], pts[i]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Steiner builds a rectilinear Steiner tree by the iterated 1-Steiner
+// heuristic: repeatedly add the Hanan-grid point that maximally reduces
+// the MST length, until no point helps. The result's length is at most
+// the plain MST length.
+func Steiner(pts []geom.Point) Tree {
+	n := len(pts)
+	if n < 2 {
+		panic("rsmt: Steiner needs at least two points")
+	}
+	if n == 2 {
+		return MST(pts)
+	}
+	cur := append([]geom.Point(nil), pts...)
+	curLen := mstLength(cur)
+	for {
+		cands := HananGrid(cur)
+		bestGain := 1e-9
+		bestIdx := -1
+		for i, c := range cands {
+			if containsPoint(cur, c) {
+				continue
+			}
+			l := mstLength(append(cur, c))
+			if gain := curLen - l; gain > bestGain {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		cur = append(cur, cands[bestIdx])
+		curLen -= bestGain
+	}
+	t := MST(cur)
+	t.NumTerminals = n
+	t = Simplify(t)
+	return t
+}
+
+func containsPoint(pts []geom.Point, p geom.Point) bool {
+	for _, q := range pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Simplify removes degree-≤2 Steiner points: degree-1 Steiner leaves are
+// deleted (with their edge) and degree-2 Steiner points are spliced out —
+// in the L1 metric the direct edge is never longer than the detour.
+// Terminals are never removed. Topology-synthesis callers use this to
+// clean up DP-generated trees.
+func Simplify(t Tree) Tree {
+	for {
+		deg := make([]int, len(t.Points))
+		adj := make([][]int, len(t.Points))
+		for i, e := range t.Edges {
+			deg[e[0]]++
+			deg[e[1]]++
+			adj[e[0]] = append(adj[e[0]], i)
+			adj[e[1]] = append(adj[e[1]], i)
+		}
+		victim := -1
+		for i := t.NumTerminals; i < len(t.Points); i++ {
+			if deg[i] <= 2 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return t
+		}
+		var newEdges [][2]int
+		var nbrs []int
+		for _, e := range t.Edges {
+			switch {
+			case e[0] == victim:
+				nbrs = append(nbrs, e[1])
+			case e[1] == victim:
+				nbrs = append(nbrs, e[0])
+			default:
+				newEdges = append(newEdges, e)
+			}
+		}
+		if len(nbrs) == 2 {
+			newEdges = append(newEdges, [2]int{nbrs[0], nbrs[1]})
+		}
+		// Remove the point, remapping indices.
+		last := len(t.Points) - 1
+		t.Points[victim] = t.Points[last]
+		t.Points = t.Points[:last]
+		for i := range newEdges {
+			for j := 0; j < 2; j++ {
+				if newEdges[i][j] == last {
+					newEdges[i][j] = victim
+				}
+			}
+		}
+		t.Edges = newEdges
+	}
+}

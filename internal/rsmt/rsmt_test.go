@@ -1,0 +1,199 @@
+package rsmt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/geom"
+)
+
+func randPts(r *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*10000, r.Float64()*10000)
+	}
+	return pts
+}
+
+// isSpanningTree verifies structure: connected, n-1 edges over used nodes.
+func isSpanningTree(t Tree) bool {
+	n := len(t.Points)
+	if len(t.Edges) != n-1 {
+		return false
+	}
+	adj := make([][]int, n)
+	for _, e := range t.Edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+			return false
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				cnt++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return cnt == n
+}
+
+func TestMSTTwoPoints(t *testing.T) {
+	tr := MST([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)})
+	if len(tr.Edges) != 1 || tr.Length() != 7 {
+		t.Errorf("MST 2pt: edges=%d len=%g", len(tr.Edges), tr.Length())
+	}
+}
+
+func TestMSTKnownSquare(t *testing.T) {
+	// Unit square: MST length 3.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1)}
+	tr := MST(pts)
+	if math.Abs(tr.Length()-3) > 1e-12 {
+		t.Errorf("square MST length = %g, want 3", tr.Length())
+	}
+	if !isSpanningTree(tr) {
+		t.Error("not a spanning tree")
+	}
+}
+
+func TestMSTIsMinimalVsRandomTrees(t *testing.T) {
+	// The MST must not be longer than random spanning trees.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPts(r, 6)
+		tr := MST(pts)
+		// Random spanning tree via random parent assignment.
+		for k := 0; k < 20; k++ {
+			var l float64
+			perm := r.Perm(len(pts))
+			for i := 1; i < len(perm); i++ {
+				l += geom.Dist(pts[perm[i]], pts[perm[r.Intn(i)]])
+			}
+			if tr.Length() > l+1e-9 {
+				t.Fatalf("MST %g longer than random tree %g", tr.Length(), l)
+			}
+		}
+	}
+}
+
+func TestHananGrid(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 2), geom.Pt(3, 1)}
+	g := HananGrid(pts)
+	if len(g) != 9 {
+		t.Fatalf("Hanan grid size = %d, want 9", len(g))
+	}
+	want := map[geom.Point]bool{}
+	for _, x := range []float64{0, 1, 3} {
+		for _, y := range []float64{0, 1, 2} {
+			want[geom.Pt(x, y)] = true
+		}
+	}
+	for _, p := range g {
+		if !want[p] {
+			t.Errorf("unexpected grid point %v", p)
+		}
+	}
+}
+
+func TestSteinerLShape(t *testing.T) {
+	// Three corners of a rectangle: the Steiner tree should use the
+	// fourth-corner trunk, total length = half perimeter = 5.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 0), geom.Pt(0, 2)}
+	tr := Steiner(pts)
+	if math.Abs(tr.Length()-5) > 1e-9 {
+		t.Errorf("L-shape Steiner length = %g, want 5", tr.Length())
+	}
+	if !isSpanningTree(tr) {
+		t.Error("not a spanning tree")
+	}
+}
+
+func TestSteinerCross(t *testing.T) {
+	// Four points in a plus configuration: MST length 6, Steiner tree 4
+	// via the center.
+	pts := []geom.Point{geom.Pt(1, 0), geom.Pt(1, 2), geom.Pt(0, 1), geom.Pt(2, 1)}
+	mst := MST(pts)
+	st := Steiner(pts)
+	if math.Abs(mst.Length()-6) > 1e-9 {
+		t.Errorf("cross MST = %g, want 6", mst.Length())
+	}
+	if math.Abs(st.Length()-4) > 1e-9 {
+		t.Errorf("cross Steiner = %g, want 4", st.Length())
+	}
+}
+
+func TestSteinerNeverWorseThanMST(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		pts := randPts(r, 4+r.Intn(8))
+		mst := MST(pts)
+		st := Steiner(pts)
+		if st.Length() > mst.Length()+1e-9 {
+			t.Fatalf("trial %d: Steiner %g > MST %g", trial, st.Length(), mst.Length())
+		}
+		if !isSpanningTree(st) {
+			t.Fatalf("trial %d: Steiner result not a tree", trial)
+		}
+		if st.NumTerminals != len(pts) {
+			t.Fatalf("trial %d: NumTerminals=%d", trial, st.NumTerminals)
+		}
+		// Terminals preserved in place.
+		for i, p := range pts {
+			if st.Points[i] != p {
+				t.Fatalf("trial %d: terminal %d moved", trial, i)
+			}
+		}
+	}
+}
+
+func TestSteinerLowerBound(t *testing.T) {
+	// Half-perimeter of the bounding box is a lower bound for any
+	// rectilinear Steiner tree.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		pts := randPts(r, 3+r.Intn(8))
+		st := Steiner(pts)
+		hp := geom.Bound(pts).HalfPerimeter()
+		if st.Length() < hp-1e-9 {
+			t.Fatalf("trial %d: Steiner %g below lower bound %g", trial, st.Length(), hp)
+		}
+	}
+}
+
+func TestSteinerNoUselessPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		pts := randPts(r, 5+r.Intn(6))
+		st := Steiner(pts)
+		deg := make([]int, len(st.Points))
+		for _, e := range st.Edges {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		for i := st.NumTerminals; i < len(st.Points); i++ {
+			if deg[i] <= 2 {
+				t.Fatalf("trial %d: Steiner point %d has degree %d", trial, i, deg[i])
+			}
+		}
+	}
+}
+
+func TestMSTPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MST(1 point) did not panic")
+		}
+	}()
+	MST([]geom.Point{geom.Pt(0, 0)})
+}

@@ -1,0 +1,154 @@
+package slew
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/testnet"
+	"msrnet/internal/topo"
+)
+
+// TestReducesToElmore: with zero sensitivity and step inputs, the
+// slew-aware delays must equal the Elmore delays on every node of random
+// repeater-annotated nets.
+func TestReducesToElmore(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		cfg := testnet.DefaultConfig()
+		cfg.Backbone = 1 + r.Intn(8)
+		tr := testnet.RandTree(r, cfg)
+		tech := testnet.RandTech(r, 2, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		asg := testnet.RandAssignment(r, rt, tech, 0.5)
+		n := rctree.NewNet(rt, tech, asg)
+		for _, s := range tr.Sources() {
+			elm := n.DelaysFrom(s)
+			res, err := DelaysFrom(n, s, Model{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < tr.NumNodes(); v++ {
+				if math.Abs(res.Delay[v]-elm[v]) > 1e-9*(1+math.Abs(elm[v])) {
+					t.Fatalf("trial %d: node %d: slew-aware %g != elmore %g",
+						trial, v, res.Delay[v], elm[v])
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneInInputSlew: slower input edges can only slow everything
+// down (with positive sensitivity).
+func TestMonotoneInInputSlew(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		tr := testnet.RandTree(r, testnet.DefaultConfig())
+		tech := testnet.RandTech(r, 1, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		asg := testnet.RandAssignment(r, rt, tech, 0.5)
+		n := rctree.NewNet(rt, tech, asg)
+		s := tr.Sources()[0]
+		fast, err := DelaysFrom(n, s, Model{SlewSensitivity: 0.3, InputSlew: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := DelaysFrom(n, s, Model{SlewSensitivity: 0.3, InputSlew: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < tr.NumNodes(); v++ {
+			if slow.Delay[v] < fast.Delay[v]-1e-9 {
+				t.Fatalf("trial %d: node %d sped up with slower input", trial, v)
+			}
+			if slow.Slew[v] < fast.Slew[v]-1e-9 {
+				t.Fatalf("trial %d: node %d slew shrank with slower input", trial, v)
+			}
+		}
+	}
+}
+
+// TestRepeaterRegeneratesEdges: on a long line, the far-end transition
+// time with a mid-line repeater must be sharper than without.
+func TestRepeaterRegeneratesEdges(t *testing.T) {
+	mk := func(withRep bool) Result {
+		tr := topo.New()
+		a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+		b := tr.AddTerminal(geom.Pt(20000, 0), buslib.DefaultTerminal("b"))
+		e := tr.AddEdge(a, b, 20000)
+		mid := tr.SplitEdge(e, 0.5, topo.Insertion)
+		tech := buslib.Default()
+		asg := rctree.Assignment{}
+		if withRep {
+			asg.Repeaters = map[int]rctree.Placed{
+				mid: {Rep: tech.Repeaters[0], ASideUp: true},
+			}
+		}
+		n := rctree.NewNet(tr.RootAt(a), tech, asg)
+		res, err := DelaysFrom(n, 0, Model{SlewSensitivity: 0.2, InputSlew: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := mk(false)
+	buffered := mk(true)
+	// Node 1 is terminal b in both constructions.
+	if buffered.Slew[1] >= plain.Slew[1] {
+		t.Errorf("repeater did not sharpen the far edge: %g vs %g",
+			buffered.Slew[1], plain.Slew[1])
+	}
+	if buffered.Delay[1] >= plain.Delay[1] {
+		t.Errorf("repeater did not speed up the line under slew model: %g vs %g",
+			buffered.Delay[1], plain.Delay[1])
+	}
+}
+
+// TestSlewAwareARD: with positive sensitivity the generalized ARD is at
+// least the Elmore ARD, and reduces to it at zero sensitivity.
+func TestSlewAwareARD(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		tr := testnet.RandTree(r, testnet.DefaultConfig())
+		tech := testnet.RandTech(r, 1, 0)
+		rt := tr.RootAt(testnet.RootTerminal(tr))
+		asg := testnet.RandAssignment(r, rt, tech, 0.4)
+		n := rctree.NewNet(rt, tech, asg)
+		base := ard.Compute(n, ard.Options{}).ARD
+		zero, _, _, err := ARD(n, Model{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(zero-base) > 1e-9*(1+base) {
+			t.Fatalf("trial %d: zero-model ARD %g != elmore ARD %g", trial, zero, base)
+		}
+		withSlew, cs, ck, err := ARD(n, Model{SlewSensitivity: 0.3, InputSlew: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withSlew < base-1e-9 {
+			t.Fatalf("trial %d: slew-aware ARD %g below elmore %g", trial, withSlew, base)
+		}
+		if cs < 0 || ck < 0 {
+			t.Fatalf("trial %d: missing critical pair", trial)
+		}
+	}
+}
+
+// TestErrors rejects non-source launches.
+func TestErrors(t *testing.T) {
+	tr := topo.New()
+	a := tr.AddTerminal(geom.Pt(0, 0), buslib.DefaultTerminal("a"))
+	snk := buslib.DefaultTerminal("b")
+	snk.IsSource = false
+	b := tr.AddTerminal(geom.Pt(100, 0), snk)
+	tr.AddEdge(a, b, 100)
+	n := rctree.NewNet(tr.RootAt(a), buslib.Default(), rctree.Assignment{})
+	if _, err := DelaysFrom(n, b, Model{}); err == nil {
+		t.Error("non-source accepted")
+	}
+}

@@ -1,0 +1,352 @@
+// Package spef reads and writes a practical subset of the IEEE 1481
+// Standard Parasitic Exchange Format, the lingua franca for RC parasitics
+// in physical-design flows. It gives the multisource optimizer an
+// interchange path with external tools: a routed net exports as a *D_NET
+// with π-model resistors and grounded capacitors; a tree-structured
+// *D_NET imports back as a routing topology.
+//
+// Subset and conventions:
+//
+//   - Units are fixed to the library's internal system: *T_UNIT 1 NS,
+//     *C_UNIT 1 PF, *R_UNIT 1 KOHM.
+//   - Terminals appear as ports (*P, direction B) in the *CONN section,
+//     with *C coordinates; internal nodes carry *N coordinate records.
+//   - Each wire becomes one resistor in *RES; its capacitance is split
+//     half-and-half onto the endpoint nodes in *CAP (π model). Terminal
+//     input capacitances are *CAP entries on the port nodes.
+//   - Candidate repeater insertion points — a concept SPEF does not have —
+//     are preserved in "// msrnet-insertion <node>" comment lines, which
+//     other tools ignore.
+//   - Import requires the RC graph to be a tree (the optimizer's domain);
+//     meshes are rejected.
+//
+// Electrical terminal parameters beyond the load capacitance (arrival
+// times, downstream requirements, driver strength) are not expressible in
+// SPEF; the importer takes them from a caller-supplied template.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/topo"
+)
+
+// Write exports the topology as a single-net SPEF document.
+func Write(w io.Writer, netName string, tr *topo.Tree, tech buslib.Tech) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, `*SPEF "IEEE 1481 subset"`)
+	fmt.Fprintf(bw, "*DESIGN \"%s\"\n", netName)
+	fmt.Fprintln(bw, `*VENDOR "msrnet"`)
+	fmt.Fprintln(bw, `*PROGRAM "msrnet spef exporter"`)
+	fmt.Fprintln(bw, `*DIVIDER /`)
+	fmt.Fprintln(bw, `*DELIMITER :`)
+	fmt.Fprintln(bw, `*T_UNIT 1 NS`)
+	fmt.Fprintln(bw, `*C_UNIT 1 PF`)
+	fmt.Fprintln(bw, `*R_UNIT 1 KOHM`)
+	fmt.Fprintln(bw, `*L_UNIT 1 HENRY`)
+	fmt.Fprintln(bw)
+
+	nodeName := func(id int) string {
+		n := tr.Node(id)
+		if n.Kind == topo.Terminal {
+			return n.Term.Name
+		}
+		return fmt.Sprintf("%s:%d", netName, id)
+	}
+
+	// Node capacitances: half of each incident wire + terminal loads.
+	caps := make([]float64, tr.NumNodes())
+	var totalCap float64
+	for i := 0; i < tr.NumEdges(); i++ {
+		e := tr.Edge(i)
+		c := tech.Wire.Cap(e.Length)
+		caps[e.A] += c / 2
+		caps[e.B] += c / 2
+		totalCap += c
+	}
+	for _, id := range tr.Terminals() {
+		caps[id] += tr.Node(id).Term.Cin
+		totalCap += tr.Node(id).Term.Cin
+	}
+
+	fmt.Fprintf(bw, "*D_NET %s %.6g\n", netName, totalCap)
+	fmt.Fprintln(bw, "*CONN")
+	for _, id := range tr.Terminals() {
+		n := tr.Node(id)
+		fmt.Fprintf(bw, "*P %s B *C %.6f %.6f\n", n.Term.Name, n.Pt.X, n.Pt.Y)
+	}
+	for i := 0; i < tr.NumNodes(); i++ {
+		n := tr.Node(i)
+		if n.Kind != topo.Terminal {
+			fmt.Fprintf(bw, "*N %s *C %.6f %.6f\n", nodeName(i), n.Pt.X, n.Pt.Y)
+		}
+	}
+	fmt.Fprintln(bw, "*CAP")
+	k := 1
+	for i := 0; i < tr.NumNodes(); i++ {
+		if caps[i] > 0 {
+			fmt.Fprintf(bw, "%d %s %.12g\n", k, nodeName(i), caps[i])
+			k++
+		}
+	}
+	fmt.Fprintln(bw, "*RES")
+	k = 1
+	for i := 0; i < tr.NumEdges(); i++ {
+		e := tr.Edge(i)
+		fmt.Fprintf(bw, "%d %s %s %.12g\n", k, nodeName(e.A), nodeName(e.B), tech.Wire.Res(e.Length))
+		k++
+	}
+	fmt.Fprintln(bw, "*END")
+	for _, id := range tr.Insertions() {
+		fmt.Fprintf(bw, "// msrnet-insertion %s\n", nodeName(id))
+	}
+	return bw.Flush()
+}
+
+// Document is a parsed single-net SPEF.
+type Document struct {
+	Design   string
+	Net      string
+	TotalCap float64
+	Ports    []Port
+	Nodes    []InternalNode
+	Caps     []CapEntry
+	Ress     []ResEntry
+	// Insertions lists node names flagged by msrnet-insertion comments.
+	Insertions []string
+}
+
+// Port is a *CONN *P record.
+type Port struct {
+	Name string
+	Dir  string
+	X, Y float64
+}
+
+// InternalNode is a *CONN *N record.
+type InternalNode struct {
+	Name string
+	X, Y float64
+}
+
+// CapEntry is one grounded capacitor.
+type CapEntry struct {
+	Node string
+	PF   float64
+}
+
+// ResEntry is one resistor.
+type ResEntry struct {
+	A, B string
+	KOhm float64
+}
+
+// Parse reads the SPEF subset.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "//") {
+			f := strings.Fields(strings.TrimPrefix(line, "//"))
+			if len(f) == 2 && f[0] == "msrnet-insertion" {
+				doc.Insertions = append(doc.Insertions, f[1])
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "*DESIGN"):
+			doc.Design = strings.Trim(strings.TrimSpace(strings.TrimPrefix(line, "*DESIGN")), `"`)
+		case strings.HasPrefix(line, "*T_UNIT"):
+			if !strings.Contains(line, "1 NS") {
+				return nil, fmt.Errorf("spef: line %d: unsupported time unit %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "*C_UNIT"):
+			if !strings.Contains(line, "1 PF") {
+				return nil, fmt.Errorf("spef: line %d: unsupported capacitance unit %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "*R_UNIT"):
+			if !strings.Contains(line, "1 KOHM") {
+				return nil, fmt.Errorf("spef: line %d: unsupported resistance unit %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "*D_NET"):
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("spef: line %d: malformed *D_NET", lineNo)
+			}
+			doc.Net = fields[1]
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("spef: line %d: bad total cap: %w", lineNo, err)
+			}
+			doc.TotalCap = v
+		case line == "*CONN" || line == "*CAP" || line == "*RES":
+			section = line
+		case line == "*END":
+			section = ""
+		case strings.HasPrefix(line, "*P "):
+			p := Port{Name: fields[1]}
+			if len(fields) >= 3 {
+				p.Dir = fields[2]
+			}
+			if x, y, ok := coordOf(fields); ok {
+				p.X, p.Y = x, y
+			}
+			doc.Ports = append(doc.Ports, p)
+		case strings.HasPrefix(line, "*N "):
+			n := InternalNode{Name: fields[1]}
+			if x, y, ok := coordOf(fields); ok {
+				n.X, n.Y = x, y
+			}
+			doc.Nodes = append(doc.Nodes, n)
+		case section == "*CAP":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("spef: line %d: malformed cap entry", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("spef: line %d: bad capacitance: %w", lineNo, err)
+			}
+			doc.Caps = append(doc.Caps, CapEntry{Node: fields[1], PF: v})
+		case section == "*RES":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("spef: line %d: malformed res entry", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("spef: line %d: bad resistance: %w", lineNo, err)
+			}
+			doc.Ress = append(doc.Ress, ResEntry{A: fields[1], B: fields[2], KOhm: v})
+		case strings.HasPrefix(line, "*"):
+			// Unhandled header record: tolerated.
+		default:
+			return nil, fmt.Errorf("spef: line %d: unexpected %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if doc.Net == "" {
+		return nil, fmt.Errorf("spef: no *D_NET found")
+	}
+	return doc, nil
+}
+
+func coordOf(fields []string) (x, y float64, ok bool) {
+	for i, f := range fields {
+		if f == "*C" && i+2 < len(fields) {
+			x, err1 := strconv.ParseFloat(fields[i+1], 64)
+			y, err2 := strconv.ParseFloat(fields[i+2], 64)
+			if err1 == nil && err2 == nil {
+				return x, y, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// ToTopology rebuilds a routing tree from the parsed document. The RC
+// graph must be a tree over the named nodes; resistor values convert to
+// wire lengths through tech's per-µm resistance. Terminal electrical
+// parameters come from mkTerm (typically a closure over a template),
+// which receives the port name; the port's load capacitance (its *CAP
+// entry minus adjacent half-wire contributions) is assigned to Cin.
+func ToTopology(doc *Document, tech buslib.Tech, mkTerm func(name string) buslib.Terminal) (*topo.Tree, error) {
+	if tech.Wire.ResPerUm <= 0 {
+		return nil, fmt.Errorf("spef: technology needs positive wire resistance")
+	}
+	tr := topo.New()
+	id := map[string]int{}
+	isPort := map[string]bool{}
+	for _, p := range doc.Ports {
+		term := mkTerm(p.Name)
+		term.Name = p.Name
+		id[p.Name] = tr.AddTerminal(geom.Pt(p.X, p.Y), term)
+		isPort[p.Name] = true
+	}
+	insertion := map[string]bool{}
+	for _, n := range doc.Insertions {
+		insertion[n] = true
+	}
+	for _, n := range doc.Nodes {
+		if _, dup := id[n.Name]; dup {
+			return nil, fmt.Errorf("spef: duplicate node %q", n.Name)
+		}
+		if insertion[n.Name] {
+			id[n.Name] = tr.AddInsertion(geom.Pt(n.X, n.Y))
+		} else {
+			id[n.Name] = tr.AddSteiner(geom.Pt(n.X, n.Y))
+		}
+	}
+	// Any resistor endpoint not declared gets an implicit Steiner node.
+	for _, r := range doc.Ress {
+		for _, name := range []string{r.A, r.B} {
+			if _, ok := id[name]; !ok {
+				id[name] = tr.AddSteiner(geom.Pt(0, 0))
+			}
+		}
+	}
+	for _, r := range doc.Ress {
+		length := r.KOhm / tech.Wire.ResPerUm
+		tr.AddEdge(id[r.A], id[r.B], length)
+	}
+	// Recover terminal loads: port cap entry minus half of each incident
+	// wire's capacitance.
+	capAt := map[string]float64{}
+	for _, c := range doc.Caps {
+		capAt[c.Node] += c.PF
+	}
+	for name, nid := range id {
+		if !isPort[name] {
+			continue
+		}
+		cin := capAt[name]
+		for _, eid := range tr.Incident(nid) {
+			cin -= tech.Wire.Cap(tr.Edge(eid).Length) / 2
+		}
+		if cin < 0 {
+			cin = 0
+		}
+		term := tr.Node(nid).Term
+		term.Cin = cin
+		tr.SetTerminal(nid, term)
+	}
+	tr.EnsureTerminalLeaves()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("spef: RC network is not a routing tree: %w", err)
+	}
+	return tr, nil
+}
+
+// Read parses and converts in one step.
+func Read(r io.Reader, tech buslib.Tech, mkTerm func(name string) buslib.Terminal) (*topo.Tree, error) {
+	doc, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return ToTopology(doc, tech, mkTerm)
+}
+
+// PortNames returns the sorted port names of a document.
+func (d *Document) PortNames() []string {
+	out := make([]string, 0, len(d.Ports))
+	for _, p := range d.Ports {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}

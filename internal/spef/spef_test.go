@@ -1,0 +1,191 @@
+package spef
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/rctree"
+)
+
+func defaultTerm(name string) buslib.Terminal {
+	return buslib.DefaultTerminal(name)
+}
+
+func TestRoundTripPreservesElectricalView(t *testing.T) {
+	tech := buslib.Default()
+	for _, seed := range []int64{1, 2, 3} {
+		tr, err := netgen.Generate(seed, netgen.Defaults(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, "bus8", tr, tech); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Read(bytes.NewReader(buf.Bytes()), tech, defaultTerm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same terminals.
+		if len(tr2.Terminals()) != len(tr.Terminals()) {
+			t.Fatalf("seed %d: terminals %d vs %d", seed, len(tr2.Terminals()), len(tr.Terminals()))
+		}
+		// Insertion points survive the comment extension.
+		if len(tr2.Insertions()) != len(tr.Insertions()) {
+			t.Fatalf("seed %d: insertions %d vs %d", seed, len(tr2.Insertions()), len(tr.Insertions()))
+		}
+		// Wirelength preserved through the R→length conversion.
+		if math.Abs(tr2.TotalWireLength()-tr.TotalWireLength()) > 1e-6*tr.TotalWireLength() {
+			t.Fatalf("seed %d: wirelength %g vs %g", seed, tr2.TotalWireLength(), tr.TotalWireLength())
+		}
+		// The electrical view is identical: same ARD.
+		a1 := ard.Compute(rctree.NewNet(tr.RootAt(tr.Terminals()[0]), tech, rctree.Assignment{}), ard.Options{})
+		a2 := ard.Compute(rctree.NewNet(tr2.RootAt(tr2.Terminals()[0]), tech, rctree.Assignment{}), ard.Options{})
+		if math.Abs(a1.ARD-a2.ARD) > 1e-9*(1+a1.ARD) {
+			t.Fatalf("seed %d: ARD %g vs %g", seed, a1.ARD, a2.ARD)
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	tech := buslib.Default()
+	tr, err := netgen.Generate(4, netgen.Defaults(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "mynet", tr, tech); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"*SPEF", "*DESIGN \"mynet\"", "*T_UNIT 1 NS", "*C_UNIT 1 PF",
+		"*R_UNIT 1 KOHM", "*D_NET mynet", "*CONN", "*CAP", "*RES", "*END",
+		"msrnet-insertion",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	// Total cap in the D_NET header equals the sum of CAP entries.
+	doc, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range doc.Caps {
+		sum += c.PF
+	}
+	if math.Abs(sum-doc.TotalCap) > 1e-6*(1+doc.TotalCap) {
+		t.Errorf("cap sum %g vs header %g", sum, doc.TotalCap)
+	}
+	if len(doc.PortNames()) != 4 {
+		t.Errorf("ports = %v", doc.PortNames())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no-net", "*SPEF \"x\"\n"},
+		{"bad-unit", "*T_UNIT 1 PS\n*D_NET n 1\n"},
+		{"bad-cap", "*D_NET n 1\n*CAP\n1 x notanumber\n"},
+		{"bad-res", "*D_NET n 1\n*RES\n1 a b nan... no\n"},
+		{"garbage", "*D_NET n 1\nhello world\n"},
+		{"bad-dnet", "*D_NET n\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(c.in)); err == nil {
+				t.Errorf("accepted %q", c.in)
+			}
+		})
+	}
+}
+
+func TestToTopologyRejectsMesh(t *testing.T) {
+	in := `*SPEF "x"
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+*D_NET loop 1.0
+*CONN
+*P a B *C 0 0
+*P b B *C 10 0
+*N loop:1 *C 5 0
+*CAP
+1 a 0.05
+*RES
+1 a loop:1 0.1
+2 loop:1 b 0.1
+3 a b 0.3
+*END
+`
+	tech := buslib.Default()
+	if _, err := Read(strings.NewReader(in), tech, defaultTerm); err == nil {
+		t.Fatal("mesh accepted")
+	}
+}
+
+func TestToTopologyMinimal(t *testing.T) {
+	in := `*SPEF "x"
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+*D_NET two 0.29
+*CONN
+*P a B *C 0 0
+*P b B *C 1000 0
+*CAP
+1 a 0.11
+2 b 0.11
+*RES
+1 a b 0.08
+*END
+`
+	tech := buslib.Default() // 8e-5 kΩ/µm → 0.08 kΩ = 1000 µm
+	tr, err := Read(strings.NewReader(in), tech, defaultTerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.TotalWireLength()-1000) > 1e-6 {
+		t.Errorf("length = %g", tr.TotalWireLength())
+	}
+	// Cin recovered: 0.11 − half wire cap (0.12/2 = 0.06) = 0.05.
+	for _, id := range tr.Terminals() {
+		if cin := tr.Node(id).Term.Cin; math.Abs(cin-0.05) > 1e-9 {
+			t.Errorf("Cin = %g, want 0.05", cin)
+		}
+	}
+}
+
+func TestImplicitNodesGetSteiner(t *testing.T) {
+	in := `*SPEF "x"
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+*D_NET n 0.1
+*CONN
+*P a B *C 0 0
+*P b B *C 1000 0
+*CAP
+1 a 0.05
+*RES
+1 a n:99 0.04
+2 n:99 b 0.04
+*END
+`
+	tr, err := Read(strings.NewReader(in), buslib.Default(), defaultTerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", tr.NumNodes())
+	}
+}

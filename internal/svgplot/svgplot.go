@@ -1,0 +1,141 @@
+// Package svgplot renders routing topologies and repeater-insertion
+// solutions as standalone SVG documents — the medium used to reproduce
+// Fig. 11 of Lillis & Cheng (TCAD'99): the unoptimized topology and the
+// optimizer's k-repeater solutions, annotated with RC-diameter and the
+// critical source/sink pair.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Style controls rendering.
+type Style struct {
+	CanvasPx   float64 // square canvas size in pixels (default 640)
+	MarginPx   float64 // border margin (default 40)
+	WireWidth  float64 // stroke width for wires (default 2)
+	ShowLabels bool    // label terminals with their names
+}
+
+func (s Style) withDefaults() Style {
+	if s.CanvasPx <= 0 {
+		s.CanvasPx = 640
+	}
+	if s.MarginPx <= 0 {
+		s.MarginPx = 40
+	}
+	if s.WireWidth <= 0 {
+		s.WireWidth = 2
+	}
+	return s
+}
+
+// Annotation carries optional headline text rendered above the plot.
+type Annotation struct {
+	Title    string
+	Subtitle string
+	// CritSrc/CritSink, when ≥ 0, highlight the critical pair.
+	CritSrc, CritSink int
+}
+
+// Render writes an SVG of the topology with the assignment's repeaters
+// marked. Terminals are squares (filled when they are the critical source
+// or sink), Steiner points small dots, insertion points faint ticks and
+// placed repeaters prominent triangles.
+func Render(w io.Writer, tr *topo.Tree, asg rctree.Assignment, ann Annotation, style Style) error {
+	style = style.withDefaults()
+	// Find the drawing transform.
+	var pts []geom.Point
+	for i := 0; i < tr.NumNodes(); i++ {
+		pts = append(pts, tr.Node(i).Pt)
+	}
+	box := geom.Bound(pts)
+	span := math.Max(box.Width(), box.Height())
+	if span == 0 {
+		span = 1
+	}
+	scale := (style.CanvasPx - 2*style.MarginPx) / span
+	tx := func(p geom.Point) (float64, float64) {
+		// Flip Y so the plot is in conventional orientation.
+		x := style.MarginPx + (p.X-box.Min.X)*scale
+		y := style.CanvasPx - style.MarginPx - (p.Y-box.Min.Y)*scale
+		return x, y
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		style.CanvasPx, style.CanvasPx+40, style.CanvasPx, style.CanvasPx+40)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if ann.Title != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="22" font-family="sans-serif" font-size="16" fill="#222">%s</text>`+"\n",
+			style.MarginPx, xmlEscape(ann.Title))
+	}
+	if ann.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="40" font-family="sans-serif" font-size="12" fill="#555">%s</text>`+"\n",
+			style.MarginPx, xmlEscape(ann.Subtitle))
+	}
+	// Wires (rectilinear elbow: draw as L-shaped polyline via the corner
+	// point when the endpoints are not axis-aligned).
+	for i := 0; i < tr.NumEdges(); i++ {
+		e := tr.Edge(i)
+		p, q := tr.Node(e.A).Pt, tr.Node(e.B).Pt
+		x1, y1 := tx(p)
+		x2, y2 := tx(q)
+		if p.X != q.X && p.Y != q.Y {
+			cx, cy := tx(geom.Pt(p.X, q.Y))
+			fmt.Fprintf(&b, `<polyline points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="none" stroke="#4477aa" stroke-width="%.1f"/>`+"\n",
+				x1, y1, cx, cy, x2, y2, style.WireWidth)
+		} else {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#4477aa" stroke-width="%.1f"/>`+"\n",
+				x1, y1, x2, y2, style.WireWidth)
+		}
+	}
+	// Nodes.
+	for i := 0; i < tr.NumNodes(); i++ {
+		n := tr.Node(i)
+		x, y := tx(n.Pt)
+		switch n.Kind {
+		case topo.Terminal:
+			fill := "#ffffff"
+			if i == ann.CritSrc {
+				fill = "#cc3311"
+			} else if i == ann.CritSink {
+				fill = "#009988"
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s" stroke="#222" stroke-width="1.5"/>`+"\n",
+				x-5, y-5, fill)
+			if style.ShowLabels && n.Term.Name != "" {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="#222">%s</text>`+"\n",
+					x+7, y-7, xmlEscape(n.Term.Name))
+			}
+		case topo.Steiner:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="#4477aa"/>`+"\n", x, y)
+		case topo.Insertion:
+			if _, ok := asg.Repeaters[i]; ok {
+				fmt.Fprintf(&b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="#ee7733" stroke="#222" stroke-width="1"/>`+"\n",
+					x, y-7, x-6, y+5, x+6, y+5)
+			} else {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.5" fill="#bbbbbb"/>`+"\n", x, y)
+			}
+		}
+	}
+	// Legend.
+	ly := style.CanvasPx + 14
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" font-family="sans-serif" font-size="11" fill="#555">□ terminal  ▲ repeater  · insertion point  ■ red: critical source  ■ teal: critical sink</text>`+"\n",
+		style.MarginPx, ly)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

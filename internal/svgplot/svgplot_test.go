@@ -1,0 +1,78 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/rctree"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tr, err := netgen.Generate(8, netgen.Defaults(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := tr.Insertions()
+	rep := buslib.RepeaterFromPair(buslib.Buffer1X())
+	asg := rctree.Assignment{Repeaters: map[int]rctree.Placed{
+		ins[0]: {Rep: rep, ASideUp: true},
+	}}
+	var buf bytes.Buffer
+	err = Render(&buf, tr, asg, Annotation{
+		Title:    "eight-pin net",
+		Subtitle: "ARD = 1.234 ns",
+		CritSrc:  tr.Terminals()[0],
+		CritSink: tr.Terminals()[1],
+	}, Style{ShowLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polygon", "eight-pin net", "ARD = 1.234 ns", "rect"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One triangle per placed repeater.
+	if got := strings.Count(s, "<polygon"); got != 1 {
+		t.Errorf("polygons = %d, want 1", got)
+	}
+}
+
+func TestRenderEscapesXML(t *testing.T) {
+	tr, err := netgen.Generate(2, netgen.Defaults(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = Render(&buf, tr, rctree.Assignment{}, Annotation{
+		Title: `a<b>&"c"`, CritSrc: -1, CritSink: -1,
+	}, Style{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, `a<b>`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(s, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderDefaultsApplied(t *testing.T) {
+	tr, err := netgen.Generate(4, netgen.Defaults(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, tr, rctree.Assignment{}, Annotation{CritSrc: -1, CritSink: -1}, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="640"`) {
+		t.Error("default canvas size not applied")
+	}
+}

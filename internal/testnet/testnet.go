@@ -1,0 +1,191 @@
+// Package testnet generates deterministic random multisource nets,
+// technologies and repeater assignments for tests and benchmarks. It is
+// deliberately independent of the optimizer so that the same fixtures can
+// cross-check the Elmore engine, the linear-time ARD algorithm and the
+// dynamic program against each other.
+package testnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Config controls random net generation.
+type Config struct {
+	Backbone     int     // number of internal (Steiner) backbone nodes, ≥ 1
+	TermProb     float64 // probability a backbone node gets a terminal leaf
+	MaxEdgeLen   float64 // µm, uniform edge lengths in (0, MaxEdgeLen]
+	InsSpacing   float64 // if > 0, run PlaceInsertionPoints with this spacing
+	AllRoles     bool    // every terminal is both source and sink, AAT=Q=0
+	ZeroLenEdges bool    // occasionally emit zero-length edges
+}
+
+// DefaultConfig returns a mid-size random net configuration.
+func DefaultConfig() Config {
+	return Config{
+		Backbone:   8,
+		TermProb:   0.7,
+		MaxEdgeLen: 2000,
+		InsSpacing: 900,
+	}
+}
+
+// RandTree builds a random routing tree per cfg using r. It guarantees at
+// least two terminals, at least one source and at least one sink.
+func RandTree(r *rand.Rand, cfg Config) *topo.Tree {
+	t := topo.New()
+	// Random recursive backbone of Steiner nodes.
+	ids := make([]int, 0, cfg.Backbone)
+	for i := 0; i < cfg.Backbone; i++ {
+		p := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+		id := t.AddSteiner(p)
+		if i > 0 {
+			parent := ids[r.Intn(len(ids))]
+			length := r.Float64()*cfg.MaxEdgeLen + 1
+			if cfg.ZeroLenEdges && r.Intn(8) == 0 {
+				length = 0
+			}
+			t.AddEdge(parent, id, length)
+		}
+		ids = append(ids, id)
+	}
+	// Attach terminal leaves.
+	nterm := 0
+	for _, id := range ids {
+		if r.Float64() < cfg.TermProb {
+			attachTerminal(t, r, id, nterm, cfg)
+			nterm++
+		}
+	}
+	for nterm < 2 {
+		attachTerminal(t, r, ids[r.Intn(len(ids))], nterm, cfg)
+		nterm++
+	}
+	ensureRoles(t, r)
+	if cfg.InsSpacing > 0 {
+		t.PlaceInsertionPoints(cfg.InsSpacing)
+	}
+	return t
+}
+
+func attachTerminal(t *topo.Tree, r *rand.Rand, at, idx int, cfg Config) {
+	p := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+	term := RandTerminal(r, fmt.Sprintf("t%d", idx), cfg.AllRoles)
+	id := t.AddTerminal(p, term)
+	length := r.Float64()*cfg.MaxEdgeLen + 1
+	if cfg.ZeroLenEdges && r.Intn(8) == 0 {
+		length = 0
+	}
+	t.AddEdge(at, id, length)
+}
+
+// RandTerminal returns a terminal with randomized electrical parameters.
+// When allRoles is set the terminal is source+sink with AAT = Q = 0,
+// matching the paper's Table II setup.
+func RandTerminal(r *rand.Rand, name string, allRoles bool) buslib.Terminal {
+	term := buslib.Terminal{
+		Name:            name,
+		IsSource:        true,
+		IsSink:          true,
+		Cin:             0.02 + r.Float64()*0.2,
+		Rout:            0.1 + r.Float64()*0.8,
+		DriverIntrinsic: r.Float64() * 0.3,
+	}
+	if !allRoles {
+		term.AAT = r.Float64() * 2
+		term.Q = r.Float64() * 2
+		switch r.Intn(3) {
+		case 0:
+			term.IsSink = false
+		case 1:
+			term.IsSource = false
+		}
+	}
+	return term
+}
+
+// ensureRoles guarantees at least one source and one sink exist.
+func ensureRoles(t *topo.Tree, r *rand.Rand) {
+	terms := t.Terminals()
+	if len(t.Sources()) == 0 {
+		id := terms[r.Intn(len(terms))]
+		term := t.Node(id).Term
+		term.IsSource = true
+		t.SetTerminal(id, term)
+	}
+	if len(t.Sinks()) == 0 {
+		id := terms[r.Intn(len(terms))]
+		term := t.Node(id).Term
+		term.IsSink = true
+		t.SetTerminal(id, term)
+	}
+}
+
+// RandTech returns a randomized technology with nRep repeater types
+// (possibly asymmetric) and nDrv driver options.
+func RandTech(r *rand.Rand, nRep, nDrv int) buslib.Tech {
+	tech := buslib.Tech{
+		Wire: buslib.Wire{
+			ResPerUm: 2e-5 + r.Float64()*2e-4,
+			CapPerUm: 2e-5 + r.Float64()*3e-4,
+		},
+		PrevStageRes: 0.4,
+		NextStageCap: 0.2,
+	}
+	for i := 0; i < nRep; i++ {
+		rep := buslib.Repeater{
+			Name:    fmt.Sprintf("rep%d", i),
+			DelayAB: r.Float64() * 0.3,
+			DelayBA: r.Float64() * 0.3,
+			RoutAB:  0.05 + r.Float64()*0.8,
+			RoutBA:  0.05 + r.Float64()*0.8,
+			CapA:    0.01 + r.Float64()*0.15,
+			CapB:    0.01 + r.Float64()*0.15,
+			Cost:    1 + float64(r.Intn(4)),
+		}
+		if r.Intn(2) == 0 {
+			// Symmetric device, as built from a buffer pair.
+			rep.DelayBA, rep.RoutBA, rep.CapB = rep.DelayAB, rep.RoutAB, rep.CapA
+		}
+		tech.Repeaters = append(tech.Repeaters, rep)
+	}
+	for i := 0; i < nDrv; i++ {
+		k := float64(i + 1)
+		tech.Drivers = append(tech.Drivers, buslib.Driver{
+			Name:      fmt.Sprintf("drv%dX", i+1),
+			Intrinsic: 0.1 + 0.4*0.05*k,
+			Rout:      0.4 / k,
+			Cost:      k,
+		})
+	}
+	return tech
+}
+
+// RandAssignment places a random repeater with random orientation at each
+// insertion point with probability p, in the rooted frame rt.
+func RandAssignment(r *rand.Rand, rt *topo.Rooted, tech buslib.Tech, p float64) rctree.Assignment {
+	a := rctree.Assignment{Repeaters: map[int]rctree.Placed{}}
+	for _, id := range rt.Tree.Insertions() {
+		if r.Float64() < p && len(tech.Repeaters) > 0 {
+			a.Repeaters[id] = rctree.Placed{
+				Rep:     tech.Repeaters[r.Intn(len(tech.Repeaters))],
+				ASideUp: r.Intn(2) == 0,
+			}
+		}
+	}
+	return a
+}
+
+// RootTerminal returns the lowest-id terminal, the conventional root.
+func RootTerminal(t *topo.Tree) int {
+	terms := t.Terminals()
+	if len(terms) == 0 {
+		panic("testnet: no terminals")
+	}
+	return terms[0]
+}

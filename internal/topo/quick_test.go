@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msrnet/internal/geom"
+)
+
+// TestQuickSplitPreservesLength: splitting any edge at any interior
+// fraction preserves total wirelength and keeps the tree valid.
+func TestQuickSplitPreservesLength(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	prop := func(lenSeed, fracSeed uint32) bool {
+		length := 1 + float64(lenSeed%100000)/10
+		frac := 0.001 + 0.998*float64(fracSeed%1000)/1000
+		tr, _, _ := lineForQuick(length)
+		before := tr.TotalWireLength()
+		tr.SplitEdge(0, frac, Insertion)
+		after := tr.TotalWireLength()
+		return math.Abs(before-after) < 1e-9*(1+before) && tr.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func lineForQuick(length float64) (*Tree, int, int) {
+	tr := New()
+	a := tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	b := tr.AddTerminal(geom.Pt(length, 0), term("b"))
+	tr.AddEdge(a, b, length)
+	return tr, a, b
+}
+
+// TestQuickInsertionSpacingBound: after PlaceInsertionPoints every wire
+// respects the bound, total length is conserved, and each original wire
+// got at least one point.
+func TestQuickInsertionSpacingBound(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	prop := func(lenSeed, spacingSeed uint32) bool {
+		length := 10 + float64(lenSeed%500000)/10
+		spacing := 50 + float64(spacingSeed%20000)/10
+		tr, _, _ := lineForQuick(length)
+		added := tr.PlaceInsertionPoints(spacing)
+		if added < 1 {
+			return false
+		}
+		var sum float64
+		for i := 0; i < tr.NumEdges(); i++ {
+			l := tr.Edge(i).Length
+			if l > spacing+1e-9 {
+				return false
+			}
+			sum += l
+		}
+		return math.Abs(sum-length) < 1e-6*(1+length)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRootingInvariants: rooting at any node yields a post-order
+// covering all nodes with children-before-parents and a single root.
+func TestQuickRootingInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	prop := func(structSeed int64, rootPick uint8) bool {
+		rr := rand.New(rand.NewSource(structSeed))
+		tr := New()
+		n := 2 + rr.Intn(15)
+		ids := []int{tr.AddSteiner(geom.Pt(0, 0))}
+		for i := 1; i < n; i++ {
+			id := tr.AddSteiner(geom.Pt(float64(i), 0))
+			tr.AddEdge(ids[rr.Intn(len(ids))], id, rr.Float64()*100+1)
+			ids = append(ids, id)
+		}
+		root := ids[int(rootPick)%len(ids)]
+		rt := tr.RootAt(root)
+		if len(rt.PostOrder) != tr.NumNodes() {
+			return false
+		}
+		pos := make(map[int]int, len(rt.PostOrder))
+		for i, v := range rt.PostOrder {
+			pos[v] = i
+		}
+		roots := 0
+		for v := 0; v < tr.NumNodes(); v++ {
+			if rt.Parent[v] == -1 {
+				roots++
+				continue
+			}
+			if pos[v] > pos[rt.Parent[v]] {
+				return false
+			}
+		}
+		return roots == 1 && rt.Parent[root] == -1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

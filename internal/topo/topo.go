@@ -1,0 +1,471 @@
+// Package topo represents multisource routing topologies: rectilinear
+// Steiner trees spanning a terminal set, annotated with prescribed
+// degree-two repeater insertion points (§II of Lillis & Cheng, TCAD'99).
+//
+// A Tree is an undirected tree over typed nodes (terminal, Steiner,
+// insertion point) with wire lengths on the edges. Rooting a tree at a
+// terminal produces a Rooted view with parent pointers and a post-order,
+// which is the frame in which both the linear-time ARD algorithm and the
+// repeater-insertion dynamic program operate.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+)
+
+// Kind classifies a node.
+type Kind int
+
+const (
+	// Terminal is a pin of the net; carries electrical parameters and may
+	// act as source and/or sink. The paper assumes (w.l.o.g.) terminals
+	// are leaves; EnsureTerminalLeaves enforces this.
+	Terminal Kind = iota
+	// Steiner is a branch point of the routing tree.
+	Steiner
+	// Insertion is a prescribed degree-two candidate repeater location.
+	Insertion
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Terminal:
+		return "terminal"
+	case Steiner:
+		return "steiner"
+	case Insertion:
+		return "insertion"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is one vertex of the routing tree.
+type Node struct {
+	ID   int
+	Kind Kind
+	Pt   geom.Point
+	// Term holds the terminal's electrical parameters when Kind==Terminal.
+	Term buslib.Terminal
+}
+
+// Edge is an undirected wire between two nodes. Length is in µm; the
+// electrical R and C follow from the technology's unit parasitics (and
+// the width factor when wire sizing is enabled).
+type Edge struct {
+	ID   int
+	A, B int
+	// Length of the wire in µm. Defaults to the rectilinear distance
+	// between the endpoints when added via AddEdgeAuto.
+	Length float64
+}
+
+// Other returns the endpoint of e opposite to node id.
+func (e Edge) Other(id int) int {
+	if e.A == id {
+		return e.B
+	}
+	return e.A
+}
+
+// Tree is an undirected routing tree.
+type Tree struct {
+	nodes []Node
+	edges []Edge
+	adj   [][]int // node id -> incident edge ids
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// AddTerminal appends a terminal node at p with the given electrical
+// parameters and returns its id.
+func (t *Tree) AddTerminal(p geom.Point, term buslib.Terminal) int {
+	return t.addNode(Node{Kind: Terminal, Pt: p, Term: term})
+}
+
+// AddSteiner appends a Steiner node at p and returns its id.
+func (t *Tree) AddSteiner(p geom.Point) int {
+	return t.addNode(Node{Kind: Steiner, Pt: p})
+}
+
+// AddInsertion appends an insertion-point node at p and returns its id.
+func (t *Tree) AddInsertion(p geom.Point) int {
+	return t.addNode(Node{Kind: Insertion, Pt: p})
+}
+
+func (t *Tree) addNode(n Node) int {
+	n.ID = len(t.nodes)
+	t.nodes = append(t.nodes, n)
+	t.adj = append(t.adj, nil)
+	return n.ID
+}
+
+// AddEdge connects nodes a and b with a wire of the given length.
+func (t *Tree) AddEdge(a, b int, length float64) int {
+	if a == b {
+		panic("topo: self-loop")
+	}
+	if length < 0 {
+		panic("topo: negative wire length")
+	}
+	e := Edge{ID: len(t.edges), A: a, B: b, Length: length}
+	t.edges = append(t.edges, e)
+	t.adj[a] = append(t.adj[a], e.ID)
+	t.adj[b] = append(t.adj[b], e.ID)
+	return e.ID
+}
+
+// AddEdgeAuto connects a and b with a wire whose length is the
+// rectilinear distance between their locations.
+func (t *Tree) AddEdgeAuto(a, b int) int {
+	return t.AddEdge(a, b, geom.Dist(t.nodes[a].Pt, t.nodes[b].Pt))
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumEdges returns the edge count.
+func (t *Tree) NumEdges() int { return len(t.edges) }
+
+// Node returns the node with the given id.
+func (t *Tree) Node(id int) Node { return t.nodes[id] }
+
+// Edge returns the edge with the given id.
+func (t *Tree) Edge(id int) Edge { return t.edges[id] }
+
+// Incident returns the edge ids incident to node id.
+func (t *Tree) Incident(id int) []int { return t.adj[id] }
+
+// Degree returns the degree of node id.
+func (t *Tree) Degree(id int) int { return len(t.adj[id]) }
+
+// Terminals returns the ids of all terminal nodes, in id order.
+func (t *Tree) Terminals() []int {
+	var out []int
+	for _, n := range t.nodes {
+		if n.Kind == Terminal {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Insertions returns the ids of all insertion-point nodes, in id order.
+func (t *Tree) Insertions() []int {
+	var out []int
+	for _, n := range t.nodes {
+		if n.Kind == Insertion {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Sources returns the ids of terminals that can drive the net.
+func (t *Tree) Sources() []int {
+	var out []int
+	for _, n := range t.nodes {
+		if n.Kind == Terminal && n.Term.IsSource {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Sinks returns the ids of terminals that can receive from the net.
+func (t *Tree) Sinks() []int {
+	var out []int
+	for _, n := range t.nodes {
+		if n.Kind == Terminal && n.Term.IsSink {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// TotalWireLength returns the sum of edge lengths in µm.
+func (t *Tree) TotalWireLength() float64 {
+	var sum float64
+	for _, e := range t.edges {
+		sum += e.Length
+	}
+	return sum
+}
+
+// SetTerminal replaces the electrical parameters of terminal node id.
+func (t *Tree) SetTerminal(id int, term buslib.Terminal) {
+	if t.nodes[id].Kind != Terminal {
+		panic(fmt.Sprintf("topo: node %d is not a terminal", id))
+	}
+	t.nodes[id].Term = term
+}
+
+// Validate checks structural invariants: the graph is a connected tree,
+// insertion points have degree exactly two, and every node is reachable.
+// Terminal-leaf violations are reported too; call EnsureTerminalLeaves
+// first if non-leaf terminals are expected.
+func (t *Tree) Validate() error {
+	n := len(t.nodes)
+	if n == 0 {
+		return fmt.Errorf("topo: empty tree")
+	}
+	if len(t.edges) != n-1 {
+		return fmt.Errorf("topo: %d nodes but %d edges; a tree needs n-1", n, len(t.edges))
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range t.adj[v] {
+			u := t.edges[eid].Other(v)
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("topo: graph is disconnected (%d of %d reachable)", count, n)
+	}
+	for _, nd := range t.nodes {
+		switch nd.Kind {
+		case Insertion:
+			if len(t.adj[nd.ID]) != 2 {
+				return fmt.Errorf("topo: insertion point %d has degree %d, want 2",
+					nd.ID, len(t.adj[nd.ID]))
+			}
+		case Terminal:
+			if len(t.adj[nd.ID]) != 1 {
+				return fmt.Errorf("topo: terminal %d is not a leaf (degree %d); call EnsureTerminalLeaves",
+					nd.ID, len(t.adj[nd.ID]))
+			}
+		}
+	}
+	return nil
+}
+
+// EnsureTerminalLeaves rewrites the tree so every terminal is a leaf, as
+// assumed w.l.o.g. by the paper (§III): each non-leaf terminal becomes a
+// Steiner node and a new terminal is attached to it by a zero-length
+// edge, preserving electrical semantics.
+func (t *Tree) EnsureTerminalLeaves() {
+	for id := 0; id < len(t.nodes); id++ {
+		n := t.nodes[id]
+		if n.Kind == Terminal && len(t.adj[id]) > 1 {
+			term := n.Term
+			t.nodes[id].Kind = Steiner
+			t.nodes[id].Term = buslib.Terminal{}
+			leaf := t.AddTerminal(n.Pt, term)
+			t.AddEdge(id, leaf, 0)
+		}
+	}
+}
+
+// SplitEdge subdivides edge eid at fraction frac (0 < frac < 1, measured
+// from endpoint A) with a new node of the given kind, returning the new
+// node's id. The original edge is re-pointed to span A–new; a fresh edge
+// spans new–B.
+func (t *Tree) SplitEdge(eid int, frac float64, kind Kind) int {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("topo: SplitEdge frac %g out of (0,1)", frac))
+	}
+	e := t.edges[eid]
+	p := geom.Lerp(t.nodes[e.A].Pt, t.nodes[e.B].Pt, frac)
+	var mid int
+	switch kind {
+	case Steiner:
+		mid = t.AddSteiner(p)
+	case Insertion:
+		mid = t.AddInsertion(p)
+	default:
+		panic("topo: SplitEdge can only create steiner or insertion nodes")
+	}
+	lenA := e.Length * frac
+	lenB := e.Length - lenA
+	// Rewire: eid becomes A–mid; new edge mid–B.
+	t.edges[eid].B = mid
+	t.edges[eid].Length = lenA
+	// Fix adjacency of the old B endpoint.
+	t.removeIncident(e.B, eid)
+	t.adj[mid] = append(t.adj[mid], eid)
+	t.AddEdge(mid, e.B, lenB)
+	return mid
+}
+
+func (t *Tree) removeIncident(node, eid int) {
+	a := t.adj[node]
+	for i, id := range a {
+		if id == eid {
+			a[i] = a[len(a)-1]
+			t.adj[node] = a[:len(a)-1]
+			return
+		}
+	}
+	panic("topo: removeIncident: edge not incident")
+}
+
+// PlaceInsertionPoints subdivides every wire with evenly spaced insertion
+// points so that consecutive candidate locations are at most maxSpacing
+// apart and every original wire carries at least one point — the
+// placement rule of §VI (800 µm, ≥1 per segment). Zero-length edges
+// (pendants from EnsureTerminalLeaves) are skipped. It returns the number
+// of insertion points added.
+func (t *Tree) PlaceInsertionPoints(maxSpacing float64) int {
+	if maxSpacing <= 0 {
+		panic("topo: non-positive maxSpacing")
+	}
+	added := 0
+	orig := len(t.edges)
+	for eid := 0; eid < orig; eid++ {
+		length := t.edges[eid].Length
+		if length == 0 {
+			continue
+		}
+		k := int(math.Ceil(length/maxSpacing)) - 1
+		if k < 1 {
+			k = 1
+		}
+		// Split repeatedly: after placing point i of k on the remaining
+		// A-side piece, the original eid keeps shrinking toward A.
+		// Place from the B end so fractions stay simple: split eid at
+		// fraction i/(k+1) of the *original* wire; easier to iterate by
+		// splitting the current eid at 1/(remaining+1) from A.
+		cur := eid
+		remaining := k
+		for remaining > 0 {
+			frac := 1.0 / float64(remaining+1)
+			// Split cur at (1-frac) from A so the new node is nearest B,
+			// leaving cur spanning A..new for the next iteration? Simpler:
+			// split at frac from A; the A-side piece keeps id cur and is
+			// final; continue with the new B-side edge.
+			mid := t.SplitEdge(cur, frac, Insertion)
+			added++
+			// The B-side edge is the newest edge.
+			cur = len(t.edges) - 1
+			remaining--
+			_ = mid
+		}
+	}
+	return added
+}
+
+// Rooted is a tree oriented away from a root terminal. Parent[root] = -1.
+type Rooted struct {
+	Tree *Tree
+	Root int
+	// Parent[v] is v's parent node id (or -1 for the root).
+	Parent []int
+	// ParentEdge[v] is the edge id connecting v to Parent[v] (or -1).
+	ParentEdge []int
+	// Children[v] lists v's children in the rooted orientation.
+	Children [][]int
+	// PostOrder lists node ids so every node appears after all of its
+	// children — the evaluation order of the bottom-up algorithms.
+	PostOrder []int
+}
+
+// RootAt orients the tree away from the given root node. The paper roots
+// at an arbitrary terminal; any node is accepted here, which the tests
+// exploit.
+func (t *Tree) RootAt(root int) *Rooted {
+	n := len(t.nodes)
+	r := &Rooted{
+		Tree:       t,
+		Root:       root,
+		Parent:     make([]int, n),
+		ParentEdge: make([]int, n),
+		Children:   make([][]int, n),
+	}
+	for i := range r.Parent {
+		r.Parent[i] = -1
+		r.ParentEdge[i] = -1
+	}
+	// Iterative DFS to compute parents and a post-order.
+	type frame struct{ node, idx int }
+	stack := []frame{{root, 0}}
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		adj := t.adj[f.node]
+		if f.idx < len(adj) {
+			eid := adj[f.idx]
+			f.idx++
+			u := t.edges[eid].Other(f.node)
+			if !visited[u] {
+				visited[u] = true
+				r.Parent[u] = f.node
+				r.ParentEdge[u] = eid
+				r.Children[f.node] = append(r.Children[f.node], u)
+				stack = append(stack, frame{u, 0})
+			}
+			continue
+		}
+		r.PostOrder = append(r.PostOrder, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	// Deterministic child order.
+	for _, c := range r.Children {
+		sort.Ints(c)
+	}
+	return r
+}
+
+// Depth returns the number of edges from v to the root.
+func (r *Rooted) Depth(v int) int {
+	d := 0
+	for r.Parent[v] != -1 {
+		v = r.Parent[v]
+		d++
+	}
+	return d
+}
+
+// PathToRoot returns the node ids from v up to and including the root.
+func (r *Rooted) PathToRoot(v int) []int {
+	var out []int
+	for v != -1 {
+		out = append(out, v)
+		v = r.Parent[v]
+	}
+	return out
+}
+
+// Path returns the node ids along the unique tree path from u to v
+// (inclusive of both).
+func (r *Rooted) Path(u, v int) []int {
+	pu := r.PathToRoot(u)
+	pv := r.PathToRoot(v)
+	inPu := make(map[int]int, len(pu)) // node -> index in pu
+	for i, x := range pu {
+		inPu[x] = i
+	}
+	lca := -1
+	lcaIdxV := -1
+	for i, x := range pv {
+		if _, ok := inPu[x]; ok {
+			lca = x
+			lcaIdxV = i
+			break
+		}
+	}
+	if lca == -1 {
+		panic("topo: Path in disconnected tree")
+	}
+	out := append([]int{}, pu[:inPu[lca]+1]...)
+	for i := lcaIdxV - 1; i >= 0; i-- {
+		out = append(out, pv[i])
+	}
+	return out
+}

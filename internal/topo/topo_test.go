@@ -1,0 +1,308 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/geom"
+)
+
+func term(name string) buslib.Terminal {
+	return buslib.Terminal{Name: name, IsSource: true, IsSink: true, Cin: 0.05, Rout: 0.4}
+}
+
+// line builds a 2-terminal net with one wire of the given length.
+func line(length float64) (*Tree, int, int) {
+	t := New()
+	a := t.AddTerminal(geom.Pt(0, 0), term("a"))
+	b := t.AddTerminal(geom.Pt(length, 0), term("b"))
+	t.AddEdge(a, b, length)
+	return t, a, b
+}
+
+func TestAddAndQuery(t *testing.T) {
+	tr, a, b := line(1000)
+	if tr.NumNodes() != 2 || tr.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d", tr.NumNodes(), tr.NumEdges())
+	}
+	if tr.Node(a).Kind != Terminal || tr.Node(b).Kind != Terminal {
+		t.Error("terminal kinds wrong")
+	}
+	if got := tr.Edge(0).Other(a); got != b {
+		t.Errorf("Other = %d", got)
+	}
+	if tr.Degree(a) != 1 {
+		t.Errorf("Degree = %d", tr.Degree(a))
+	}
+	if tr.TotalWireLength() != 1000 {
+		t.Errorf("TotalWireLength = %g", tr.TotalWireLength())
+	}
+}
+
+func TestAddEdgeAutoUsesManhattan(t *testing.T) {
+	tr := New()
+	a := tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	b := tr.AddTerminal(geom.Pt(300, 400), term("b"))
+	tr.AddEdgeAuto(a, b)
+	if got := tr.Edge(0).Length; got != 700 {
+		t.Errorf("auto length = %g, want 700", got)
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	tr, _, _ := line(1000)
+	tr.PlaceInsertionPoints(400)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsNonLeafTerminal(t *testing.T) {
+	tr := New()
+	a := tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	b := tr.AddTerminal(geom.Pt(1, 0), term("b"))
+	c := tr.AddTerminal(geom.Pt(2, 0), term("c"))
+	tr.AddEdge(a, b, 100)
+	tr.AddEdge(b, c, 100)
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected non-leaf terminal error")
+	}
+	tr.EnsureTerminalLeaves()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after EnsureTerminalLeaves: %v", err)
+	}
+	// b became a Steiner node with a zero-length pendant terminal.
+	if len(tr.Terminals()) != 3 {
+		t.Errorf("terminals = %d, want 3", len(tr.Terminals()))
+	}
+	if tr.TotalWireLength() != 200 {
+		t.Errorf("wirelength changed: %g", tr.TotalWireLength())
+	}
+}
+
+func TestValidateDetectsDisconnected(t *testing.T) {
+	tr := New()
+	tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	tr.AddTerminal(geom.Pt(1, 0), term("b"))
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected error for forest")
+	}
+}
+
+func TestSplitEdgePreservesLengthAndGeometry(t *testing.T) {
+	tr, a, b := line(1000)
+	mid := tr.SplitEdge(0, 0.25, Insertion)
+	if tr.NumNodes() != 3 || tr.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", tr.NumNodes(), tr.NumEdges())
+	}
+	if tr.TotalWireLength() != 1000 {
+		t.Errorf("length not preserved: %g", tr.TotalWireLength())
+	}
+	if got := tr.Node(mid).Pt; !geom.Eq(got, geom.Pt(250, 0), 1e-9) {
+		t.Errorf("split point at %v", got)
+	}
+	if tr.Degree(mid) != 2 || tr.Degree(a) != 1 || tr.Degree(b) != 1 {
+		t.Error("degrees wrong after split")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEdgePanicsOnBadFrac(t *testing.T) {
+	tr, _, _ := line(100)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitEdge(frac=%g) did not panic", f)
+				}
+			}()
+			tr.SplitEdge(0, f, Insertion)
+		}()
+	}
+}
+
+func TestPlaceInsertionPointsSpacing(t *testing.T) {
+	for _, length := range []float64{100, 799, 800, 801, 1600, 5000, 12345} {
+		tr, _, _ := line(length)
+		added := tr.PlaceInsertionPoints(800)
+		if added < 1 {
+			t.Fatalf("length %g: added %d points, want ≥ 1", length, added)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("length %g: %v", length, err)
+		}
+		// Every resulting wire must be ≤ 800 µm and lengths must sum up.
+		var sum float64
+		for i := 0; i < tr.NumEdges(); i++ {
+			l := tr.Edge(i).Length
+			if l > 800+1e-9 {
+				t.Errorf("length %g: segment %d is %g > 800", length, i, l)
+			}
+			sum += l
+		}
+		if math.Abs(sum-length) > 1e-6 {
+			t.Errorf("length %g: segments sum to %g", length, sum)
+		}
+	}
+}
+
+func TestPlaceInsertionPointsEvenSpacing(t *testing.T) {
+	tr, _, _ := line(2400)
+	tr.PlaceInsertionPoints(800)
+	// 2400/800 = 3 → 2 points → 3 segments of 800.
+	if tr.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", tr.NumEdges())
+	}
+	for i := 0; i < tr.NumEdges(); i++ {
+		if math.Abs(tr.Edge(i).Length-800) > 1e-9 {
+			t.Errorf("segment %d length %g, want 800", i, tr.Edge(i).Length)
+		}
+	}
+}
+
+func TestPlaceInsertionPointsSkipsZeroLength(t *testing.T) {
+	tr := New()
+	a := tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	s := tr.AddSteiner(geom.Pt(0, 0))
+	b := tr.AddTerminal(geom.Pt(100, 0), term("b"))
+	tr.AddEdge(a, s, 0)
+	tr.AddEdge(s, b, 100)
+	added := tr.PlaceInsertionPoints(800)
+	if added != 1 {
+		t.Errorf("added = %d, want 1 (zero-length edge skipped)", added)
+	}
+}
+
+func TestRootAtOrientation(t *testing.T) {
+	// a - s - b, plus s - c.
+	tr := New()
+	a := tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	s := tr.AddSteiner(geom.Pt(1, 0))
+	b := tr.AddTerminal(geom.Pt(2, 0), term("b"))
+	c := tr.AddTerminal(geom.Pt(1, 1), term("c"))
+	tr.AddEdge(a, s, 100)
+	tr.AddEdge(s, b, 100)
+	tr.AddEdge(s, c, 100)
+	r := tr.RootAt(a)
+	if r.Parent[a] != -1 || r.Parent[s] != a || r.Parent[b] != s || r.Parent[c] != s {
+		t.Fatalf("parents wrong: %v", r.Parent)
+	}
+	if len(r.Children[s]) != 2 {
+		t.Errorf("children of s: %v", r.Children[s])
+	}
+	// Post-order: every node after its children.
+	pos := make(map[int]int)
+	for i, v := range r.PostOrder {
+		pos[v] = i
+	}
+	for v, p := range r.Parent {
+		if p != -1 && pos[v] > pos[p] {
+			t.Errorf("node %d appears after its parent %d", v, p)
+		}
+	}
+	if r.PostOrder[len(r.PostOrder)-1] != a {
+		t.Error("root not last in post-order")
+	}
+	if r.Depth(b) != 2 || r.Depth(a) != 0 {
+		t.Error("depths wrong")
+	}
+}
+
+func TestPath(t *testing.T) {
+	tr := New()
+	a := tr.AddTerminal(geom.Pt(0, 0), term("a"))
+	s := tr.AddSteiner(geom.Pt(1, 0))
+	b := tr.AddTerminal(geom.Pt(2, 0), term("b"))
+	c := tr.AddTerminal(geom.Pt(1, 1), term("c"))
+	tr.AddEdge(a, s, 100)
+	tr.AddEdge(s, b, 100)
+	tr.AddEdge(s, c, 100)
+	r := tr.RootAt(a)
+	got := r.Path(b, c)
+	want := []int{b, s, c}
+	if len(got) != len(want) {
+		t.Fatalf("Path = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", got, want)
+		}
+	}
+	if p := r.Path(b, b); len(p) != 1 || p[0] != b {
+		t.Errorf("Path(b,b) = %v", p)
+	}
+}
+
+func TestSourcesSinksFilters(t *testing.T) {
+	tr := New()
+	src := buslib.Terminal{Name: "s", IsSource: true, Cin: 0.1, Rout: 0.4}
+	snk := buslib.Terminal{Name: "k", IsSink: true, Cin: 0.1}
+	a := tr.AddTerminal(geom.Pt(0, 0), src)
+	b := tr.AddTerminal(geom.Pt(1, 0), snk)
+	tr.AddEdge(a, b, 50)
+	if got := tr.Sources(); len(got) != 1 || got[0] != a {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := tr.Sinks(); len(got) != 1 || got[0] != b {
+		t.Errorf("Sinks = %v", got)
+	}
+}
+
+func TestRandomTreesValidateAndRoot(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		tr := New()
+		n := 2 + r.Intn(20)
+		ids := []int{tr.AddSteiner(geom.Pt(r.Float64(), r.Float64()))}
+		for i := 1; i < n; i++ {
+			id := tr.AddSteiner(geom.Pt(r.Float64()*1000, r.Float64()*1000))
+			tr.AddEdge(ids[r.Intn(len(ids))], id, r.Float64()*500+1)
+			ids = append(ids, id)
+		}
+		// Attach terminals to all current leaves plus a couple extra.
+		for _, id := range ids {
+			if tr.Degree(id) <= 1 || r.Intn(3) == 0 {
+				tid := tr.AddTerminal(geom.Pt(r.Float64()*1000, r.Float64()*1000), term("t"))
+				tr.AddEdge(id, tid, r.Float64()*500+1)
+			}
+		}
+		tr.PlaceInsertionPoints(200 + r.Float64()*600)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		root := tr.Terminals()[0]
+		rt := tr.RootAt(root)
+		if len(rt.PostOrder) != tr.NumNodes() {
+			t.Fatalf("trial %d: post-order covers %d of %d", trial, len(rt.PostOrder), tr.NumNodes())
+		}
+		for v := 0; v < tr.NumNodes(); v++ {
+			if v != root && rt.Parent[v] == -1 {
+				t.Fatalf("trial %d: node %d unparented", trial, v)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Terminal.String() != "terminal" || Steiner.String() != "steiner" || Insertion.String() != "insertion" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown Kind empty")
+	}
+}
+
+func TestSetTerminalPanicsOnNonTerminal(t *testing.T) {
+	tr := New()
+	s := tr.AddSteiner(geom.Pt(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTerminal on steiner did not panic")
+		}
+	}()
+	tr.SetTerminal(s, term("x"))
+}

@@ -1,0 +1,308 @@
+package msrnet_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msrnet"
+)
+
+func buildBus(t *testing.T) *msrnet.Net {
+	t.Helper()
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	b.AddTerminal("cpu", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("dma", 9000, 1000, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("mem", 4000, 8000, msrnet.Roles{Sink: true})
+	b.AddTerminal("io", 8000, 7000, msrnet.Roles{Source: true, Sink: true})
+	net, err := b.AutoRoute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuilderAutoRoute(t *testing.T) {
+	net := buildBus(t)
+	if got := net.Terminals(); len(got) != 4 || got[0] != "cpu" {
+		t.Errorf("Terminals = %v", got)
+	}
+	if net.WireLength() <= 0 || net.InsertionPoints() == 0 {
+		t.Errorf("wl=%g ins=%d", net.WireLength(), net.InsertionPoints())
+	}
+}
+
+func TestARDAndOptimize(t *testing.T) {
+	net := buildBus(t)
+	base, err := net.ARD(msrnet.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ARD <= 0 || base.CritSrc == "" || base.CritSink == "" {
+		t.Fatalf("degenerate ARD: %+v", base)
+	}
+	suite, err := net.OptimizeRepeaters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.MinARD().ARD >= base.ARD {
+		t.Errorf("optimization did not improve: %g vs %g", suite.MinARD().ARD, base.ARD)
+	}
+	// Spec-driven lookup: cheapest solution meeting a mid-range spec.
+	spec := (base.ARD + suite.MinARD().ARD) / 2
+	sol, ok := suite.MinCost(spec)
+	if !ok {
+		t.Fatal("mid-range spec infeasible")
+	}
+	if sol.ARD > spec+1e-9 {
+		t.Errorf("MinCost returned ARD %g above spec %g", sol.ARD, spec)
+	}
+	// Reconstructed assignment must evaluate to the same ARD.
+	check, err := net.ARD(sol.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(check.ARD-sol.ARD) > 1e-6 {
+		t.Errorf("assignment evaluates to %g, suite says %g", check.ARD, sol.ARD)
+	}
+}
+
+func TestSizeDrivers(t *testing.T) {
+	net := buildBus(t)
+	suite, err := net.SizeDrivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := net.ARD(msrnet.Assignment{})
+	if suite.MinARD().ARD >= base.ARD {
+		t.Error("driver sizing did not improve")
+	}
+}
+
+func TestPathDelay(t *testing.T) {
+	net := buildBus(t)
+	d, err := net.PathDelay("cpu", "mem", msrnet.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("PathDelay = %g", d)
+	}
+	if _, err := net.PathDelay("nope", "mem", msrnet.Assignment{}); err == nil {
+		t.Error("unknown terminal accepted")
+	}
+}
+
+func TestSimulateTracksElmore(t *testing.T) {
+	net := buildBus(t)
+	sim, err := net.Simulate("cpu", msrnet.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []string{"dma", "mem", "io"} {
+		elm, err := net.PathDelay("cpu", dst, msrnet.Assignment{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim[dst] <= 0 || sim[dst] > elm*1.05 {
+			t.Errorf("sim delay to %s = %g vs elmore %g", dst, sim[dst], elm)
+		}
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	net := buildBus(t)
+	suite, err := net.OptimizeRepeaters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.RenderSVG(&buf, suite.MinARD().Assignment(), "best"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no svg output")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	net := buildBus(t)
+	path := filepath.Join(t.TempDir(), "bus.json")
+	if err := net.Save(path, "bus"); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := msrnet.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := net.ARD(msrnet.Assignment{})
+	a2, _ := net2.ARD(msrnet.Assignment{})
+	if math.Abs(a1.ARD-a2.ARD) > 1e-9 {
+		t.Errorf("ARD changed across save/load: %g vs %g", a1.ARD, a2.ARD)
+	}
+}
+
+func TestExplicitTopology(t *testing.T) {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	a := b.AddTerminal("a", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	m := b.AddTerminal("m", 5000, 0, msrnet.Roles{Sink: true})
+	c := b.AddTerminal("c", 10000, 0, msrnet.Roles{Source: true, Sink: true})
+	b.Connect(a, m)
+	b.Connect(m, c)
+	net, err := b.AutoRoute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Daisy-chain: wirelength exactly 10000.
+	if math.Abs(net.WireLength()-10000) > 1e-9 {
+		t.Errorf("wirelength = %g", net.WireLength())
+	}
+	if _, err := net.OptimizeRepeaters(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	b.AddTerminal("only", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	if _, err := b.AutoRoute(); err == nil {
+		t.Error("single-terminal net accepted")
+	}
+}
+
+func TestCustomTerminal(t *testing.T) {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	custom := msrnet.DefaultTerminal("x")
+	custom.AAT = 1.5
+	custom.IsSource = true
+	custom.IsSink = false
+	b.AddCustomTerminal("x", 0, 0, custom)
+	b.AddTerminal("y", 4000, 0, msrnet.Roles{Sink: true})
+	net, err := b.AutoRoute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.ARD(msrnet.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The AAT offset must show up in the ARD.
+	if res.ARD < 1.5 {
+		t.Errorf("ARD %g does not include AAT", res.ARD)
+	}
+	if res.CritSrc != "x" || res.CritSink != "y" {
+		t.Errorf("critical pair %s->%s", res.CritSrc, res.CritSink)
+	}
+}
+
+func TestSPEFRoundTripViaFacade(t *testing.T) {
+	net := buildBus(t)
+	var buf bytes.Buffer
+	if err := net.SaveSPEF(&buf, "bus"); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := msrnet.LoadSPEF(&buf, net.Tech, msrnet.DefaultTerminal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := net.ARD(msrnet.Assignment{})
+	a2, _ := net2.ARD(msrnet.Assignment{})
+	if math.Abs(a1.ARD-a2.ARD) > 1e-6*(1+a1.ARD) {
+		t.Errorf("SPEF roundtrip ARD: %g vs %g", a1.ARD, a2.ARD)
+	}
+	if net2.InsertionPoints() != net.InsertionPoints() {
+		t.Errorf("insertion points: %d vs %d", net2.InsertionPoints(), net.InsertionPoints())
+	}
+	// Optimization works on the imported net.
+	if _, err := net2.OptimizeRepeaters(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeTimingDrivenFacade(t *testing.T) {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	b.AddTerminal("a", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("b", 8000, 0, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("c", 4000, 6000, msrnet.Roles{Sink: true})
+	b.AddTerminal("d", 1000, 7000, msrnet.Roles{Sink: true})
+	net, suite, err := b.SynthesizeTimingDriven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.WireLength() <= 0 || len(suite) == 0 {
+		t.Fatalf("degenerate synthesis: wl=%g suite=%d", net.WireLength(), len(suite))
+	}
+	// The synthesized net is a normal Net: spec lookup and re-evaluation
+	// work on it.
+	sol := suite.MinARD()
+	check, err := net.ARD(sol.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(check.ARD-sol.ARD) > 1e-6*(1+sol.ARD) {
+		t.Errorf("synthesized suite inconsistent: %g vs %g", check.ARD, sol.ARD)
+	}
+	// Too few terminals errors.
+	b2 := msrnet.NewBuilder(msrnet.DefaultTech())
+	b2.AddTerminal("only", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	if _, _, err := b2.SynthesizeTimingDriven(); err == nil {
+		t.Error("single-terminal synthesis accepted")
+	}
+}
+
+func TestWrapTopologyAndSpacingZero(t *testing.T) {
+	b := msrnet.NewBuilder(msrnet.DefaultTech())
+	b.AddTerminal("a", 0, 0, msrnet.Roles{Source: true, Sink: true})
+	b.AddTerminal("b", 3000, 0, msrnet.Roles{Source: true, Sink: true})
+	net, err := b.AutoRouteSpacing(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.InsertionPoints() != 0 {
+		t.Errorf("spacing 0 placed %d insertion points", net.InsertionPoints())
+	}
+	wrapped := msrnet.WrapTopology(net.Tree, net.Tech)
+	a1, err := wrapped.ARD(msrnet.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.ARD <= 0 {
+		t.Error("wrapped net degenerate")
+	}
+	// Optimize with a custom options struct through the generic entry.
+	suite, stats, err := wrapped.Optimize(msrnet.OptimizeOptions{SizeDrivers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) == 0 || stats.SolutionsCreated == 0 {
+		t.Error("generic Optimize degenerate")
+	}
+}
+
+func TestSlewARDFacade(t *testing.T) {
+	net := buildBus(t)
+	base, err := net.ARD(msrnet.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := net.SlewARD(msrnet.Assignment{}, msrnet.SlewModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zero.ARD-base.ARD) > 1e-9*(1+base.ARD) {
+		t.Errorf("zero slew model %g != ARD %g", zero.ARD, base.ARD)
+	}
+	withSlew, err := net.SlewARD(msrnet.Assignment{},
+		msrnet.SlewModel{SlewSensitivity: 0.3, InputSlew: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSlew.ARD < base.ARD {
+		t.Errorf("slew-aware ARD %g below Elmore %g", withSlew.ARD, base.ARD)
+	}
+	if withSlew.CritSrc == "" || withSlew.CritSink == "" {
+		t.Error("missing critical pair")
+	}
+}
