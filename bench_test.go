@@ -21,6 +21,7 @@ import (
 	"msrnet/internal/experiments"
 	"msrnet/internal/geom"
 	"msrnet/internal/netgen"
+	"msrnet/internal/obs"
 	"msrnet/internal/ptree"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
@@ -67,6 +68,30 @@ func loadBenchNets(b *testing.B) {
 				b.Fatal(err)
 			}
 			benchNets.t20 = append(benchNets.t20, tr20)
+		}
+	})
+}
+
+// BenchmarkOptimize measures the core dynamic program on the 10-pin
+// benchmark net with the no-op recorder ("norec", the production default
+// — instrumentation must cost nothing here) and with a live registry
+// ("obs"), so the overhead of full observability is itself observable.
+func BenchmarkOptimize(b *testing.B) {
+	loadBenchNets(b)
+	rt := benchNets.t10[0].RootAt(benchNets.t10[0].Terminals()[0])
+	b.Run("norec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Optimize(rt, benchNets.tech, core.Options{Repeaters: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("obs", func(b *testing.B) {
+		reg := obs.New()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Optimize(rt, benchNets.tech, core.Options{Repeaters: true, Obs: reg}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -108,6 +108,44 @@ func TestCLIGenerateAnalyzeOptimize(t *testing.T) {
 		t.Error("assignment not written")
 	}
 
+	// Metrics snapshot: the JSON document must carry phase timings plus
+	// the per-node set-size and PWL-segment histograms of the issue's
+	// acceptance criteria.
+	metricsPath := filepath.Join(dir, "metrics.json")
+	out = run(t, "msri", "-net", netPath, "-metrics", metricsPath, "-trace",
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"), "-memprofile", filepath.Join(dir, "mem.pprof"))
+	if !strings.Contains(out, "tradeoff suite") {
+		t.Errorf("msri -metrics output: %s", out)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	for _, want := range []string{
+		`"schema": "msrnet-metrics/v1"`, "msri", "solve",
+		"core/set_size/pre_prune", "core/set_size/post_prune",
+		"core/pwl_segments", "core/prune/divide/calls", "ard/runs",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics JSON missing %q", want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cpu.pprof")); err != nil {
+		t.Error("cpu profile not written")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mem.pprof")); err != nil {
+		t.Error("mem profile not written")
+	}
+	out = run(t, "ardcalc", "-net", netPath, "-metrics", filepath.Join(dir, "ard-metrics.json"))
+	if !strings.Contains(out, "ARD =") {
+		t.Errorf("ardcalc -metrics output: %s", out)
+	}
+	if raw, err := os.ReadFile(filepath.Join(dir, "ard-metrics.json")); err != nil {
+		t.Error("ardcalc metrics not written")
+	} else if !strings.Contains(string(raw), "ard/runs") {
+		t.Error("ardcalc metrics missing ard/runs")
+	}
+
 	// Spec-driven run with both pruners; results must agree on the line.
 	a := run(t, "msri", "-net", netPath, "-spec", "99", "-pruner", "divide")
 	b := run(t, "msri", "-net", netPath, "-spec", "99", "-pruner", "naive")
@@ -130,12 +168,19 @@ func TestCLISynthAndExperiments(t *testing.T) {
 	}
 
 	csvDir := t.TempDir()
-	out = run(t, "experiments", "-table", "2", "-nets", "2", "-parallel", "2", "-csvdir", csvDir)
+	metricsPath := filepath.Join(csvDir, "metrics.json")
+	out = run(t, "experiments", "-table", "2", "-nets", "2", "-parallel", "2",
+		"-csvdir", csvDir, "-metrics", metricsPath)
 	if !strings.Contains(out, "Table II") {
 		t.Errorf("experiments -table 2: %s", out)
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "table2.csv")); err != nil {
 		t.Error("table2.csv not written")
+	}
+	if raw, err := os.ReadFile(metricsPath); err != nil {
+		t.Error("experiments metrics not written")
+	} else if !strings.Contains(string(raw), "table2") {
+		t.Error("experiments metrics missing table2 span")
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	ardcalc -net net10.json
 //	ardcalc -net net10.json -matrix -check
+//	ardcalc -net net10.json -metrics m.json -trace -cpuprofile cpu.pprof
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/netio"
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/spef"
 	"msrnet/internal/topo"
@@ -31,19 +33,50 @@ func main() {
 		matrix  = flag.Bool("matrix", false, "print the full source×sink augmented delay matrix")
 		check   = flag.Bool("check", false, "cross-check against the naive O(s·n) computation")
 		self    = flag.Bool("self", false, "include u==v source/sink pairs")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, ARD pass counters) to this file")
+		trace   = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *netPath == "" {
 		fmt.Fprintln(os.Stderr, "ardcalc: -net is required")
 		os.Exit(2)
 	}
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *trace {
+		reg = obs.New()
+	}
+	defer func() {
+		stopCPU()
+		if *trace {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+		}
+		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
+
+	loadSpan := reg.StartSpan("ardcalc/load")
 	tr, tech, err := loadNet(*netPath)
 	if err != nil {
 		fatal(err)
 	}
+	loadSpan.End()
 	rt := tr.RootAt(tr.Terminals()[0])
 	net := rctree.NewNet(rt, tech, rctree.Assignment{})
-	res := ard.Compute(net, ard.Options{IncludeSelf: *self})
+	var rec obs.Recorder
+	if reg != nil {
+		rec = reg
+	}
+	res := ard.Compute(net, ard.Options{IncludeSelf: *self, Obs: rec})
 	name := func(id int) string {
 		if id < 0 {
 			return "-"
@@ -54,7 +87,9 @@ func main() {
 	fmt.Printf("critical pair: %s -> %s\n", name(res.CritSrc), name(res.CritSink))
 
 	if *check {
+		naiveSpan := reg.StartSpan("ardcalc/naive_check")
 		naive, _, _ := net.NaiveARD(*self)
+		naiveSpan.End()
 		diff := res.ARD - naive
 		fmt.Printf("naive ARD = %.6f ns (difference %.3g)\n", naive, diff)
 		if diff > 1e-9 || diff < -1e-9 {

@@ -16,7 +16,9 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
+	"msrnet/internal/dominance"
 	"msrnet/internal/experiments"
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/svgplot"
 )
@@ -34,9 +36,35 @@ func main() {
 		combined = flag.Bool("combined", false, "run the joint sizing+repeater study")
 		svgdir   = flag.String("svgdir", "", "directory for Fig. 11 SVG output")
 		csvdir   = flag.String("csvdir", "", "directory for CSV dumps of the tables")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (per-study phase spans) to this file")
+		trace    = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	tech := buslib.Default()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *trace {
+		reg = obs.New()
+		dominance.SetObserver(reg)
+	}
+	defer func() {
+		stopCPU()
+		if *trace {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+		}
+		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
 
 	did := false
 	if *all || *table == 1 {
@@ -46,6 +74,7 @@ func main() {
 	}
 	var t2rows []experiments.Table2Row
 	if *all || *table == 2 || *table == 4 {
+		sp := reg.StartSpan("experiments/table2")
 		for _, pins := range []int{10, 20} {
 			row, _, err := experiments.Table2Parallel(pins, *nets, *seed, tech, *parallel)
 			if err != nil {
@@ -53,6 +82,7 @@ func main() {
 			}
 			t2rows = append(t2rows, row)
 		}
+		sp.End()
 	}
 	if *all || *table == 2 {
 		fmt.Print(experiments.FormatTable2(t2rows))
@@ -67,10 +97,12 @@ func main() {
 		did = true
 	}
 	if *all || *table == 3 {
+		sp := reg.StartSpan("experiments/table3")
 		rows, err := experiments.Table3(tech)
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 		fmt.Print(experiments.FormatTable3(rows))
 		fmt.Println()
 		if *csvdir != "" {
@@ -88,10 +120,12 @@ func main() {
 		did = true
 	}
 	if *all || *fig == 11 {
+		sp := reg.StartSpan("experiments/fig11")
 		f, err := experiments.Fig11(8, tech, []int{2, 5})
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 		fmt.Print(experiments.FormatFig11(f))
 		fmt.Println()
 		if *svgdir != "" {
@@ -122,10 +156,12 @@ func main() {
 		did = true
 	}
 	if *all || *spacing {
+		sp := reg.StartSpan("experiments/spacing")
 		rows, err := experiments.SpacingStudy(10, *nets, *seed, tech, []float64{800, 450, 300})
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 		fmt.Print(experiments.FormatSpacing(rows))
 		fmt.Println()
 		if *csvdir != "" {
@@ -138,6 +174,7 @@ func main() {
 		did = true
 	}
 	if *all || *combined {
+		sp := reg.StartSpan("experiments/combined")
 		var rows []experiments.CombinedRow
 		for _, pins := range []int{10, 20} {
 			row, err := experiments.Combined(pins, *nets, *seed, tech)
@@ -146,15 +183,18 @@ func main() {
 			}
 			rows = append(rows, row)
 		}
+		sp.End()
 		fmt.Print(experiments.FormatCombined(rows))
 		fmt.Println()
 		did = true
 	}
 	if *all || *asym {
+		sp := reg.StartSpan("experiments/asym")
 		rows, err := experiments.Asymmetric(10, *nets, *seed, tech, []float64{0.2, 0.5, 1.0})
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 		fmt.Print(experiments.FormatAsym(rows))
 		fmt.Println()
 		did = true

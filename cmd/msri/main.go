@@ -11,6 +11,9 @@
 //	msri -net net10.json -mode both            # sizing + repeaters jointly
 //	msri -net net10.json -svg out.svg          # render the chosen solution
 //	msri -net net10.json -assign out.json      # dump the chosen assignment
+//	msri -net net10.json -metrics m.json       # JSON metrics snapshot (spans + histograms)
+//	msri -net net10.json -trace                # phase-span report on stderr
+//	msri -net net10.json -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"msrnet/internal/ard"
 	"msrnet/internal/core"
 	"msrnet/internal/netio"
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/report"
 	"msrnet/internal/spef"
@@ -46,17 +50,44 @@ func main() {
 		stats    = flag.Bool("stats", false, "print dynamic-programming statistics")
 		parallel = flag.Bool("parallel", false, "evaluate independent subtrees concurrently")
 		rep      = flag.Bool("report", false, "print a before/after summary and placement report for the chosen solution")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, set-size and PWL-segment histograms) to this file")
+		trace    = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *netPath == "" {
 		fmt.Fprintln(os.Stderr, "msri: -net is required")
 		os.Exit(2)
 	}
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *trace {
+		reg = obs.New()
+	}
+	defer func() {
+		stopCPU()
+		if *trace {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+		}
+		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
+
+	loadSpan := reg.StartSpan("msri/load")
 	tr, tech, err := loadNet(*netPath)
 	if err != nil {
 		fatal(err)
 	}
-	opt := core.Options{}
+	loadSpan.End()
+	opt := core.Options{Obs: recorder(reg)}
 	switch *mode {
 	case "repeaters":
 		opt.Repeaters = true
@@ -89,21 +120,23 @@ func main() {
 
 	rt := tr.RootAt(tr.Terminals()[0])
 	base := rctree.NewNet(rt, tech, rctree.Assignment{})
-	baseARD := ard.Compute(base, ard.Options{}).ARD
+	baseARD := ard.Compute(base, ard.Options{Obs: recorder(reg)}).ARD
 	fmt.Printf("net: %d terminals, %d insertion points, %.0f µm wire, unoptimized ARD %.4f ns\n",
 		len(tr.Terminals()), len(tr.Insertions()), tr.TotalWireLength(), baseARD)
 
+	optSpan := reg.StartSpan("msri/optimize")
 	res, err := core.Optimize(rt, tech, opt)
 	if err != nil {
 		fatal(err)
 	}
+	optSpan.End()
 	fmt.Println("cost/ARD tradeoff suite:")
 	if err := report.Suite(os.Stdout, res.Suite); err != nil {
 		fatal(err)
 	}
 	if *stats {
-		fmt.Printf("stats: %d solutions created, max set %d, max PWL segments %d, %d prunes\n",
-			res.Stats.SolutionsCreated, res.Stats.MaxSetSize, res.Stats.MaxSegs, res.Stats.PruneCalls)
+		fmt.Printf("stats: %d solutions created, max set %d, max PWL segments %d, %d prunes, %d dropped\n",
+			res.Stats.SolutionsCreated, res.Stats.MaxSetSize, res.Stats.MaxSegs, res.Stats.PruneCalls, res.Stats.Dropped)
 	}
 
 	var chosen core.RootSolution
@@ -174,6 +207,16 @@ func loadNet(path string) (*topo.Tree, buslib.Tech, error) {
 		return tr, tech, err
 	}
 	return netio.Load(path)
+}
+
+// recorder converts a possibly-nil *Registry into a Recorder without
+// producing a typed-nil interface surprise at call sites that compare
+// against nil.
+func recorder(reg *obs.Registry) obs.Recorder {
+	if reg == nil {
+		return nil
+	}
+	return reg
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ package ard
 import (
 	"math"
 
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// own launch). The bus-timing interpretation excludes them, matching
 	// the experiments in §VI; enable for the fully general diameter.
 	IncludeSelf bool
+	// Obs, when non-nil, records the "ard/compute" span (with its
+	// "stage_cap" and "dfs" sub-passes) and per-run node counters, the
+	// observable side of the §III linear-time claim. Nil is free.
+	Obs obs.Recorder
 }
 
 // Result carries the ARD value and the witnessing critical pair.
@@ -84,9 +89,18 @@ type lifted struct {
 // Compute returns the ARD of the assigned net in linear time.
 func Compute(n *rctree.Net, opt Options) Result {
 	t := n.R.Tree
+	total := obs.Start(opt.Obs, "ard/compute")
+	defer total.End()
+	if opt.Obs != nil {
+		opt.Obs.Counter("ard/runs").Inc()
+		opt.Obs.Counter("ard/nodes").Add(int64(t.NumNodes()))
+		opt.Obs.Counter("ard/sources").Add(int64(len(t.Sources())))
+		opt.Obs.Counter("ard/sinks").Add(int64(len(t.Sinks())))
+	}
 	// Per-node total stage capacitance for O(1) "stage cap away from
 	// child c" queries at branch points: stageCap[v] − wireCap(c) −
 	// CapBelow[c]. Undefined at repeater nodes, whose sides decouple.
+	capPass := obs.Start(opt.Obs, "ard/compute/stage_cap")
 	stageCap := make([]float64, t.NumNodes())
 	for _, v := range n.R.PostOrder {
 		if _, ok := n.Assign.Repeaters[v]; ok {
@@ -95,7 +109,10 @@ func Compute(n *rctree.Net, opt Options) Result {
 		}
 		stageCap[v] = n.StageCapAt(v)
 	}
+	capPass.End()
 
+	dfsPass := obs.Start(opt.Obs, "ard/compute/dfs")
+	defer dfsPass.End()
 	sub := make([]subtree, t.NumNodes())
 	for _, v := range n.R.PostOrder {
 		if v == n.R.Root {

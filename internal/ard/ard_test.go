@@ -8,6 +8,7 @@ import (
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
 	"msrnet/internal/geom"
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/testnet"
 	"msrnet/internal/topo"
@@ -248,5 +249,36 @@ func benchARD(b *testing.B, f func(n *rctree.Net)) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f(n)
+	}
+}
+
+// TestComputeRecordsObs: the linear-time pass must record its phase
+// spans and node counters, the measured side of the §III claim.
+func TestComputeRecordsObs(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	cfg := testnet.DefaultConfig()
+	cfg.AllRoles = true
+	tr := testnet.RandTree(r, cfg)
+	tech := testnet.RandTech(r, 1, 0)
+	rt := tr.RootAt(testnet.RootTerminal(tr))
+	n := rctree.NewNet(rt, tech, rctree.Assignment{})
+
+	reg := obs.New()
+	plain := ard.Compute(n, ard.Options{})
+	rec := ard.Compute(n, ard.Options{Obs: reg})
+	if plain.ARD != rec.ARD {
+		t.Fatalf("instrumentation changed the result: %g vs %g", plain.ARD, rec.ARD)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["ard/runs"] != 1 {
+		t.Errorf("runs = %d, want 1", snap.Counters["ard/runs"])
+	}
+	if snap.Counters["ard/nodes"] == 0 || snap.Counters["ard/sources"] == 0 || snap.Counters["ard/sinks"] == 0 {
+		t.Errorf("node/source/sink counters empty: %+v", snap.Counters)
+	}
+	for _, path := range []string{"ard/compute", "ard/compute/stage_cap", "ard/compute/dfs"} {
+		if reg.SpanSeconds(path) <= 0 {
+			t.Errorf("span %q not recorded", path)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"msrnet/internal/buslib"
+	"msrnet/internal/obs"
 	"msrnet/internal/pwl"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
@@ -26,6 +27,18 @@ const (
 	// ablation experiments).
 	PruneOff
 )
+
+// String names the pruner for metrics and diagnostics.
+func (p Pruner) String() string {
+	switch p {
+	case PruneNaive:
+		return "naive"
+	case PruneOff:
+		return "off"
+	default:
+		return "divide"
+	}
+}
 
 // Options configures an optimization run.
 type Options struct {
@@ -60,14 +73,22 @@ type Options struct {
 	// goroutines (bounded by GOMAXPROCS). The result is identical to the
 	// serial run; only wall-clock time changes.
 	Parallel bool
+	// Obs, when non-nil, receives detailed instrumentation: the
+	// "msri/solve" phase span, per-node solution-set-size histograms
+	// before and after pruning, PWL segment-count histograms, and prune
+	// call/drop counters keyed by pruner kind. A nil Obs keeps the hot
+	// paths allocation-free.
+	Obs obs.Recorder
 }
 
-// Stats reports work done by the dynamic program.
+// Stats reports work done by the dynamic program. All counters are
+// deterministic: serial and parallel runs of the same input agree.
 type Stats struct {
 	SolutionsCreated int // total candidate solutions constructed
-	MaxSetSize       int // largest pruned per-node solution set
+	MaxSetSize       int // largest per-node solution set after pruning
 	MaxSegs          int // largest PWL segment count observed
-	PruneCalls       int
+	PruneCalls       int // prune invocations (counted for every pruner, including PruneOff)
+	Dropped          int // solutions removed by pruning (validity domain emptied)
 }
 
 // Result is the outcome of Optimize: the Pareto suite plus run statistics.
@@ -105,6 +126,20 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 	if opt.Parallel {
 		d.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	}
+	if opt.Obs != nil {
+		kind := opt.Pruner.String()
+		d.ins = instr{
+			solutions:  opt.Obs.Counter("core/solutions_created"),
+			pruneCalls: opt.Obs.Counter("core/prune/" + kind + "/calls"),
+			pruneDrops: opt.Obs.Counter("core/prune/" + kind + "/drops"),
+			preSize:    opt.Obs.Histogram("core/set_size/pre_prune", nil),
+			postSize:   opt.Obs.Histogram("core/set_size/post_prune", nil),
+			segs:       opt.Obs.Histogram("core/pwl_segments", nil),
+			maxSet:     opt.Obs.Gauge("core/max_set_size"),
+		}
+	}
+	span := obs.Start(opt.Obs, "msri/solve")
+	defer span.End()
 	// Root: single child (root is a leaf terminal).
 	children := rt.Children[rt.Root]
 	if len(children) != 1 {
@@ -190,11 +225,25 @@ type dp struct {
 	rt   *topo.Rooted
 	tech buslib.Tech
 	opt  Options
+	ins  instr
 
 	mu    sync.Mutex
 	stats Stats
 	err   error
 	sem   chan struct{} // bounds concurrent subtree goroutines
+}
+
+// instr holds the metric handles resolved once per run, so the hot path
+// pays only nil-safe atomic updates (or nothing, when Options.Obs is
+// nil and every handle stays nil).
+type instr struct {
+	solutions  *obs.Counter
+	pruneCalls *obs.Counter
+	pruneDrops *obs.Counter
+	preSize    *obs.Histogram
+	postSize   *obs.Histogram
+	segs       *obs.Histogram
+	maxSet     *obs.Gauge
 }
 
 // setErr records the first error.
@@ -224,6 +273,26 @@ func (d *dp) note(sols []*Solution) {
 		}
 	}
 	d.mu.Unlock()
+	if d.ins.segs != nil {
+		d.ins.solutions.Add(int64(len(sols)))
+		for _, s := range sols {
+			d.ins.segs.ObserveInt(s.A.NumSegs())
+			d.ins.segs.ObserveInt(s.D.NumSegs())
+		}
+	}
+}
+
+// noteSetSize records a finished per-node solution set that did not pass
+// through prune (already-pruned sets survive Augment unchanged, and a
+// plain leaf is a one-element set), keeping MaxSetSize consistent across
+// every construction path.
+func (d *dp) noteSetSize(n int) {
+	d.mu.Lock()
+	if n > d.stats.MaxSetSize {
+		d.stats.MaxSetSize = n
+	}
+	d.mu.Unlock()
+	d.ins.maxSet.SetMax(int64(n))
 }
 
 func (d *dp) prune(sols []*Solution) []*Solution {
@@ -237,8 +306,10 @@ func (d *dp) prune(sols []*Solution) []*Solution {
 	default:
 		out = pruneDivide(sols)
 	}
+	drops := len(sols) - len(out)
 	d.mu.Lock()
 	d.stats.PruneCalls++
+	d.stats.Dropped += drops
 	if len(out) > d.stats.MaxSetSize {
 		d.stats.MaxSetSize = len(out)
 	}
@@ -247,6 +318,13 @@ func (d *dp) prune(sols []*Solution) []*Solution {
 			len(out), d.opt.MaxSolutions)
 	}
 	d.mu.Unlock()
+	if d.ins.pruneCalls != nil {
+		d.ins.pruneCalls.Inc()
+		d.ins.pruneDrops.Add(int64(drops))
+		d.ins.preSize.ObserveInt(len(sols))
+		d.ins.postSize.ObserveInt(len(out))
+		d.ins.maxSet.SetMax(int64(len(out)))
+	}
 	return out
 }
 
@@ -273,7 +351,10 @@ func (d *dp) leafSolutions(v int) []*Solution {
 		}
 	}
 	if !d.opt.SizeDrivers || !term.IsSource {
-		return []*Solution{mk(0, term.Rout, term.DriverIntrinsic, nil)}
+		out := []*Solution{mk(0, term.Rout, term.DriverIntrinsic, nil)}
+		d.note(out)
+		d.noteSetSize(len(out))
+		return out
 	}
 	out := make([]*Solution, 0, len(d.tech.Drivers))
 	for _, drv := range d.tech.Drivers {
@@ -323,6 +404,7 @@ func (d *dp) augment(sols []*Solution, eid int) []*Solution {
 	if len(widths) > 1 {
 		return d.prune(out)
 	}
+	d.noteSetSize(len(out))
 	return out
 }
 

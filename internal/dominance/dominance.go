@@ -13,7 +13,61 @@
 // package core generalizes the same idea to PWL-valued coordinates.
 package dominance
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+
+	"msrnet/internal/obs"
+)
+
+// domInstr caches the metric handles so the recursive hot paths pay one
+// atomic pointer load when instrumentation is off.
+type domInstr struct {
+	calls     *obs.Counter
+	fallbacks *obs.Counter
+	maxDepth  *obs.Gauge
+}
+
+var instr atomic.Pointer[domInstr]
+
+// SetObserver installs (or, with nil, removes) the package's
+// instrumentation sink. The package records the divide-and-conquer
+// recursion depth ("dominance/max_depth"), the number of small-case
+// quadratic fallbacks ("dominance/small_case_fallbacks") and total
+// minima calls ("dominance/calls"). Package-level because the classical
+// minima routines are free functions; the metrics themselves are atomic,
+// so concurrent callers are safe.
+func SetObserver(r obs.Recorder) {
+	if r == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&domInstr{
+		calls:     r.Counter("dominance/calls"),
+		fallbacks: r.Counter("dominance/small_case_fallbacks"),
+		maxDepth:  r.Gauge("dominance/max_depth"),
+	})
+}
+
+func noteCall() *domInstr {
+	in := instr.Load()
+	if in != nil {
+		in.calls.Inc()
+	}
+	return in
+}
+
+func (in *domInstr) noteDepth(depth int) {
+	if in != nil {
+		in.maxDepth.SetMax(int64(depth))
+	}
+}
+
+func (in *domInstr) noteFallback() {
+	if in != nil {
+		in.fallbacks.Inc()
+	}
+}
 
 // Point is a d-dimensional point; smaller is better in every coordinate.
 type Point []float64
@@ -37,6 +91,7 @@ func dominates(a, b Point, eps float64) bool {
 // quadratic pairwise comparison. Exact ties are resolved by keeping the
 // earliest index. It is the reference oracle for the fast algorithms.
 func MinimaNaive(pts []Point, eps float64) []int {
+	noteCall()
 	var out []int
 	for i, p := range pts {
 		dominated := false
@@ -75,6 +130,7 @@ func equal(a, b Point, eps float64) bool {
 // (breaking ties by the second, then by index) and sweep, keeping points
 // that strictly improve the best second coordinate seen.
 func Minima2D(pts []Point, eps float64) []int {
+	noteCall()
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
@@ -122,6 +178,7 @@ func Minima2D(pts []Point, eps float64) []int {
 // high half every point dominated in (y, z) by the staircase of the low
 // half.
 func Minima3D(pts []Point, eps float64) []int {
+	in := noteCall()
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
@@ -135,21 +192,23 @@ func Minima3D(pts []Point, eps float64) []int {
 		}
 		return idx[a] < idx[b]
 	})
-	surv := minima3Rec(pts, idx, eps)
+	surv := minima3Rec(pts, idx, eps, 1, in)
 	sort.Ints(surv)
 	return surv
 }
 
-func minima3Rec(pts []Point, idx []int, eps float64) []int {
+func minima3Rec(pts []Point, idx []int, eps float64, depth int, in *domInstr) []int {
+	in.noteDepth(depth)
 	if len(idx) <= 1 {
 		return append([]int(nil), idx...)
 	}
 	if len(idx) <= 8 {
+		in.noteFallback()
 		return smallMinima(pts, idx, eps)
 	}
 	mid := len(idx) / 2
-	low := minima3Rec(pts, idx[:mid], eps)
-	high := minima3Rec(pts, idx[mid:], eps)
+	low := minima3Rec(pts, idx[:mid], eps, depth+1, in)
+	high := minima3Rec(pts, idx[mid:], eps, depth+1, in)
 	// Points in `high` have x ≥ every x in `low` (by sort order), so a
 	// high point survives only if no low point dominates it in (y, z).
 	// Build the (y → min z) staircase of the low survivors.
@@ -231,6 +290,7 @@ func MinimaKD(pts []Point, eps float64) []int {
 	case 3:
 		return Minima3D(pts, eps)
 	}
+	in := noteCall()
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
@@ -244,18 +304,20 @@ func MinimaKD(pts []Point, eps float64) []int {
 		}
 		return idx[a] < idx[b]
 	})
-	surv := kdRec(pts, idx, eps)
+	surv := kdRec(pts, idx, eps, 1, in)
 	sort.Ints(surv)
 	return surv
 }
 
-func kdRec(pts []Point, idx []int, eps float64) []int {
+func kdRec(pts []Point, idx []int, eps float64, depth int, in *domInstr) []int {
+	in.noteDepth(depth)
 	if len(idx) <= 16 {
+		in.noteFallback()
 		return smallMinima(pts, idx, eps)
 	}
 	mid := len(idx) / 2
-	low := kdRec(pts, idx[:mid], eps)
-	high := kdRec(pts, idx[mid:], eps)
+	low := kdRec(pts, idx[:mid], eps, depth+1, in)
+	high := kdRec(pts, idx[mid:], eps, depth+1, in)
 	out := low
 	for _, i := range high {
 		dominated := false

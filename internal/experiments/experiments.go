@@ -15,12 +15,12 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"time"
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
 	"msrnet/internal/core"
 	"msrnet/internal/netgen"
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
 )
@@ -36,12 +36,24 @@ type NetResult struct {
 
 	// Driver sizing results.
 	SizingSuite core.Suite
-	SizingTime  time.Duration
 
 	// Repeater insertion results.
 	RepSuite core.Suite
-	RepTime  time.Duration
+
+	// Obs is the per-net instrumentation registry: the phase spans
+	// "net/base_ard", "net/sizing" and "net/repeaters", plus the core DP
+	// and ARD metrics of the runs underneath them.
+	Obs *obs.Registry
 }
+
+// SizingSeconds returns the wall time of the driver-sizing phase
+// (Table IV's "driver sizing" column), read from the "net/sizing" span.
+func (n NetResult) SizingSeconds() float64 { return n.Obs.SpanSeconds("net/sizing") }
+
+// RepSeconds returns the wall time of the repeater-insertion phase
+// (Table IV's "repeater insertion" column), from the "net/repeaters"
+// span.
+func (n NetResult) RepSeconds() float64 { return n.Obs.SpanSeconds("net/repeaters") }
 
 // DSMin returns the minimum diameter achievable by sizing and its cost
 // (driver costs only; the min-cost baseline spends Pins units on 1X
@@ -83,30 +95,34 @@ func RunNet(seed int64, pins int, tech buslib.Tech) (NetResult, error) {
 // RunTopology runs both optimization modes on an existing topology.
 func RunTopology(tr *topo.Tree, tech buslib.Tech, seed int64, pins int) (NetResult, error) {
 	rt := tr.RootAt(tr.Terminals()[0])
+	reg := obs.New()
 	res := NetResult{
 		Seed:      seed,
 		Pins:      pins,
 		Insertion: len(tr.Insertions()),
 		WireUm:    tr.TotalWireLength(),
 		BaseCost:  float64(pins),
+		Obs:       reg,
 	}
+	baseSpan := reg.StartSpan("net/base_ard")
 	base := rctree.NewNet(rt, tech, rctree.Assignment{})
-	res.BaseARD = ard.Compute(base, ard.Options{}).ARD
+	res.BaseARD = ard.Compute(base, ard.Options{Obs: reg}).ARD
+	baseSpan.End()
 
-	t0 := time.Now()
-	sz, err := core.Optimize(rt, tech, core.Options{SizeDrivers: true})
+	szSpan := reg.StartSpan("net/sizing")
+	sz, err := core.Optimize(rt, tech, core.Options{SizeDrivers: true, Obs: reg})
 	if err != nil {
 		return res, fmt.Errorf("sizing: %w", err)
 	}
-	res.SizingTime = time.Since(t0)
+	szSpan.End()
 	res.SizingSuite = sz.Suite
 
-	t0 = time.Now()
-	rep, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	repSpan := reg.StartSpan("net/repeaters")
+	rep, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Obs: reg})
 	if err != nil {
 		return res, fmt.Errorf("repeaters: %w", err)
 	}
-	res.RepTime = time.Since(t0)
+	repSpan.End()
 	res.RepSuite = rep.Suite
 	return res, nil
 }
@@ -166,8 +182,8 @@ func accumulateTable2(pins int, results []NetResult) (Table2Row, error) {
 		row.RIMatch += match / nr.BaseCost
 		row.RIDiam += riD / nr.BaseARD
 		row.RICost += riC / nr.BaseCost
-		row.AvgDSSec += nr.SizingTime.Seconds()
-		row.AvgRISec += nr.RepTime.Seconds()
+		row.AvgDSSec += nr.SizingSeconds()
+		row.AvgRISec += nr.RepSeconds()
 		dsDiams = append(dsDiams, dsD/nr.BaseARD)
 		riDiams = append(riDiams, riD/nr.BaseARD)
 	}

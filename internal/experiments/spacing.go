@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
 	"msrnet/internal/core"
 	"msrnet/internal/netgen"
+	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 )
 
@@ -40,12 +40,14 @@ func SpacingStudy(pins, nets int, seed0 int64, tech buslib.Tech, spacings []floa
 			rt := tr.RootAt(tr.Terminals()[0])
 			base := rctree.NewNet(rt, tech, rctree.Assignment{})
 			baseARD := ard.Compute(base, ard.Options{}).ARD
-			t0 := time.Now()
-			res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+			reg := obs.New()
+			sp := reg.StartSpan("net/repeaters")
+			res, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Obs: reg})
 			if err != nil {
 				return nil, err
 			}
-			row.AvgSec += time.Since(t0).Seconds()
+			sp.End()
+			row.AvgSec += reg.SpanSeconds("net/repeaters")
 			row.AvgIns += float64(len(tr.Insertions()))
 			row.RIDiam += res.Suite.MinARD().ARD / baseARD
 		}

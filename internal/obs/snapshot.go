@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// MetricsSchema identifies the JSON layout of a Snapshot, so downstream
+// tooling (the BENCH_*.json perf-trajectory dumps) can detect format
+// drift.
+const MetricsSchema = "msrnet-metrics/v1"
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry.
+type Snapshot struct {
+	Schema     string                  `json:"schema"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot          `json:"spans,omitempty"`
+}
+
+// HistSnapshot is the serialized form of one histogram. Counts has one
+// entry per bound plus a final overflow bucket. Max is omitted (and
+// round-trips as zero-value) when the histogram is empty.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Max    *float64  `json:"max,omitempty"`
+}
+
+// SpanSnapshot is one node of the serialized span tree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Count    int64          `json:"count"`
+	Seconds  float64        `json:"seconds"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Safe to call while other
+// goroutines keep recording; each metric is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Schema: MetricsSchema}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = atomic.LoadInt64(&h.counts[i])
+			}
+			if m := h.Max(); !math.IsInf(m, -1) {
+				hs.Max = &m
+			}
+			snap.Histograms[name] = hs
+		}
+	}
+	snap.Spans = snapshotSpans(&r.spans)
+	return snap
+}
+
+func snapshotSpans(n *spanNode) []SpanSnapshot {
+	out := make([]SpanSnapshot, 0, len(n.order))
+	for _, name := range n.order {
+		c := n.children[name]
+		out = append(out, SpanSnapshot{
+			Name:     name,
+			Count:    c.count,
+			Seconds:  c.total.Seconds(),
+			Children: snapshotSpans(c),
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Text renders the snapshot as a human-readable report: the span tree
+// (indented by nesting) followed by counters, gauges and histogram
+// summaries, each sorted by name.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Spans) > 0 {
+		b.WriteString("phase spans:\n")
+		writeSpanText(&b, s.Spans, 1)
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-44s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-44s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			maxStr := "-"
+			if h.Max != nil {
+				maxStr = fmt.Sprintf("%g", *h.Max)
+			}
+			fmt.Fprintf(&b, "  %-44s n=%d mean=%.3g max=%s\n", name, h.Count, mean, maxStr)
+		}
+	}
+	return b.String()
+}
+
+func writeSpanText(b *strings.Builder, spans []SpanSnapshot, depth int) {
+	for _, sp := range spans {
+		fmt.Fprintf(b, "%s%-*s %6d× %12.6fs\n",
+			strings.Repeat("  ", depth), 46-2*depth, sp.Name, sp.Count, sp.Seconds)
+		writeSpanText(b, sp.Children, depth+1)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"time"
+)
+
+// Span is one open phase measurement. End accumulates the elapsed wall
+// time into the registry's span tree at the span's path; a path like
+// "msri/solve" nests "solve" under "msri". Opening the same path many
+// times accumulates count and total duration, which is how per-net or
+// per-call phases aggregate. A nil Span (from a nil registry) is a
+// no-op.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a span at the '/'-separated path.
+func (r *Registry) StartSpan(path string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: path, start: time.Now()}
+}
+
+// Start opens a span on a possibly-nil Recorder. It exists because
+// calling a method on a nil Recorder interface would panic, while a nil
+// *Span is safe.
+func Start(r Recorder, path string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.StartSpan(path)
+}
+
+// End closes the span, folding its wall time into the span tree.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.reg.addSpan(s.path, time.Since(s.start))
+}
+
+// spanNode is one node of the accumulated span tree. The root node is
+// anonymous and holds only children.
+type spanNode struct {
+	count    int64
+	total    time.Duration
+	order    []string
+	children map[string]*spanNode
+}
+
+func (r *Registry) addSpan(path string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := &r.spans
+	for _, seg := range strings.Split(path, "/") {
+		if n.children == nil {
+			n.children = map[string]*spanNode{}
+		}
+		c, ok := n.children[seg]
+		if !ok {
+			c = &spanNode{}
+			n.children[seg] = c
+			n.order = append(n.order, seg)
+		}
+		n = c
+	}
+	n.count++
+	n.total += d
+}
+
+// SpanSeconds returns the accumulated wall time of the span at path, or
+// zero when the path was never recorded (or the registry is nil).
+func (r *Registry) SpanSeconds(path string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := &r.spans
+	for _, seg := range strings.Split(path, "/") {
+		c, ok := n.children[seg]
+		if !ok {
+			return 0
+		}
+		n = c
+	}
+	return n.total.Seconds()
+}
