@@ -22,6 +22,7 @@ import (
 	"msrnet/internal/geom"
 	"msrnet/internal/netgen"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/trace"
 	"msrnet/internal/ptree"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
@@ -74,8 +75,9 @@ func loadBenchNets(b *testing.B) {
 
 // BenchmarkOptimize measures the core dynamic program on the 10-pin
 // benchmark net with the no-op recorder ("norec", the production default
-// — instrumentation must cost nothing here) and with a live registry
-// ("obs"), so the overhead of full observability is itself observable.
+// — instrumentation must cost nothing here), with a live registry
+// ("obs"), and with a live ring tracer ("trace", budgeted at ≤5% over
+// norec), so the overhead of full observability is itself observable.
 func BenchmarkOptimize(b *testing.B) {
 	loadBenchNets(b)
 	rt := benchNets.t10[0].RootAt(benchNets.t10[0].Terminals()[0])
@@ -90,6 +92,14 @@ func BenchmarkOptimize(b *testing.B) {
 		reg := obs.New()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Optimize(rt, benchNets.tech, core.Options{Repeaters: true, Obs: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		tcr := trace.New(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Optimize(rt, benchNets.tech, core.Options{Repeaters: true, Trace: tcr}); err != nil {
 				b.Fatal(err)
 			}
 		}

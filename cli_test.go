@@ -33,7 +33,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		cli.dir = dir
-		for _, tool := range []string{"netgen", "ardcalc", "msri", "synth", "experiments"} {
+		for _, tool := range []string{"netgen", "ardcalc", "msri", "synth", "experiments", "benchreport"} {
 			bin := filepath.Join(dir, tool)
 			if runtime.GOOS == "windows" {
 				bin += ".exe"
@@ -187,4 +187,37 @@ func TestCLISynthAndExperiments(t *testing.T) {
 func lastLine(s string) string {
 	lines := strings.Split(strings.TrimSpace(s), "\n")
 	return lines[len(lines)-1]
+}
+
+// TestCLIObservatory drives the new observability surfaces end to end:
+// a Perfetto trace from msri, obs flags on netgen, and a benchreport
+// run compared against the committed baseline (whose work counters are
+// deterministic, so the comparison must pass on any machine).
+func TestCLIObservatory(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.json")
+	run(t, "netgen", "-pins", "12", "-seed", "5", "-out", netPath,
+		"-metrics", filepath.Join(dir, "netgen-metrics.json"))
+
+	tracePath := filepath.Join(dir, "timeline.json")
+	run(t, "msri", "-net", netPath, "-trace-events", tracePath)
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"dp/leaf"`, `"dp/prune"`, `"ard/compute"`, "msrnet-trace-events/v1"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace file missing %s", want)
+		}
+	}
+
+	reportPath := filepath.Join(dir, "BENCH_msrnet.json")
+	out := run(t, "benchreport", "-suite", "quick", "-repeats", "1",
+		"-out", reportPath, "-baseline", "BENCH_msrnet.json")
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("benchreport vs committed baseline: %s", out)
+	}
+	if _, err := os.Stat(reportPath); err != nil {
+		t.Errorf("report not written: %v", err)
+	}
 }

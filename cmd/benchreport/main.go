@@ -1,0 +1,82 @@
+// Command benchreport is the perf-regression observatory: it runs the
+// fixed paper-derived workload suite (ARD characterization on §VI-style
+// random nets, MSRI dynamic-program sweeps), writes a schema-versioned
+// report with each workload's deterministic work counters and per-phase
+// span timings, and — given a baseline — exits non-zero if anything
+// regressed past the threshold.
+//
+// Usage:
+//
+//	benchreport                                  # quick suite -> BENCH_msrnet.json
+//	benchreport -suite full -repeats 5
+//	benchreport -baseline BENCH_msrnet.json -out /tmp/now.json
+//	benchreport -baseline BENCH_msrnet.json -threshold 0.25
+//
+// Comparison is on the DP's deterministic work counters (solutions
+// created, prune calls, set sizes…), which are machine-independent, so
+// a committed baseline stays meaningful on any runner. Wall-clock
+// comparison is opt-in via -time-threshold, for same-machine A/B runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"msrnet/internal/bench"
+)
+
+func main() {
+	var (
+		suite     = flag.String("suite", "quick", "workload suite: quick (CI-sized) or full")
+		repeats   = flag.Int("repeats", 3, "wall-time repeats per workload (best-of)")
+		out       = flag.String("out", "BENCH_msrnet.json", "write the report to this file")
+		baseline  = flag.String("baseline", "", "compare against this committed report; exit 1 on regression")
+		threshold = flag.Float64("threshold", 0.25, "allowed fractional growth per work counter")
+		timeTol   = flag.Float64("time-threshold", 0, "allowed fractional wall-time growth (0 = don't compare time)")
+	)
+	flag.Parse()
+
+	rep, err := bench.Run(bench.Config{Suite: *suite, Repeats: *repeats})
+	if err != nil {
+		fatal(err)
+	}
+	for _, wl := range rep.Workloads {
+		fmt.Printf("%-14s %10.4fs", wl.Name, wl.WallSeconds)
+		for _, key := range []string{"solutions_created", "prune_calls", "nodes"} {
+			if v, ok := wl.Counters[key]; ok {
+				fmt.Printf("  %s=%d", key, v)
+			}
+		}
+		fmt.Println()
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+
+	if *baseline == "" {
+		return
+	}
+	base, err := bench.Load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	regs, err := bench.Compare(base, rep, *threshold, *timeTol)
+	if err != nil {
+		fatal(err)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s:\n", len(regs), *baseline)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, " ", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions vs %s (counter threshold %.0f%%)\n", *baseline, *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,8 @@
 //	experiments -all                  # everything (Table II/IV use -nets nets per size)
 //	experiments -table 2 -nets 10    # Table II exactly as in the paper
 //	experiments -fig 11 -svgdir out/ # Fig. 11 panels, with SVG renderings
+//	experiments -all -listen :9090   # live /metrics + /debug/pprof while it runs
+//	experiments -all -trace-events t.json  # Perfetto-loadable study timeline
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"msrnet/internal/dominance"
 	"msrnet/internal/experiments"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/export"
+	trc "msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/svgplot"
 )
@@ -38,6 +42,8 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "directory for CSV dumps of the tables")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (per-study phase spans) to this file")
 		trace    = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		traceEvs = flag.String("trace-events", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
+		listen   = flag.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof and /healthz on this address for the duration of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -49,9 +55,21 @@ func main() {
 		fatal(err)
 	}
 	var reg *obs.Registry
-	if *metrics != "" || *trace {
+	if *metrics != "" || *trace || *listen != "" {
 		reg = obs.New()
 		dominance.SetObserver(reg)
+	}
+	var tcr *trc.Tracer
+	if *traceEvs != "" {
+		tcr = trc.New(0)
+		dominance.SetTracer(tcr)
+	}
+	if *listen != "" {
+		srv, err := export.Serve(*listen, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 	}
 	defer func() {
 		stopCPU()
@@ -59,6 +77,9 @@ func main() {
 			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
 		}
 		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := tcr.WriteFile(*traceEvs); err != nil {
 			fatal(err)
 		}
 		if err := obs.WriteMemProfile(*memProf); err != nil {
@@ -74,7 +95,7 @@ func main() {
 	}
 	var t2rows []experiments.Table2Row
 	if *all || *table == 2 || *table == 4 {
-		sp := reg.StartSpan("experiments/table2")
+		done := startStudy(reg, tcr, "experiments/table2")
 		for _, pins := range []int{10, 20} {
 			row, _, err := experiments.Table2Parallel(pins, *nets, *seed, tech, *parallel)
 			if err != nil {
@@ -82,7 +103,7 @@ func main() {
 			}
 			t2rows = append(t2rows, row)
 		}
-		sp.End()
+		done()
 	}
 	if *all || *table == 2 {
 		fmt.Print(experiments.FormatTable2(t2rows))
@@ -97,12 +118,12 @@ func main() {
 		did = true
 	}
 	if *all || *table == 3 {
-		sp := reg.StartSpan("experiments/table3")
+		done := startStudy(reg, tcr, "experiments/table3")
 		rows, err := experiments.Table3(tech)
 		if err != nil {
 			fatal(err)
 		}
-		sp.End()
+		done()
 		fmt.Print(experiments.FormatTable3(rows))
 		fmt.Println()
 		if *csvdir != "" {
@@ -120,12 +141,12 @@ func main() {
 		did = true
 	}
 	if *all || *fig == 11 {
-		sp := reg.StartSpan("experiments/fig11")
+		done := startStudy(reg, tcr, "experiments/fig11")
 		f, err := experiments.Fig11(8, tech, []int{2, 5})
 		if err != nil {
 			fatal(err)
 		}
-		sp.End()
+		done()
 		fmt.Print(experiments.FormatFig11(f))
 		fmt.Println()
 		if *svgdir != "" {
@@ -156,12 +177,12 @@ func main() {
 		did = true
 	}
 	if *all || *spacing {
-		sp := reg.StartSpan("experiments/spacing")
+		done := startStudy(reg, tcr, "experiments/spacing")
 		rows, err := experiments.SpacingStudy(10, *nets, *seed, tech, []float64{800, 450, 300})
 		if err != nil {
 			fatal(err)
 		}
-		sp.End()
+		done()
 		fmt.Print(experiments.FormatSpacing(rows))
 		fmt.Println()
 		if *csvdir != "" {
@@ -174,7 +195,7 @@ func main() {
 		did = true
 	}
 	if *all || *combined {
-		sp := reg.StartSpan("experiments/combined")
+		done := startStudy(reg, tcr, "experiments/combined")
 		var rows []experiments.CombinedRow
 		for _, pins := range []int{10, 20} {
 			row, err := experiments.Combined(pins, *nets, *seed, tech)
@@ -183,18 +204,18 @@ func main() {
 			}
 			rows = append(rows, row)
 		}
-		sp.End()
+		done()
 		fmt.Print(experiments.FormatCombined(rows))
 		fmt.Println()
 		did = true
 	}
 	if *all || *asym {
-		sp := reg.StartSpan("experiments/asym")
+		done := startStudy(reg, tcr, "experiments/asym")
 		rows, err := experiments.Asymmetric(10, *nets, *seed, tech, []float64{0.2, 0.5, 1.0})
 		if err != nil {
 			fatal(err)
 		}
-		sp.End()
+		done()
 		fmt.Print(experiments.FormatAsym(rows))
 		fmt.Println()
 		did = true
@@ -203,6 +224,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// startStudy opens the same study phase in both sinks — a registry span
+// for the aggregate report and a trace region for the timeline — and
+// returns the closer. Both sinks are nil-safe, so unconfigured runs pay
+// nothing.
+func startStudy(reg *obs.Registry, tcr *trc.Tracer, name string) func() {
+	sp := reg.StartSpan(name)
+	rg := tcr.Begin(name, "study")
+	return func() { sp.End(); rg.End() }
 }
 
 func writeCSV(dir, name string, fn func(*os.File) error) error {

@@ -13,6 +13,8 @@
 //	msri -net net10.json -assign out.json      # dump the chosen assignment
 //	msri -net net10.json -metrics m.json       # JSON metrics snapshot (spans + histograms)
 //	msri -net net10.json -trace                # phase-span report on stderr
+//	msri -net net10.json -trace-events t.json  # Perfetto-loadable per-node DP timeline
+//	msri -net net10.json -listen :9090         # live /metrics, /debug/vars, /debug/pprof
 //	msri -net net10.json -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -25,8 +27,11 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/core"
+	"msrnet/internal/dominance"
 	"msrnet/internal/netio"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/export"
+	trc "msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/report"
 	"msrnet/internal/spef"
@@ -52,6 +57,8 @@ func main() {
 		rep      = flag.Bool("report", false, "print a before/after summary and placement report for the chosen solution")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, set-size and PWL-segment histograms) to this file")
 		trace    = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		traceEvs = flag.String("trace-events", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
+		listen   = flag.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof and /healthz on this address for the duration of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -65,8 +72,20 @@ func main() {
 		fatal(err)
 	}
 	var reg *obs.Registry
-	if *metrics != "" || *trace {
+	if *metrics != "" || *trace || *listen != "" {
 		reg = obs.New()
+	}
+	var tcr *trc.Tracer
+	if *traceEvs != "" {
+		tcr = trc.New(0)
+		dominance.SetTracer(tcr)
+	}
+	if *listen != "" {
+		srv, err := export.Serve(*listen, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 	}
 	defer func() {
 		stopCPU()
@@ -74,6 +93,9 @@ func main() {
 			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
 		}
 		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := tcr.WriteFile(*traceEvs); err != nil {
 			fatal(err)
 		}
 		if err := obs.WriteMemProfile(*memProf); err != nil {
@@ -87,7 +109,7 @@ func main() {
 		fatal(err)
 	}
 	loadSpan.End()
-	opt := core.Options{Obs: recorder(reg)}
+	opt := core.Options{Obs: recorder(reg), Trace: tcr}
 	switch *mode {
 	case "repeaters":
 		opt.Repeaters = true
@@ -120,7 +142,7 @@ func main() {
 
 	rt := tr.RootAt(tr.Terminals()[0])
 	base := rctree.NewNet(rt, tech, rctree.Assignment{})
-	baseARD := ard.Compute(base, ard.Options{Obs: recorder(reg)}).ARD
+	baseARD := ard.Compute(base, ard.Options{Obs: recorder(reg), Trace: tcr}).ARD
 	fmt.Printf("net: %d terminals, %d insertion points, %.0f µm wire, unoptimized ARD %.4f ns\n",
 		len(tr.Terminals()), len(tr.Insertions()), tr.TotalWireLength(), baseARD)
 

@@ -16,6 +16,7 @@ import (
 	"msrnet/internal/buslib"
 	"msrnet/internal/netgen"
 	"msrnet/internal/netio"
+	"msrnet/internal/obs"
 	"msrnet/internal/spef"
 )
 
@@ -31,8 +32,33 @@ func main() {
 		name    = flag.String("name", "", "net name (default derived from parameters)")
 		out     = flag.String("out", "", "output file (default stdout)")
 		spefOut = flag.String("spef", "", "also write the parasitics as SPEF to this path")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans) to this file")
+		trace   = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *trace {
+		reg = obs.New()
+	}
+	defer func() {
+		stopCPU()
+		if *trace {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+		}
+		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
 
 	p := netgen.Params{
 		Terminals:             *pins,
@@ -42,10 +68,12 @@ func main() {
 		SourceFrac:            *sources,
 		SinkFrac:              *sinks,
 	}
+	genSpan := reg.StartSpan("netgen/generate")
 	tr, err := netgen.Generate(*seed, p)
 	if err != nil {
 		fatal(err)
 	}
+	genSpan.End()
 	netName := *name
 	if netName == "" {
 		netName = fmt.Sprintf("rand-%dpin-seed%d", *pins, *seed)
@@ -60,10 +88,13 @@ func main() {
 		defer fh.Close()
 		w = fh
 	}
+	wrSpan := reg.StartSpan("netgen/write")
 	if err := netio.Write(w, f); err != nil {
 		fatal(err)
 	}
+	wrSpan.End()
 	if *spefOut != "" {
+		spefSpan := reg.StartSpan("netgen/spef")
 		fh, err := os.Create(*spefOut)
 		if err != nil {
 			fatal(err)
@@ -73,6 +104,7 @@ func main() {
 			fatal(err)
 		}
 		fh.Close()
+		spefSpan.End()
 		fmt.Fprintln(os.Stderr, "wrote", *spefOut)
 	}
 	fmt.Fprintf(os.Stderr, "generated %s: %d terminals, %d insertion points, %.0f µm wire\n",

@@ -18,8 +18,10 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
+	"msrnet/internal/dominance"
 	"msrnet/internal/geom"
 	"msrnet/internal/netio"
+	"msrnet/internal/obs"
 	"msrnet/internal/ptree"
 	"msrnet/internal/rctree"
 	"msrnet/internal/rsmt"
@@ -35,8 +37,34 @@ func main() {
 		spacing = flag.Float64("spacing", 800, "insertion-point spacing in µm")
 		out     = flag.String("out", "", "write the synthesized net as JSON")
 		svgOut  = flag.String("svg", "", "write an SVG of the best solution")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, MFS counters) to this file")
+		trace   = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *trace {
+		reg = obs.New()
+		dominance.SetObserver(reg)
+	}
+	defer func() {
+		stopCPU()
+		if *trace {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+		}
+		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMemProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
 
 	var (
 		pts   []geom.Point
@@ -65,10 +93,12 @@ func main() {
 	// Baseline for comparison: fixed 1-Steiner route.
 	baseLen := rsmt.Steiner(pts).Length()
 
+	synSpan := reg.StartSpan("synth/synthesize")
 	res, err := ptree.TimingDriven(pts, terms, tech, *spacing, ptree.Options{})
 	if err != nil {
 		fatal(err)
 	}
+	synSpan.End()
 	best := res.Suite.MinARD()
 	fmt.Printf("synthesized topology: %.0f µm wire (1-Steiner baseline %.0f µm)\n",
 		res.WirelengthUm, baseLen)

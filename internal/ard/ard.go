@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
 )
@@ -33,6 +34,13 @@ type Options struct {
 	// "stage_cap" and "dfs" sub-passes) and per-run node counters, the
 	// observable side of the §III linear-time claim. Nil is free.
 	Obs obs.Recorder
+	// Trace, when non-nil, records the timeline of the three Fig. 2
+	// passes — "ard/stage_cap" (the eqs. 1–2 capacitance pass),
+	// "ard/dfs" (the post-order (a, q, d) walk) and "ard/root" (the root
+	// combination) — nested under one "ard/compute" slice whose args
+	// carry the input sizes (nodes, sources, sinks) the O(n) claim is
+	// stated over. Nil is free.
+	Trace *trace.Tracer
 }
 
 // Result carries the ARD value and the witnessing critical pair.
@@ -91,6 +99,11 @@ func Compute(n *rctree.Net, opt Options) Result {
 	t := n.R.Tree
 	total := obs.Start(opt.Obs, "ard/compute")
 	defer total.End()
+	trTotal := opt.Trace.Begin("ard/compute", "ard")
+	defer func() {
+		trTotal.End(trace.I("nodes", t.NumNodes()),
+			trace.I("sources", len(t.Sources())), trace.I("sinks", len(t.Sinks())))
+	}()
 	if opt.Obs != nil {
 		opt.Obs.Counter("ard/runs").Inc()
 		opt.Obs.Counter("ard/nodes").Add(int64(t.NumNodes()))
@@ -101,6 +114,7 @@ func Compute(n *rctree.Net, opt Options) Result {
 	// child c" queries at branch points: stageCap[v] − wireCap(c) −
 	// CapBelow[c]. Undefined at repeater nodes, whose sides decouple.
 	capPass := obs.Start(opt.Obs, "ard/compute/stage_cap")
+	trCap := opt.Trace.Begin("ard/stage_cap", "ard")
 	stageCap := make([]float64, t.NumNodes())
 	for _, v := range n.R.PostOrder {
 		if _, ok := n.Assign.Repeaters[v]; ok {
@@ -109,10 +123,12 @@ func Compute(n *rctree.Net, opt Options) Result {
 		}
 		stageCap[v] = n.StageCapAt(v)
 	}
+	trCap.End(trace.I("nodes", t.NumNodes()))
 	capPass.End()
 
 	dfsPass := obs.Start(opt.Obs, "ard/compute/dfs")
 	defer dfsPass.End()
+	trDFS := opt.Trace.Begin("ard/dfs", "ard")
 	sub := make([]subtree, t.NumNodes())
 	for _, v := range n.R.PostOrder {
 		if v == n.R.Root {
@@ -170,9 +186,11 @@ func Compute(n *rctree.Net, opt Options) Result {
 		}
 		sub[v] = cur
 	}
+	trDFS.End(trace.I("nodes", len(n.R.PostOrder)))
 
 	// Root combination. The paper roots the tree at an arbitrary terminal;
 	// the root acts as one more leaf joined to its (single) child branch.
+	trRoot := opt.Trace.Begin("ard/root", "ard")
 	root := n.R.Root
 	rootNd := t.Node(root)
 	rootLeaf := leafTriple(n, root, opt)
@@ -207,6 +225,7 @@ func Compute(n *rctree.Net, opt Options) Result {
 	if len(rootLifts) >= 2 {
 		best = maxP(best, crossMax(rootLifts))
 	}
+	trRoot.End(trace.I("branches", len(rootLifts)))
 	return Result{ARD: best.v, CritSrc: best.src, CritSink: best.sink}
 }
 

@@ -1,0 +1,72 @@
+package ard_test
+
+import (
+	"testing"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/obs/trace"
+	"msrnet/internal/rctree"
+)
+
+// TestComputeTracesThreePasses: a traced ARD run must record the
+// Fig. 2 pipeline as nested slices — stage_cap, dfs and root under one
+// ard/compute — with the input sizes as args, and tracing must not
+// change the result.
+func TestComputeTracesThreePasses(t *testing.T) {
+	tr, err := netgen.Generate(11, netgen.Defaults(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.RootAt(tr.Terminals()[0])
+	n := rctree.NewNet(rt, buslib.Default(), rctree.Assignment{})
+
+	base := ard.Compute(n, ard.Options{})
+	tcr := trace.New(64)
+	got := ard.Compute(n, ard.Options{Trace: tcr})
+	if got != base {
+		t.Errorf("tracing changed the result: %+v vs %+v", got, base)
+	}
+
+	byName := map[string]trace.Event{}
+	for _, ev := range tcr.Events() {
+		byName[ev.Name] = ev
+	}
+	for _, name := range []string{"ard/compute", "ard/stage_cap", "ard/dfs", "ard/root"} {
+		ev, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %q slice; recorded %v", name, names(tcr.Events()))
+		}
+		if ev.Phase != 'X' {
+			t.Errorf("%s phase = %c, want X", name, ev.Phase)
+		}
+	}
+	total := byName["ard/compute"]
+	args := map[string]int64{}
+	for i := 0; i < int(total.NArgs); i++ {
+		args[total.Args[i].Key] = total.Args[i].Val
+	}
+	if args["nodes"] != int64(tr.NumNodes()) {
+		t.Errorf("compute nodes arg = %d, want %d", args["nodes"], tr.NumNodes())
+	}
+	if args["sources"] != int64(len(tr.Sources())) || args["sinks"] != int64(len(tr.Sinks())) {
+		t.Errorf("compute source/sink args = %v", args)
+	}
+	// The passes nest inside the total slice.
+	for _, name := range []string{"ard/stage_cap", "ard/dfs", "ard/root"} {
+		ev := byName[name]
+		if ev.TS < total.TS || ev.TS+ev.Dur > total.TS+total.Dur {
+			t.Errorf("%s [%v,%v] not nested in ard/compute [%v,%v]",
+				name, ev.TS, ev.TS+ev.Dur, total.TS, total.TS+total.Dur)
+		}
+	}
+}
+
+func names(evs []trace.Event) []string {
+	var out []string
+	for _, ev := range evs {
+		out = append(out, ev.Name)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRunQuickSuite runs the CI-sized suite once and checks the report
+// shape: schema, every workload present with counters and span phases.
+func TestRunQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the MSRI DP; skipped with -short")
+	}
+	rep, err := Run(Config{Suite: "quick", Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	want := map[string]bool{"ard/16pin": false, "msri/10pin": false, "msri/12pin": false}
+	for _, wl := range rep.Workloads {
+		if _, ok := want[wl.Name]; !ok {
+			t.Errorf("unexpected workload %q", wl.Name)
+			continue
+		}
+		want[wl.Name] = true
+		if len(wl.Counters) == 0 {
+			t.Errorf("%s: no counters", wl.Name)
+		}
+		if len(wl.Phases) == 0 {
+			t.Errorf("%s: no span phases captured", wl.Name)
+		}
+		if wl.WallSeconds <= 0 {
+			t.Errorf("%s: wall_seconds = %g", wl.Name, wl.WallSeconds)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("workload %q missing from report", name)
+		}
+	}
+
+	// Round-trip through the file format.
+	path := filepath.Join(t.TempDir(), "BENCH_msrnet.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workloads) != len(rep.Workloads) || back.Suite != rep.Suite {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+
+	// A report never regresses against itself.
+	regs, err := Compare(rep, rep, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("self-comparison found regressions: %v", regs)
+	}
+}
+
+// TestCompareDetectsRegressions exercises the comparison rules on
+// synthetic reports, without running workloads.
+func TestCompareDetectsRegressions(t *testing.T) {
+	base := Report{Schema: Schema, Suite: "quick", Workloads: []Workload{
+		{Name: "msri/10pin", Counters: map[string]int64{"solutions_created": 1000, "prune_calls": 40}, WallSeconds: 1.0},
+		{Name: "ard/16pin", Counters: map[string]int64{"nodes": 60}, WallSeconds: 0.1},
+	}}
+
+	cur := Report{Schema: Schema, Suite: "quick", Workloads: []Workload{
+		// solutions_created +50% (past 25%); prune_calls down (fine).
+		{Name: "msri/10pin", Counters: map[string]int64{"solutions_created": 1500, "prune_calls": 30}, WallSeconds: 3.0},
+		// Workload dropped entirely: must flag, not silently pass.
+	}}
+	regs, err := Compare(base, cur, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want counter blow-up + missing workload", regs)
+	}
+	if regs[0].Workload != "msri/10pin" || regs[0].Metric != "solutions_created" {
+		t.Errorf("first regression = %+v", regs[0])
+	}
+	if regs[1].Metric != "(missing workload)" {
+		t.Errorf("second regression = %+v", regs[1])
+	}
+
+	// Wall time is only compared when opted in.
+	cur.Workloads = append(cur.Workloads, base.Workloads[1])
+	cur.Workloads[0].Counters["solutions_created"] = 1000
+	if regs, _ := Compare(base, cur, 0.25, 0); len(regs) != 0 {
+		t.Errorf("time ignored by default, got %v", regs)
+	}
+	regs, err = Compare(base, cur, 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "wall_seconds" {
+		t.Errorf("time regression = %v, want one wall_seconds entry", regs)
+	}
+
+	// Suite and schema mismatches are errors, not silent passes.
+	if _, err := Compare(Report{Schema: Schema, Suite: "full"}, cur, 0.25, 0); err == nil {
+		t.Error("suite mismatch not rejected")
+	}
+	if _, err := Compare(Report{Schema: "other/v9", Suite: "quick"}, cur, 0.25, 0); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+}

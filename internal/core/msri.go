@@ -9,6 +9,7 @@ import (
 
 	"msrnet/internal/buslib"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/trace"
 	"msrnet/internal/pwl"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
@@ -79,6 +80,13 @@ type Options struct {
 	// call/drop counters keyed by pruner kind. A nil Obs keeps the hot
 	// paths allocation-free.
 	Obs obs.Recorder
+	// Trace, when non-nil, records the per-node timeline of the bottom-up
+	// walk into the ring tracer: one "dp/leaf"/"dp/steiner"/"dp/insertion"
+	// slice per node (args: node id, final set size, max PWL segment
+	// count) and one "dp/prune" slice per prune call (args: pre/post
+	// sizes, drops). Export with Tracer.WriteJSON and load in Perfetto.
+	// Orthogonal to Obs; a nil Trace costs one nil check per event site.
+	Trace *trace.Tracer
 }
 
 // Stats reports work done by the dynamic program. All counters are
@@ -122,7 +130,7 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 	if opt.Repeaters && len(tech.Repeaters) == 0 {
 		return nil, fmt.Errorf("core: Repeaters set but technology has no repeaters")
 	}
-	d := &dp{rt: rt, tech: tech, opt: opt}
+	d := &dp{rt: rt, tech: tech, opt: opt, tr: opt.Trace}
 	if opt.Parallel {
 		d.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	}
@@ -161,8 +169,49 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 // solve computes the pruned solution set for the subtree rooted at v.
 // In parallel mode, sibling subtrees of a branch node are evaluated on
 // separate goroutines; results are combined in deterministic child order
-// so serial and parallel runs produce identical suites.
+// so serial and parallel runs produce identical suites. With a tracer
+// installed, every node contributes one timeline slice whose duration
+// covers its whole subtree (so the trace nests like the recursion) and
+// whose args carry the quantities Tables I–IV are governed by: the
+// final solution-set size and the largest PWL segment count in the set.
 func (d *dp) solve(v int) []*Solution {
+	if d.tr == nil {
+		return d.solveNode(v)
+	}
+	rg := d.tr.Begin(nodeEventName(d.rt.Tree.Node(v).Kind), "core")
+	out := d.solveNode(v)
+	rg.End(trace.I("node", v), trace.I("set", len(out)), trace.I("segs", maxSegsOf(out)))
+	return out
+}
+
+// nodeEventName maps a topology node kind to its trace slice name.
+func nodeEventName(k topo.Kind) string {
+	switch k {
+	case topo.Terminal:
+		return "dp/leaf"
+	case topo.Insertion:
+		return "dp/insertion"
+	default:
+		return "dp/steiner"
+	}
+}
+
+// maxSegsOf returns the largest PWL segment count (over A and D) in the
+// set — trace-only, so the cost is paid only with a live tracer.
+func maxSegsOf(sols []*Solution) int {
+	m := 0
+	for _, s := range sols {
+		if n := s.A.NumSegs(); n > m {
+			m = n
+		}
+		if n := s.D.NumSegs(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+func (d *dp) solveNode(v int) []*Solution {
 	if d.getErr() != nil {
 		return nil
 	}
@@ -226,6 +275,7 @@ type dp struct {
 	tech buslib.Tech
 	opt  Options
 	ins  instr
+	tr   *trace.Tracer
 
 	mu    sync.Mutex
 	stats Stats
@@ -296,6 +346,7 @@ func (d *dp) noteSetSize(n int) {
 }
 
 func (d *dp) prune(sols []*Solution) []*Solution {
+	rg := d.tr.Begin("dp/prune", "core")
 	var out []*Solution
 	switch d.opt.Pruner {
 	case PruneNaive:
@@ -324,6 +375,9 @@ func (d *dp) prune(sols []*Solution) []*Solution {
 		d.ins.preSize.ObserveInt(len(sols))
 		d.ins.postSize.ObserveInt(len(out))
 		d.ins.maxSet.SetMax(int64(len(out)))
+	}
+	if d.tr != nil {
+		rg.End(trace.I("pre", len(sols)), trace.I("post", len(out)), trace.I("drops", drops))
 	}
 	return out
 }

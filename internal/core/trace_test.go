@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/obs/trace"
+	"msrnet/internal/pwl"
+	"msrnet/internal/topo"
+)
+
+// TestOptimizeTracesPerNode is the tentpole acceptance check at the
+// library level: a 16-terminal run with a live tracer must record one
+// DP slice per non-root topology node, each carrying the set-size and
+// segment-count args, plus prune slices — and tracing must not change
+// the result.
+func TestOptimizeTracesPerNode(t *testing.T) {
+	tr, err := netgen.Generate(7, netgen.Defaults(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.RootAt(tr.Terminals()[0])
+	tech := buslib.Default()
+
+	base, err := Optimize(rt, tech, Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcr := trace.New(0)
+	res, err := Optimize(rt, tech, Options{Repeaters: true, Trace: tcr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suite) != len(base.Suite) || res.Stats != base.Stats {
+		t.Errorf("tracing changed the run: %+v vs %+v", res.Stats, base.Stats)
+	}
+
+	nodeEvents := map[int]trace.Event{}
+	prunes := 0
+	for _, ev := range tcr.Events() {
+		switch ev.Name {
+		case "dp/leaf", "dp/steiner", "dp/insertion":
+			if ev.Phase != 'X' {
+				t.Fatalf("node event not a complete slice: %+v", ev)
+			}
+			args := map[string]int64{}
+			for i := 0; i < int(ev.NArgs); i++ {
+				args[ev.Args[i].Key] = ev.Args[i].Val
+			}
+			for _, key := range []string{"node", "set", "segs"} {
+				if _, ok := args[key]; !ok {
+					t.Fatalf("node event missing %q arg: %+v", key, ev)
+				}
+			}
+			nodeEvents[int(args["node"])] = ev
+		case "dp/prune":
+			prunes++
+		}
+	}
+	// Every node except the root (a leaf handled by rootSolutions) is
+	// solved exactly once.
+	want := tr.NumNodes() - 1
+	if len(nodeEvents) != want {
+		t.Errorf("traced %d distinct DP nodes, want %d", len(nodeEvents), want)
+	}
+	if prunes != res.Stats.PruneCalls {
+		t.Errorf("traced %d prune slices, stats say %d calls", prunes, res.Stats.PruneCalls)
+	}
+	// The traced set sizes must be plausible: max equals Stats.MaxSetSize
+	// somewhere in the walk is too strong (the max can occur pre-root-
+	// augment), but no traced set may exceed it.
+	for node, ev := range nodeEvents {
+		var set int64
+		for i := 0; i < int(ev.NArgs); i++ {
+			if ev.Args[i].Key == "set" {
+				set = ev.Args[i].Val
+			}
+		}
+		if set > int64(res.Stats.MaxSetSize) {
+			t.Errorf("node %d traced set size %d > Stats.MaxSetSize %d", node, set, res.Stats.MaxSetSize)
+		}
+	}
+}
+
+// TestOptimizeTraceParallelRace exercises the tracer from the parallel
+// subtree goroutines (meaningful under -race) and checks the run is
+// still deterministic.
+func TestOptimizeTraceParallelRace(t *testing.T) {
+	tr, err := netgen.Generate(3, netgen.Defaults(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.RootAt(tr.Terminals()[0])
+	tech := buslib.Default()
+	serial, err := Optimize(rt, tech, Options{Repeaters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcr := trace.New(1 << 12)
+	par, err := Optimize(rt, tech, Options{Repeaters: true, Parallel: true, Trace: tcr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats != serial.Stats || len(par.Suite) != len(serial.Suite) {
+		t.Errorf("parallel traced run diverged: %+v vs %+v", par.Stats, serial.Stats)
+	}
+	if tcr.Total() == 0 {
+		t.Error("parallel run recorded no events")
+	}
+}
+
+// TestInstrumentationZeroAllocWhenOff is the nil-Recorder fast-path
+// guard (PR-1 invariant, re-stated over the tracer): with Options.Obs
+// and Options.Trace both nil, the per-node instrumentation sites —
+// stats notes, nil metric handles, nil trace regions — must not
+// allocate. AllocsPerRun compiles the same code paths Optimize runs per
+// node.
+func TestInstrumentationZeroAllocWhenOff(t *testing.T) {
+	d := &dp{opt: Options{}}
+	sols := []*Solution{{
+		Cost: 1, Cap: 0.5, Q: math.Inf(-1),
+		A: pwl.Linear(1, 2), D: pwl.NegInf(), Dom: pwl.Full(),
+	}}
+	if n := testing.AllocsPerRun(1000, func() {
+		d.note(sols)
+		d.noteSetSize(len(sols))
+		rg := d.tr.Begin(nodeEventName(topo.Terminal), "core")
+		rg.End(trace.I("node", 1), trace.I("set", 1), trace.I("segs", 1))
+		d.ins.maxSet.SetMax(3)
+		d.ins.segs.ObserveInt(2)
+		d.ins.solutions.Add(1)
+	}); n != 0 {
+		t.Errorf("nil-recorder instrumentation allocates %.2f per node, want 0", n)
+	}
+}
+
+// BenchmarkInstrumentationOff is the benchmark form of the same guard,
+// so `go test -bench Instrumentation -benchmem` shows 0 B/op.
+func BenchmarkInstrumentationOff(b *testing.B) {
+	d := &dp{opt: Options{}}
+	sols := []*Solution{{
+		Cost: 1, Cap: 0.5, Q: math.Inf(-1),
+		A: pwl.Linear(1, 2), D: pwl.NegInf(), Dom: pwl.Full(),
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.note(sols)
+		d.noteSetSize(len(sols))
+		rg := d.tr.Begin(nodeEventName(topo.Terminal), "core")
+		rg.End(trace.I("node", i), trace.I("set", 1), trace.I("segs", 1))
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/trace"
 )
 
 // domInstr caches the metric handles so the recursive hot paths pay one
@@ -49,6 +50,27 @@ func SetObserver(r obs.Recorder) {
 	})
 }
 
+var tracer atomic.Pointer[trace.Tracer]
+
+// SetTracer installs (or, with nil, removes) the package's timeline
+// tracer. Each top-level minima call records one "dominance/minima*"
+// slice (args: input points, surviving points) and each small-case
+// fallback inside the divide-and-conquer recursion records an instant
+// event with its depth, so a Perfetto view shows where pruning time
+// goes as the KLP recursion unwinds. Package-level for the same reason
+// as SetObserver: the minima routines are free functions.
+func SetTracer(t *trace.Tracer) { tracer.Store(t) }
+
+// begin opens a trace region for one top-level minima call; the nil
+// receiver path keeps uninstrumented callers at one atomic load.
+func begin(name string) trace.Region {
+	return tracer.Load().Begin(name, "dominance")
+}
+
+func endMinima(rg trace.Region, points, survivors int) {
+	rg.End(trace.I("points", points), trace.I("survivors", survivors))
+}
+
 func noteCall() *domInstr {
 	in := instr.Load()
 	if in != nil {
@@ -63,10 +85,11 @@ func (in *domInstr) noteDepth(depth int) {
 	}
 }
 
-func (in *domInstr) noteFallback() {
+func (in *domInstr) noteFallback(depth int) {
 	if in != nil {
 		in.fallbacks.Inc()
 	}
+	tracer.Load().Instant("dominance/fallback", "dominance", trace.I("depth", depth))
 }
 
 // Point is a d-dimensional point; smaller is better in every coordinate.
@@ -92,6 +115,7 @@ func dominates(a, b Point, eps float64) bool {
 // earliest index. It is the reference oracle for the fast algorithms.
 func MinimaNaive(pts []Point, eps float64) []int {
 	noteCall()
+	rg := begin("dominance/minima_naive")
 	var out []int
 	for i, p := range pts {
 		dominated := false
@@ -113,6 +137,7 @@ func MinimaNaive(pts []Point, eps float64) []int {
 			out = append(out, i)
 		}
 	}
+	endMinima(rg, len(pts), len(out))
 	return out
 }
 
@@ -131,6 +156,7 @@ func equal(a, b Point, eps float64) bool {
 // that strictly improve the best second coordinate seen.
 func Minima2D(pts []Point, eps float64) []int {
 	noteCall()
+	rg := begin("dominance/minima2d")
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
@@ -169,6 +195,7 @@ func Minima2D(pts []Point, eps float64) []int {
 		}
 	}
 	sort.Ints(out)
+	endMinima(rg, len(pts), len(out))
 	return out
 }
 
@@ -179,6 +206,7 @@ func Minima2D(pts []Point, eps float64) []int {
 // half.
 func Minima3D(pts []Point, eps float64) []int {
 	in := noteCall()
+	rg := begin("dominance/minima3d")
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
@@ -194,6 +222,7 @@ func Minima3D(pts []Point, eps float64) []int {
 	})
 	surv := minima3Rec(pts, idx, eps, 1, in)
 	sort.Ints(surv)
+	endMinima(rg, len(pts), len(surv))
 	return surv
 }
 
@@ -203,7 +232,7 @@ func minima3Rec(pts []Point, idx []int, eps float64, depth int, in *domInstr) []
 		return append([]int(nil), idx...)
 	}
 	if len(idx) <= 8 {
-		in.noteFallback()
+		in.noteFallback(depth)
 		return smallMinima(pts, idx, eps)
 	}
 	mid := len(idx) / 2
@@ -291,6 +320,7 @@ func MinimaKD(pts []Point, eps float64) []int {
 		return Minima3D(pts, eps)
 	}
 	in := noteCall()
+	rg := begin("dominance/minima_kd")
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
@@ -306,13 +336,14 @@ func MinimaKD(pts []Point, eps float64) []int {
 	})
 	surv := kdRec(pts, idx, eps, 1, in)
 	sort.Ints(surv)
+	endMinima(rg, len(pts), len(surv))
 	return surv
 }
 
 func kdRec(pts []Point, idx []int, eps float64, depth int, in *domInstr) []int {
 	in.noteDepth(depth)
 	if len(idx) <= 16 {
-		in.noteFallback()
+		in.noteFallback(depth)
 		return smallMinima(pts, idx, eps)
 	}
 	mid := len(idx) / 2

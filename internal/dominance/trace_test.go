@@ -1,0 +1,58 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/obs/trace"
+)
+
+// TestMinimaTracing: with a tracer installed, each top-level minima
+// call records one slice with points/survivors args, and the KLP
+// recursion's small-case fallbacks record instants with their depth.
+func TestMinimaTracing(t *testing.T) {
+	tcr := trace.New(1 << 12)
+	SetTracer(tcr)
+	defer SetTracer(nil)
+
+	r := rand.New(rand.NewSource(9))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64(), r.Float64()}
+	}
+	surv := Minima3D(pts, 0)
+
+	var minima, fallbacks int
+	for _, ev := range tcr.Events() {
+		switch ev.Name {
+		case "dominance/minima3d":
+			minima++
+			args := map[string]int64{}
+			for i := 0; i < int(ev.NArgs); i++ {
+				args[ev.Args[i].Key] = ev.Args[i].Val
+			}
+			if args["points"] != 200 || args["survivors"] != int64(len(surv)) {
+				t.Errorf("minima3d args = %v, want points=200 survivors=%d", args, len(surv))
+			}
+		case "dominance/fallback":
+			fallbacks++
+			if ev.NArgs != 1 || ev.Args[0].Key != "depth" || ev.Args[0].Val < 1 {
+				t.Errorf("fallback args = %+v", ev.Args[:ev.NArgs])
+			}
+		}
+	}
+	if minima != 1 {
+		t.Errorf("minima3d slices = %d, want 1", minima)
+	}
+	if fallbacks == 0 {
+		t.Error("KLP recursion recorded no fallback instants on 200 points")
+	}
+
+	// After removal, calls record nothing further.
+	SetTracer(nil)
+	before := tcr.Total()
+	Minima2D(pts[:10], 0)
+	if tcr.Total() != before {
+		t.Error("removed tracer still recording")
+	}
+}

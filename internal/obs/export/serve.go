@@ -1,0 +1,117 @@
+package export
+
+import (
+	"context"
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"msrnet/internal/obs"
+)
+
+// Server is a live observability endpoint for one registry. Close shuts
+// it down; Addr reports the bound address (useful with ":0").
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close gracefully shuts the server down, waiting briefly for in-flight
+// scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve starts an HTTP server on addr exposing the registry live:
+//
+//	/metrics        Prometheus text exposition of the current snapshot
+//	/debug/vars     expvar JSON (includes the registry as "msrnet")
+//	/debug/pprof/   the standard pprof index, profiles and traces
+//	/healthz        200 "ok"
+//
+// Every request is logged through logger (slog.Default when nil) with
+// method, path, status and duration. The server runs on its own
+// goroutine; callers Close it when the run ends, or simply exit — the
+// endpoint is a window, not a lifecycle owner.
+func Serve(addr string, reg *obs.Registry, logger *slog.Logger) (*Server, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	PublishExpvar("msrnet", reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           logRequests(logger, mux),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("obs endpoint failed", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	logger.Info("obs endpoint listening",
+		"addr", ln.Addr().String(),
+		"endpoints", []string{"/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// MetricsHandler serves the registry's current snapshot in Prometheus
+// text format. Each request takes a fresh snapshot, so scrapes see live
+// values mid-run.
+func MetricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, reg.Snapshot()); err != nil {
+			// Headers are gone; nothing to do but note it server-side.
+			slog.Default().Warn("metrics write failed", "err", err)
+		}
+	})
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"dur", time.Since(start),
+			"remote", r.RemoteAddr)
+	})
+}

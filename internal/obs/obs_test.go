@@ -205,3 +205,41 @@ func TestConcurrentSpans(t *testing.T) {
 		t.Errorf("span count = %d, want %d", got, 8*200)
 	}
 }
+
+// TestSnapshotDeterministic: sibling spans render in first-End order
+// (not map order), and two snapshots of the same quiescent registry
+// serialize to byte-identical JSON — the property the benchreport
+// baselines and the Prometheus exposition rely on.
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := New()
+	// Deliberately non-lexicographic recording order.
+	for _, path := range []string{"run/zeta", "run/alpha", "run/mid", "run/alpha"} {
+		sp := reg.StartSpan(path)
+		sp.End()
+	}
+	reg.Counter("solutions").Add(7)
+	reg.Histogram("set_size", []float64{1, 4, 16}).ObserveInt(3)
+
+	snap := reg.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("span roots = %+v", snap.Spans)
+	}
+	var order []string
+	for _, c := range snap.Spans[0].Children {
+		order = append(order, c.Name)
+	}
+	if want := []string{"zeta", "alpha", "mid"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("sibling order = %v, want first-End order %v", order, want)
+	}
+
+	var a, b bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two snapshots of the same registry differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

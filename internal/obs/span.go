@@ -45,6 +45,17 @@ func (s *Span) End() {
 
 // spanNode is one node of the accumulated span tree. The root node is
 // anonymous and holds only children.
+//
+// order keeps sibling names in the sequence their first End reached the
+// tree, and Snapshot walks it instead of the (randomly iterated)
+// children map. This makes sibling order in every export — the Text
+// report, the JSON snapshot, the Prometheus phase series — follow the
+// pipeline's own execution order rather than lexicographic accident,
+// and it makes repeated snapshots of one registry deterministic:
+// identical state renders to identical bytes. Under concurrent
+// recording, first-End order is whatever the scheduler produced, but it
+// is fixed once recorded — later Ends only accumulate into existing
+// nodes.
 type spanNode struct {
 	count    int64
 	total    time.Duration
