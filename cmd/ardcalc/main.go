@@ -17,8 +17,8 @@ import (
 	"text/tabwriter"
 
 	"msrnet/internal/ard"
+	"msrnet/internal/cliflags"
 	"msrnet/internal/netio"
-	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/spef"
 	"msrnet/internal/topo"
@@ -33,33 +33,20 @@ func main() {
 		matrix  = flag.Bool("matrix", false, "print the full source×sink augmented delay matrix")
 		check   = flag.Bool("check", false, "cross-check against the naive O(s·n) computation")
 		self    = flag.Bool("self", false, "include u==v source/sink pairs")
-		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, ARD pass counters) to this file")
-		trace   = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{})
 	flag.Parse()
 	if *netPath == "" {
 		fmt.Fprintln(os.Stderr, "ardcalc: -net is required")
 		os.Exit(2)
 	}
-	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	run, err := obsFlags.Start()
 	if err != nil {
 		fatal(err)
 	}
-	var reg *obs.Registry
-	if *metrics != "" || *trace {
-		reg = obs.New()
-	}
+	reg := run.Reg
 	defer func() {
-		stopCPU()
-		if *trace {
-			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
-		}
-		if err := reg.WriteMetricsFile(*metrics); err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteMemProfile(*memProf); err != nil {
+		if err := run.Close(); err != nil {
 			fatal(err)
 		}
 	}()
@@ -72,11 +59,7 @@ func main() {
 	loadSpan.End()
 	rt := tr.RootAt(tr.Terminals()[0])
 	net := rctree.NewNet(rt, tech, rctree.Assignment{})
-	var rec obs.Recorder
-	if reg != nil {
-		rec = reg
-	}
-	res := ard.Compute(net, ard.Options{IncludeSelf: *self, Obs: rec})
+	res := ard.Compute(net, ard.Options{IncludeSelf: *self, Obs: run.Recorder()})
 	name := func(id int) string {
 		if id < 0 {
 			return "-"

@@ -18,10 +18,10 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
+	"msrnet/internal/cliflags"
 	"msrnet/internal/dominance"
 	"msrnet/internal/experiments"
 	"msrnet/internal/obs"
-	"msrnet/internal/obs/export"
 	trc "msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/svgplot"
@@ -40,49 +40,24 @@ func main() {
 		combined = flag.Bool("combined", false, "run the joint sizing+repeater study")
 		svgdir   = flag.String("svgdir", "", "directory for Fig. 11 SVG output")
 		csvdir   = flag.String("csvdir", "", "directory for CSV dumps of the tables")
-		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (per-study phase spans) to this file")
-		trace    = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
-		traceEvs = flag.String("trace-events", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
-		listen   = flag.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof and /healthz on this address for the duration of the run")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{TraceEvents: true, Listen: true})
 	flag.Parse()
 	tech := buslib.Default()
 
-	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	run, err := obsFlags.Start()
 	if err != nil {
 		fatal(err)
 	}
-	var reg *obs.Registry
-	if *metrics != "" || *trace || *listen != "" {
-		reg = obs.New()
+	reg, tcr := run.Reg, run.Tracer
+	if reg != nil {
 		dominance.SetObserver(reg)
 	}
-	var tcr *trc.Tracer
-	if *traceEvs != "" {
-		tcr = trc.New(0)
+	if tcr != nil {
 		dominance.SetTracer(tcr)
 	}
-	if *listen != "" {
-		srv, err := export.Serve(*listen, reg, nil)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-	}
 	defer func() {
-		stopCPU()
-		if *trace {
-			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
-		}
-		if err := reg.WriteMetricsFile(*metrics); err != nil {
-			fatal(err)
-		}
-		if err := tcr.WriteFile(*traceEvs); err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteMemProfile(*memProf); err != nil {
+		if err := run.Close(); err != nil {
 			fatal(err)
 		}
 	}()

@@ -26,12 +26,10 @@ import (
 	"strings"
 
 	"msrnet/internal/ard"
+	"msrnet/internal/cliflags"
 	"msrnet/internal/core"
 	"msrnet/internal/dominance"
 	"msrnet/internal/netio"
-	"msrnet/internal/obs"
-	"msrnet/internal/obs/export"
-	trc "msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/report"
 	"msrnet/internal/spef"
@@ -53,52 +51,25 @@ func main() {
 		widths   = flag.String("widths", "", "comma-separated wire width options (enables wire sizing)")
 		pruner   = flag.String("pruner", "divide", "divide | naive (MFS implementation)")
 		stats    = flag.Bool("stats", false, "print dynamic-programming statistics")
-		parallel = flag.Bool("parallel", false, "evaluate independent subtrees concurrently")
+		parallel = flag.Bool("parallel", false, "evaluate independent subtrees of this one net concurrently (intra-net parallelism; composes with, and is independent of, msrnetd's worker-pool parallelism across jobs)")
 		rep      = flag.Bool("report", false, "print a before/after summary and placement report for the chosen solution")
-		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, set-size and PWL-segment histograms) to this file")
-		trace    = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
-		traceEvs = flag.String("trace-events", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
-		listen   = flag.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof and /healthz on this address for the duration of the run")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{TraceEvents: true, Listen: true})
 	flag.Parse()
 	if *netPath == "" {
 		fmt.Fprintln(os.Stderr, "msri: -net is required")
 		os.Exit(2)
 	}
-	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	run, err := obsFlags.Start()
 	if err != nil {
 		fatal(err)
 	}
-	var reg *obs.Registry
-	if *metrics != "" || *trace || *listen != "" {
-		reg = obs.New()
-	}
-	var tcr *trc.Tracer
-	if *traceEvs != "" {
-		tcr = trc.New(0)
+	reg, tcr := run.Reg, run.Tracer
+	if tcr != nil {
 		dominance.SetTracer(tcr)
 	}
-	if *listen != "" {
-		srv, err := export.Serve(*listen, reg, nil)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-	}
 	defer func() {
-		stopCPU()
-		if *trace {
-			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
-		}
-		if err := reg.WriteMetricsFile(*metrics); err != nil {
-			fatal(err)
-		}
-		if err := tcr.WriteFile(*traceEvs); err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteMemProfile(*memProf); err != nil {
+		if err := run.Close(); err != nil {
 			fatal(err)
 		}
 	}()
@@ -109,7 +80,7 @@ func main() {
 		fatal(err)
 	}
 	loadSpan.End()
-	opt := core.Options{Obs: recorder(reg), Trace: tcr}
+	opt := core.Options{Obs: run.Recorder(), Trace: tcr}
 	switch *mode {
 	case "repeaters":
 		opt.Repeaters = true
@@ -142,7 +113,7 @@ func main() {
 
 	rt := tr.RootAt(tr.Terminals()[0])
 	base := rctree.NewNet(rt, tech, rctree.Assignment{})
-	baseARD := ard.Compute(base, ard.Options{Obs: recorder(reg), Trace: tcr}).ARD
+	baseARD := ard.Compute(base, ard.Options{Obs: run.Recorder(), Trace: tcr}).ARD
 	fmt.Printf("net: %d terminals, %d insertion points, %.0f µm wire, unoptimized ARD %.4f ns\n",
 		len(tr.Terminals()), len(tr.Insertions()), tr.TotalWireLength(), baseARD)
 
@@ -229,16 +200,6 @@ func loadNet(path string) (*topo.Tree, buslib.Tech, error) {
 		return tr, tech, err
 	}
 	return netio.Load(path)
-}
-
-// recorder converts a possibly-nil *Registry into a Recorder without
-// producing a typed-nil interface surprise at call sites that compare
-// against nil.
-func recorder(reg *obs.Registry) obs.Recorder {
-	if reg == nil {
-		return nil
-	}
-	return reg
 }
 
 func fatal(err error) {

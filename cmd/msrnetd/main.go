@@ -1,0 +1,88 @@
+// Command msrnetd is the long-running batch-optimization daemon: an
+// HTTP/JSON service that accepts single nets or batches (schema
+// msrnet-job/v1) for the linear-time ARD pass, the optimal
+// repeater-insertion dynamic program, or both, runs them on a bounded
+// worker pool with per-job deadlines and backpressure, and memoizes
+// results in an LRU cache keyed by the canonical content hash of the
+// net plus its options. See DESIGN.md §8 and the README's "Running the
+// daemon" section.
+//
+// Usage:
+//
+//	msrnetd                                  # serve on :8383 with GOMAXPROCS workers
+//	msrnetd -listen :9000 -workers 8 -queue 128 -cache 1024
+//	msrnetd -job-timeout 10s                 # per-job deadline
+//	msrnetd -metrics m.json -trace           # snapshot/report on exit
+//
+// The serving listener itself exposes /metrics, /debug/vars,
+// /debug/pprof/* and /healthz next to /v1/jobs, so the daemon needs no
+// second observability port. SIGINT/SIGTERM trigger a graceful drain:
+// in-flight and queued jobs complete before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"msrnet/internal/cliflags"
+	"msrnet/internal/service"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8383", "serve /v1/jobs plus /metrics, /debug/vars, /debug/pprof and /healthz on this address")
+		workers    = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS); each worker runs one job at a time, composing with per-job \"parallel\" intra-net parallelism")
+		queue      = flag.Int("queue", 0, "bounded job-queue depth (0 = 4×workers); full queue rejects with HTTP 429")
+		jobTimeout = flag.Duration("job-timeout", 30*time.Second, "per-job deadline (0 = none)")
+		cacheSize  = flag.Int("cache", 512, "LRU result-cache capacity in entries (0 = disable caching)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown may spend draining in-flight jobs")
+	)
+	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{AlwaysRegistry: true})
+	flag.Parse()
+
+	run, err := obsFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	d := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		CacheSize:  *cacheSize,
+		Reg:        run.Reg,
+		Logger:     logger,
+	})
+	srv, err := service.Serve(*listen, d, logger)
+	if err != nil {
+		fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logger.Info("shutting down", "signal", s.String(), "drain_timeout", *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Error("shutdown", "err", err)
+		run.Close()
+		os.Exit(1)
+	}
+	if err := run.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msrnetd:", err)
+	os.Exit(1)
+}

@@ -14,9 +14,9 @@ import (
 	"os"
 
 	"msrnet/internal/buslib"
+	"msrnet/internal/cliflags"
 	"msrnet/internal/netgen"
 	"msrnet/internal/netio"
-	"msrnet/internal/obs"
 	"msrnet/internal/spef"
 )
 
@@ -32,30 +32,17 @@ func main() {
 		name    = flag.String("name", "", "net name (default derived from parameters)")
 		out     = flag.String("out", "", "output file (default stdout)")
 		spefOut = flag.String("spef", "", "also write the parasitics as SPEF to this path")
-		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans) to this file")
-		trace   = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{})
 	flag.Parse()
 
-	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	run, err := obsFlags.Start()
 	if err != nil {
 		fatal(err)
 	}
-	var reg *obs.Registry
-	if *metrics != "" || *trace {
-		reg = obs.New()
-	}
+	reg := run.Reg
 	defer func() {
-		stopCPU()
-		if *trace {
-			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
-		}
-		if err := reg.WriteMetricsFile(*metrics); err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteMemProfile(*memProf); err != nil {
+		if err := run.Close(); err != nil {
 			fatal(err)
 		}
 	}()

@@ -18,10 +18,10 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
+	"msrnet/internal/cliflags"
 	"msrnet/internal/dominance"
 	"msrnet/internal/geom"
 	"msrnet/internal/netio"
-	"msrnet/internal/obs"
 	"msrnet/internal/ptree"
 	"msrnet/internal/rctree"
 	"msrnet/internal/rsmt"
@@ -37,31 +37,20 @@ func main() {
 		spacing = flag.Float64("spacing", 800, "insertion-point spacing in µm")
 		out     = flag.String("out", "", "write the synthesized net as JSON")
 		svgOut  = flag.String("svg", "", "write an SVG of the best solution")
-		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (phase spans, MFS counters) to this file")
-		trace   = flag.Bool("trace", false, "print the phase-span/metrics report to stderr on exit")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{})
 	flag.Parse()
 
-	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	run, err := obsFlags.Start()
 	if err != nil {
 		fatal(err)
 	}
-	var reg *obs.Registry
-	if *metrics != "" || *trace {
-		reg = obs.New()
+	reg := run.Reg
+	if reg != nil {
 		dominance.SetObserver(reg)
 	}
 	defer func() {
-		stopCPU()
-		if *trace {
-			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
-		}
-		if err := reg.WriteMetricsFile(*metrics); err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteMemProfile(*memProf); err != nil {
+		if err := run.Close(); err != nil {
 			fatal(err)
 		}
 	}()

@@ -1,0 +1,73 @@
+package netio
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Canonicalize returns a semantically identical copy of f in canonical
+// form: every edge stored with A ≤ B, edges sorted by (A, B, Length),
+// and the version pinned to FormatVersion. Node order is already
+// semantically load-bearing (IDs must be dense and ordered, and decode
+// rebuilds terminals in file order), so nodes are copied untouched; the
+// same holds for the repeater and driver libraries, whose order can
+// break ties in the dynamic program. Canonicalize is idempotent:
+// Canonicalize(Canonicalize(f)) == Canonicalize(f).
+//
+// Two NetFiles that decode to the same tree-plus-technology up to edge
+// direction and edge insertion order canonicalize to identical values,
+// which is what makes ContentHash usable as a cache key.
+func Canonicalize(f NetFile) NetFile {
+	out := f
+	out.Version = FormatVersion
+	out.Nodes = append([]NodeJSON(nil), f.Nodes...)
+	out.Edges = append([]EdgeJSON(nil), f.Edges...)
+	for i, e := range out.Edges {
+		if e.A > e.B {
+			out.Edges[i].A, out.Edges[i].B = e.B, e.A
+		}
+	}
+	sort.SliceStable(out.Edges, func(i, j int) bool {
+		a, b := out.Edges[i], out.Edges[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.Length < b.Length
+	})
+	out.Tech.Repeaters = append(f.Tech.Repeaters[:0:0], f.Tech.Repeaters...)
+	out.Tech.Drivers = append(f.Tech.Drivers[:0:0], f.Tech.Drivers...)
+	return out
+}
+
+// CanonicalBytes returns the deterministic encoding of the canonical
+// form of f: compact single-line JSON with struct fields in declaration
+// order. Identical nets (up to edge direction and edge order) yield
+// identical bytes.
+func CanonicalBytes(f NetFile) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(Canonicalize(f)); err != nil {
+		return nil, fmt.Errorf("netio: canonical encode: %w", err)
+	}
+	// Encoder appends a newline; the canonical form is the bare object.
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// ContentHash returns a stable content address for the net:
+// "sha256:<hex>" over CanonicalBytes. It is the net half of the
+// msrnetd result-cache key (see DESIGN.md §8).
+func ContentHash(f NetFile) (string, error) {
+	b, err := CanonicalBytes(f)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("sha256:%x", sum), nil
+}

@@ -1,0 +1,129 @@
+package netio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/rctree"
+)
+
+// TestCanonicalRoundTripProperty checks the cache-key contract on random
+// nets: parse → canonicalize → parse is the identity. Concretely, the
+// canonical bytes are a fixpoint (re-reading and re-encoding them
+// reproduces them exactly), and the decoded tree is electrically
+// identical (same ARD) to the original.
+func TestCanonicalRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		tr, err := netgen.Generate(seed, netgen.Defaults(6+int(seed%5)))
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		tech := buslib.Default()
+		f := Encode("prop", tr, tech)
+
+		cb, err := CanonicalBytes(f)
+		if err != nil {
+			t.Fatalf("seed %d: canonical bytes: %v", seed, err)
+		}
+		parsed, err := Read(bytes.NewReader(cb))
+		if err != nil {
+			t.Fatalf("seed %d: re-read canonical bytes: %v", seed, err)
+		}
+		cb2, err := CanonicalBytes(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: re-encode: %v", seed, err)
+		}
+		if !bytes.Equal(cb, cb2) {
+			t.Fatalf("seed %d: canonical bytes are not a fixpoint:\n%s\nvs\n%s", seed, cb, cb2)
+		}
+
+		tr2, tech2, err := Decode(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: decode canonical: %v", seed, err)
+		}
+		want := ard.Compute(rctree.NewNet(tr.RootAt(tr.Terminals()[0]), tech, rctree.Assignment{}), ard.Options{}).ARD
+		got := ard.Compute(rctree.NewNet(tr2.RootAt(tr2.Terminals()[0]), tech2, rctree.Assignment{}), ard.Options{}).ARD
+		if want != got {
+			t.Fatalf("seed %d: ARD changed through canonical round trip: %g vs %g", seed, want, got)
+		}
+	}
+}
+
+// TestContentHashEdgeInvariance verifies the hash ignores edge direction
+// and edge insertion order — the two representational freedoms
+// Canonicalize normalizes away — while distinguishing real changes.
+func TestContentHashEdgeInvariance(t *testing.T) {
+	tr, err := netgen.Generate(7, netgen.Defaults(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Encode("inv", tr, buslib.Default())
+	base, err := ContentHash(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := f
+	flipped.Edges = append([]EdgeJSON(nil), f.Edges...)
+	for i, e := range flipped.Edges {
+		flipped.Edges[i].A, flipped.Edges[i].B = e.B, e.A
+	}
+	if h, _ := ContentHash(flipped); h != base {
+		t.Fatalf("hash changed under edge direction flip: %s vs %s", h, base)
+	}
+
+	shuffled := f
+	shuffled.Edges = append([]EdgeJSON(nil), f.Edges...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled.Edges), func(i, j int) {
+		shuffled.Edges[i], shuffled.Edges[j] = shuffled.Edges[j], shuffled.Edges[i]
+	})
+	if h, _ := ContentHash(shuffled); h != base {
+		t.Fatalf("hash changed under edge reorder: %s vs %s", h, base)
+	}
+
+	longer := f
+	longer.Edges = append([]EdgeJSON(nil), f.Edges...)
+	longer.Edges[0].Length += 1
+	if h, _ := ContentHash(longer); h == base {
+		t.Fatal("hash failed to distinguish a changed edge length")
+	}
+
+	renamed := f
+	renamed.Name = "other"
+	if h, _ := ContentHash(renamed); h == base {
+		t.Fatal("hash failed to distinguish a changed net name")
+	}
+}
+
+// TestCanonicalizeIdempotent pins the Canonicalize fixpoint and checks
+// it does not mutate its argument.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	tr, err := netgen.Generate(5, netgen.Defaults(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Encode("idem", tr, buslib.Default())
+	f.Edges[0].A, f.Edges[0].B = f.Edges[0].B, f.Edges[0].A
+	beforeA, beforeB := f.Edges[0].A, f.Edges[0].B
+
+	c1 := Canonicalize(f)
+	if f.Edges[0].A != beforeA || f.Edges[0].B != beforeB {
+		t.Fatal("Canonicalize mutated its argument")
+	}
+	c2 := Canonicalize(c1)
+	b1, err := CanonicalBytes(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := CanonicalBytes(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Canonicalize is not idempotent")
+	}
+}

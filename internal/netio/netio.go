@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"msrnet/internal/buslib"
 	"msrnet/internal/geom"
@@ -201,7 +202,11 @@ type PlacedJSON struct {
 	ASideUp bool   `json:"a_side_up"`
 }
 
-// EncodeAssignment summarizes a concrete assignment.
+// EncodeAssignment summarizes a concrete assignment. The output is
+// deterministic: repeaters are sorted by node id (map iteration order
+// must not leak into saved files or cached daemon results), and the
+// driver/width maps marshal with sorted keys as encoding/json always
+// does.
 func EncodeAssignment(cost, ard float64, asg rctree.Assignment) AssignmentJSON {
 	out := AssignmentJSON{Version: FormatVersion, Cost: cost, ARD: ard}
 	for node, pl := range asg.Repeaters {
@@ -209,6 +214,9 @@ func EncodeAssignment(cost, ard float64, asg rctree.Assignment) AssignmentJSON {
 			Node: node, Name: pl.Rep.Name, ASideUp: pl.ASideUp,
 		})
 	}
+	sort.Slice(out.Repeaters, func(i, j int) bool {
+		return out.Repeaters[i].Node < out.Repeaters[j].Node
+	})
 	if len(asg.Drivers) > 0 {
 		out.Drivers = map[string]string{}
 		for node, d := range asg.Drivers {

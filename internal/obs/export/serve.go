@@ -45,26 +45,15 @@ func Serve(addr string, reg *obs.Registry, logger *slog.Logger) (*Server, error)
 	if logger == nil {
 		logger = slog.Default()
 	}
-	PublishExpvar("msrnet", reg)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(reg))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
+	Register(mux, reg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           logRequests(logger, mux),
+		Handler:           LogRequests(logger, mux),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -76,6 +65,26 @@ func Serve(addr string, reg *obs.Registry, logger *slog.Logger) (*Server, error)
 		"addr", ln.Addr().String(),
 		"endpoints", []string{"/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
 	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Register mounts the standard observability surface on mux —
+// /metrics, /debug/vars, /debug/pprof/* and /healthz — publishing the
+// registry under the "msrnet" expvar on the way. It exists so services
+// with their own listener (msrnetd) expose exactly the same endpoints,
+// on the same paths, as the -listen flag of the batch commands.
+func Register(mux *http.ServeMux, reg *obs.Registry) {
+	PublishExpvar("msrnet", reg)
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
 }
 
 // MetricsHandler serves the registry's current snapshot in Prometheus
@@ -102,7 +111,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
+// LogRequests wraps next so every request is logged through logger with
+// method, path, status, duration and remote address — the same access
+// log Serve installs, exported for services that own their listener.
+func LogRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"msrnet/internal/obs/export"
+)
+
+// maxRequestBytes bounds a request body; a batch of a few hundred
+// multi-thousand-node nets fits comfortably.
+const maxRequestBytes = 64 << 20
+
+// Handler returns the daemon's full HTTP surface on one mux:
+//
+//	POST /v1/jobs   msrnet-job/v1 batch optimization
+//	GET  /metrics   Prometheus text exposition (includes svc/* series)
+//	GET  /debug/vars, /debug/pprof/*, /healthz   (internal/obs/export)
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", d.handleJobs)
+	export.Register(mux, d.reg)
+	return mux
+}
+
+func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, ErrBadRequest, "POST required")
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrBadRequest, "decode request: "+err.Error())
+		return
+	}
+	resp, serr := d.Submit(r.Context(), &req)
+	if serr != nil {
+		if serr.Status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, serr.Status, serr.Code, serr.Msg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		d.log.Warn("response write failed", "err", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Version: SchemaVersion, Code: code, Error: msg})
+}
+
+// HTTPServer is the daemon's bound listener. Shutdown stops accepting,
+// waits for in-flight requests (whose jobs it therefore drains), then
+// closes the daemon itself.
+type HTTPServer struct {
+	d   *Daemon
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown performs the graceful sequence: stop the listener, wait for
+// in-flight requests, then drain the worker pool.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if cerr := s.d.Close(ctx); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Serve binds addr and serves the daemon's Handler with the standard
+// access log. The server runs on its own goroutine; the caller owns the
+// Shutdown.
+func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           export.LogRequests(logger, d.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("msrnetd server failed", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	logger.Info("msrnetd listening", "addr", ln.Addr().String(),
+		"endpoints", []string{"/v1/jobs", "/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
+	return &HTTPServer{d: d, ln: ln, srv: srv}, nil
+}

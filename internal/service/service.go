@@ -1,0 +1,440 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"msrnet/internal/ard"
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/netio"
+	"msrnet/internal/obs"
+	"msrnet/internal/rctree"
+	"msrnet/internal/topo"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers is the worker-pool size; defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with queue_full (HTTP 429).
+	// Defaults to 4×Workers.
+	QueueDepth int
+	// JobTimeout is the per-job deadline; a job that exceeds it returns
+	// deadline_exceeded. Zero means no per-job deadline.
+	JobTimeout time.Duration
+	// CacheSize is the LRU result-cache capacity in entries; ≤ 0
+	// disables caching. Defaults are applied by msrnetd, not here.
+	CacheSize int
+	// Reg receives the daemon's metrics and per-job phase spans; may be
+	// nil.
+	Reg *obs.Registry
+	// Logger receives job-level logs; slog.Default when nil.
+	Logger *slog.Logger
+}
+
+// LatencyBounds are the millisecond bucket bounds of the svc/queue_wait_ms
+// and svc/job_ms histograms.
+var LatencyBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Daemon owns the job queue, worker pool and result cache. Create with
+// New, submit with Submit (or through Handler's HTTP surface), and
+// Close to drain.
+type Daemon struct {
+	cfg   Config
+	reg   *obs.Registry
+	log   *slog.Logger
+	cache *resultCache
+
+	jobs chan *task
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	free   int // remaining queue slots
+	closed bool
+
+	submitted, completed, failed *obs.Counter
+	rejected, deadlines, panics  *obs.Counter
+	queueDepth, workers          *obs.Gauge
+	queueWait, jobDur            *obs.Histogram
+
+	// execHook replaces exec in tests that need a slow or exploding
+	// job body without building an adversarial net.
+	execHook func(ctx context.Context, t *task) Result
+}
+
+// task is one unit of queued work: a validated, decoded job plus its
+// completion signal.
+type task struct {
+	job    *Job
+	idx    int
+	label  string
+	netKey string
+	key    string
+	tr     *topo.Tree
+	tech   buslib.Tech
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	enqueued time.Time
+
+	res  Result
+	done chan struct{}
+}
+
+// New builds the daemon and starts its workers.
+func New(cfg Config) *Daemon {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	reg := cfg.Reg
+	d := &Daemon{
+		cfg:        cfg,
+		reg:        reg,
+		log:        cfg.Logger,
+		cache:      newResultCache(cfg.CacheSize, reg),
+		jobs:       make(chan *task, cfg.QueueDepth),
+		free:       cfg.QueueDepth,
+		submitted:  reg.Counter("svc/jobs_submitted"),
+		completed:  reg.Counter("svc/jobs_completed"),
+		failed:     reg.Counter("svc/jobs_failed"),
+		rejected:   reg.Counter("svc/jobs_rejected"),
+		deadlines:  reg.Counter("svc/jobs_deadline_exceeded"),
+		panics:     reg.Counter("svc/panics_recovered"),
+		queueDepth: reg.Gauge("svc/queue_depth"),
+		workers:    reg.Gauge("svc/workers"),
+		queueWait:  reg.Histogram("svc/queue_wait_ms", LatencyBounds),
+		jobDur:     reg.Histogram("svc/job_ms", LatencyBounds),
+	}
+	d.workers.Set(int64(cfg.Workers))
+	d.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// SubmitError is a whole-request rejection, mapped to one HTTP status.
+type SubmitError struct {
+	Status int // HTTP status code
+	Code   string
+	Msg    string
+}
+
+func (e *SubmitError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+func submitErr(status int, code, format string, args ...any) *SubmitError {
+	return &SubmitError{Status: status, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Submit validates and runs every job of req, in request order, and
+// blocks until all complete or ctx is done. Cache hits return without
+// queueing. The whole batch is admitted atomically: if the queue cannot
+// hold every miss, nothing is enqueued and the request is rejected with
+// queue_full — partial admission would make 429 retries recompute the
+// admitted half.
+func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitError) {
+	sub := d.reg.StartSpan("svc/submit")
+	defer sub.End()
+	if err := req.Validate(); err != nil {
+		return nil, submitErr(http.StatusBadRequest, ErrBadRequest, "%v", err)
+	}
+
+	// Decode every net up front: a malformed net is the client's fault
+	// and must be a structured 400, not a queued failure.
+	results := make([]Result, len(req.Jobs))
+	var pending []*task
+	decSpan := d.reg.StartSpan("svc/submit/decode")
+	for i := range req.Jobs {
+		j := &req.Jobs[i]
+		netKey, err := netio.ContentHash(j.Net)
+		if err != nil {
+			decSpan.End()
+			return nil, submitErr(http.StatusBadRequest, ErrBadRequest, "job %s: %v", j.label(i), err)
+		}
+		tr, tech, err := netio.Decode(j.Net)
+		if err != nil {
+			decSpan.End()
+			return nil, submitErr(http.StatusBadRequest, ErrBadRequest, "job %s: %v", j.label(i), err)
+		}
+		if len(tr.Sources()) == 0 || len(tr.Sinks()) == 0 {
+			decSpan.End()
+			return nil, submitErr(http.StatusBadRequest, ErrBadRequest,
+				"job %s: net needs at least one source and one sink", j.label(i))
+		}
+		key := j.cacheKey(netKey)
+		d.submitted.Inc()
+		if res, ok := d.cache.Get(key); ok {
+			res.ID = j.label(i)
+			res.Cached = true
+			results[i] = res
+			d.completed.Inc()
+			continue
+		}
+		t := &task{job: j, idx: i, label: j.label(i), netKey: netKey, key: key, tr: tr, tech: tech, done: make(chan struct{})}
+		t.ctx, t.cancel = d.jobContext(ctx)
+		pending = append(pending, t)
+		results[i] = Result{} // filled after completion
+	}
+	decSpan.End()
+
+	if err := d.enqueue(pending); err != nil {
+		for _, t := range pending {
+			t.cancel()
+		}
+		return nil, err
+	}
+	for _, t := range pending {
+		select {
+		case <-t.done:
+		case <-ctx.Done():
+			// Client gone: cancel what has not finished and bail. The
+			// workers observe the cancellation and fail the tasks fast.
+			for _, u := range pending {
+				u.cancel()
+			}
+			return nil, submitErr(http.StatusServiceUnavailable, ErrShuttingDown, "request context done: %v", ctx.Err())
+		}
+	}
+	// Place the computed results into request order.
+	for _, t := range pending {
+		results[t.idx] = t.res
+	}
+	return &Response{Version: SchemaVersion, Results: results}, nil
+}
+
+// jobContext derives the per-job context: the request context bounded
+// by the per-job deadline.
+func (d *Daemon) jobContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d.cfg.JobTimeout > 0 {
+		return context.WithTimeout(ctx, d.cfg.JobTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// enqueue admits all tasks atomically or none.
+func (d *Daemon) enqueue(ts []*task) *SubmitError {
+	if len(ts) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return submitErr(http.StatusServiceUnavailable, ErrShuttingDown, "daemon is draining")
+	}
+	if len(ts) > d.free {
+		d.rejected.Add(int64(len(ts)))
+		return submitErr(http.StatusTooManyRequests, ErrQueueFull,
+			"queue full: %d jobs submitted, %d slots free (depth %d); retry later",
+			len(ts), d.free, d.cfg.QueueDepth)
+	}
+	d.free -= len(ts)
+	d.queueDepth.Set(int64(d.cfg.QueueDepth - d.free))
+	now := time.Now()
+	for _, t := range ts {
+		t.enqueued = now
+		d.jobs <- t // cannot block: a slot is reserved for every send
+	}
+	return nil
+}
+
+// release frees queue slots as workers dequeue.
+func (d *Daemon) release(n int) {
+	d.mu.Lock()
+	d.free += n
+	d.queueDepth.Set(int64(d.cfg.QueueDepth - d.free))
+	d.mu.Unlock()
+}
+
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for t := range d.jobs {
+		d.release(1)
+		d.queueWait.Observe(float64(time.Since(t.enqueued)) / float64(time.Millisecond))
+		d.runTask(t)
+	}
+}
+
+// runTask executes one task with panic isolation and the per-job
+// deadline. The job body runs on its own goroutine so a deadline can
+// preempt the wait (the computation itself is not interruptible — it
+// finishes in the background and is discarded).
+func (d *Daemon) runTask(t *task) {
+	defer close(t.done)
+	defer t.cancel()
+	span := d.reg.StartSpan("svc/job")
+	start := time.Now()
+
+	if err := t.ctx.Err(); err != nil {
+		t.res = d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("expired before start: %v", err))
+		d.deadlines.Inc()
+	} else {
+		resCh := make(chan Result, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					d.panics.Inc()
+					d.log.Error("job panic recovered", "job", t.label, "panic", fmt.Sprint(p))
+					resCh <- d.failResult(t, ErrInternal, fmt.Sprintf("panic: %v", p))
+				}
+			}()
+			resCh <- d.exec(t)
+		}()
+		select {
+		case r := <-resCh:
+			t.res = r
+		case <-t.ctx.Done():
+			d.deadlines.Inc()
+			t.res = d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("job exceeded deadline: %v", t.ctx.Err()))
+		}
+	}
+
+	span.End()
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	d.jobDur.Observe(ms)
+	if t.res.Status == StatusOK {
+		d.completed.Inc()
+		// Cache the result without per-request decoration.
+		stored := t.res
+		stored.ID = ""
+		stored.Cached = false
+		d.cache.Put(t.key, stored)
+	} else {
+		d.failed.Inc()
+	}
+	d.log.Info("job done", "job", t.label, "status", t.res.Status, "code", t.res.Code,
+		"mode", t.job.Mode, "net_key", t.netKey, "ms", ms)
+}
+
+func (d *Daemon) failResult(t *task, code, msg string) Result {
+	return Result{ID: t.label, Status: StatusError, Code: code, Error: msg, NetKey: t.netKey}
+}
+
+// exec computes the job's result. It runs on a per-job goroutine under
+// runTask's panic guard.
+func (d *Daemon) exec(t *task) Result {
+	if d.execHook != nil {
+		return d.execHook(t.ctx, t)
+	}
+	j := t.job
+	res := Result{ID: t.label, Status: StatusOK, NetKey: t.netKey}
+	rt := t.tr.RootAt(t.tr.Terminals()[0])
+
+	if j.Mode == "ard" || j.Mode == "both" {
+		span := d.reg.StartSpan("svc/job/ard")
+		net := rctree.NewNet(rt, t.tech, rctree.Assignment{})
+		r := ard.Compute(net, ard.Options{IncludeSelf: j.Options.IncludeSelf})
+		span.End()
+		res.ARD = &ARDResult{ARD: r.ARD, CritSrc: termName(t.tr, r.CritSrc), CritSink: termName(t.tr, r.CritSink)}
+	}
+
+	if j.Mode == "msri" || j.Mode == "both" {
+		// Each job builds its own Options value; only the Recorder is
+		// shared across workers, and the Registry is safe for concurrent
+		// use (see TestOptionsCopiesAreGoroutineSafe).
+		opt := core.Options{
+			IncludeSelf: j.Options.IncludeSelf,
+			Parallel:    j.Options.Parallel,
+			WireWidths:  append([]float64(nil), j.Options.WireWidths...),
+			Obs:         recorder(d.reg),
+		}
+		switch j.optimize() {
+		case "repeaters":
+			opt.Repeaters = true
+		case "sizing":
+			opt.SizeDrivers = true
+		case "both":
+			opt.Repeaters = true
+			opt.SizeDrivers = true
+		}
+		if j.pruner() == "naive" {
+			opt.Pruner = core.PruneNaive
+		}
+		span := d.reg.StartSpan("svc/job/optimize")
+		out, err := core.Optimize(rt, t.tech, opt)
+		span.End()
+		if err != nil {
+			return d.failResult(t, ErrBadRequest, fmt.Sprintf("optimize: %v", err))
+		}
+		chosen := out.Suite.MinARD()
+		if j.Options.Spec > 0 {
+			sol, ok := out.Suite.MinCost(j.Options.Spec)
+			if !ok {
+				return d.failResult(t, ErrSpecUnmet, fmt.Sprintf(
+					"no solution meets ARD ≤ %g ns (best achievable %.6f)",
+					j.Options.Spec, out.Suite.MinARD().ARD))
+			}
+			chosen = sol
+		}
+		encSpan := d.reg.StartSpan("svc/job/encode")
+		opt2 := &OptResult{
+			Chosen: suitePoint(chosen),
+			Assign: netio.EncodeAssignment(chosen.Cost, chosen.ARD, chosen.Assignment()),
+			Stats:  out.Stats,
+		}
+		for _, s := range out.Suite {
+			opt2.Suite = append(opt2.Suite, suitePoint(s))
+		}
+		encSpan.End()
+		res.Opt = opt2
+	}
+	return res
+}
+
+func suitePoint(s core.RootSolution) SuitePoint {
+	return SuitePoint{Cost: s.Cost, ARD: s.ARD, Repeaters: s.Repeaters()}
+}
+
+func termName(tr *topo.Tree, id int) string {
+	if id < 0 {
+		return ""
+	}
+	return tr.Node(id).Term.Name
+}
+
+// recorder converts a possibly-nil *Registry into a Recorder without
+// the typed-nil interface trap.
+func recorder(reg *obs.Registry) obs.Recorder {
+	if reg == nil {
+		return nil
+	}
+	return reg
+}
+
+// Close stops admission and drains: queued and in-flight jobs complete
+// (submitters are unblocked), workers exit, and Close returns when the
+// pool is idle or ctx expires.
+func (d *Daemon) Close(ctx context.Context) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.jobs)
+	d.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
