@@ -362,7 +362,11 @@ func BenchmarkTopologySynthesis(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		last = res.Suite.MinARD().ARD
+		sol, err := res.Suite.MinARD()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sol.ARD
 	}
 	printTable("Topology synthesis (§VII)",
 		fmt.Sprintf("9-terminal net: best optimized ARD %.4f ns\n", last))

@@ -122,7 +122,4 @@ func loadNet(path string) (*topo.Tree, buslib.Tech, error) {
 	return netio.Load(path)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ardcalc:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("ardcalc", err) }

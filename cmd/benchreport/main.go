@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"msrnet/internal/bench"
+	"msrnet/internal/cliflags"
 )
 
 func main() {
@@ -76,7 +77,4 @@ func main() {
 	fmt.Printf("no regressions vs %s (counter threshold %.0f%%)\n", *baseline, *threshold*100)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchreport:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("benchreport", err) }

@@ -227,7 +227,4 @@ func writeCSV(dir, name string, fn func(*os.File) error) error {
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("experiments", err) }

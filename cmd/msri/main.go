@@ -132,18 +132,22 @@ func main() {
 			res.Stats.SolutionsCreated, res.Stats.MaxSetSize, res.Stats.MaxSegs, res.Stats.PruneCalls, res.Stats.Dropped)
 	}
 
+	best, err := res.Suite.MinARD()
+	if err != nil {
+		fatal(err)
+	}
 	var chosen core.RootSolution
 	if *spec > 0 {
 		sol, ok := res.Suite.MinCost(*spec)
 		if !ok {
 			fatal(fmt.Errorf("no solution meets ARD ≤ %g ns (best achievable %.4f)",
-				*spec, res.Suite.MinARD().ARD))
+				*spec, best.ARD))
 		}
 		chosen = sol
 		fmt.Printf("min-cost solution meeting ARD ≤ %g: cost %.1f, ARD %.4f ns, %d repeaters\n",
 			*spec, sol.Cost, sol.ARD, sol.Repeaters())
 	} else {
-		chosen = res.Suite.MinARD()
+		chosen = best
 		fmt.Printf("min-ARD solution: cost %.1f, ARD %.4f ns, %d repeaters\n",
 			chosen.Cost, chosen.ARD, chosen.Repeaters())
 	}
@@ -202,7 +206,4 @@ func loadNet(path string) (*topo.Tree, buslib.Tech, error) {
 	return netio.Load(path)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "msri:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("msri", err) }

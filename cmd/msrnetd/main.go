@@ -23,7 +23,6 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"msrnet/internal/cliflags"
+	"msrnet/internal/faultinject"
 	"msrnet/internal/service"
 )
 
@@ -42,6 +42,11 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 30*time.Second, "per-job deadline (0 = none)")
 		cacheSize  = flag.Int("cache", 512, "LRU result-cache capacity in entries (0 = disable caching)")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown may spend draining in-flight jobs")
+		headroom   = flag.Duration("degrade-headroom", 0, "deadline slice reserved for the coarse (ε-relaxed) fallback (0 = job-timeout/4, negative = disable degradation)")
+		coarseEps  = flag.Float64("coarse-eps", 0, "dominance relaxation of degraded runs in ns (0 = default 0.02)")
+		shedMargin = flag.Duration("shed-margin", 0, "shed jobs at dequeue whose remaining deadline is below this margin (0 = disable shedding)")
+		faults     = flag.String("faults", "", "fault-injection spec for chaos testing, e.g. 'svc/worker:panic:0.1;svc/cache/get:error:0.5' (also via "+faultinject.EnvFaults+")")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed (also via "+faultinject.EnvSeed+")")
 	)
 	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{AlwaysRegistry: true})
 	flag.Parse()
@@ -52,13 +57,33 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	// The -faults flag wins over MSRNET_FAULTS; both default to no
+	// injector at all (nil is inert), so production pays nothing.
+	inj, err := faultinject.FromEnv(run.Reg)
+	if err != nil {
+		fatal(err)
+	}
+	if *faults != "" {
+		inj = faultinject.New(*faultSeed, run.Reg)
+		if err := inj.Configure(*faults); err != nil {
+			fatal(err)
+		}
+	}
+	if inj.Active() > 0 {
+		logger.Warn("fault injection ACTIVE — not a production configuration", "faults", inj.Active())
+	}
+
 	d := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		CacheSize:  *cacheSize,
-		Reg:        run.Reg,
-		Logger:     logger,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		CacheSize:       *cacheSize,
+		DegradeHeadroom: *headroom,
+		CoarseEps:       *coarseEps,
+		ShedMargin:      *shedMargin,
+		Faults:          inj,
+		Reg:             run.Reg,
+		Logger:          logger,
 	})
 	srv, err := service.Serve(*listen, d, logger)
 	if err != nil {
@@ -82,7 +107,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "msrnetd:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("msrnetd", err) }

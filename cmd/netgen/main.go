@@ -98,7 +98,4 @@ func main() {
 		netName, len(tr.Terminals()), len(tr.Insertions()), tr.TotalWireLength())
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "netgen:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("netgen", err) }

@@ -88,7 +88,10 @@ func main() {
 		fatal(err)
 	}
 	synSpan.End()
-	best := res.Suite.MinARD()
+	best, err := res.Suite.MinARD()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("synthesized topology: %.0f µm wire (1-Steiner baseline %.0f µm)\n",
 		res.WirelengthUm, baseLen)
 	fmt.Printf("optimized ARD %.4f ns at cost %.0f (%d repeaters); suite has %d points\n",
@@ -122,7 +125,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "synth:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliflags.Fatal("synth", err) }

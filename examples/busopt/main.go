@@ -71,15 +71,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	best, err := suite.MinARD()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("suite spans cost %g..%g, ARD %.4f..%.4f ns\n",
 		suite[0].Cost, suite[len(suite)-1].Cost,
-		suite.MinARD().ARD, suite[0].ARD)
+		best.ARD, suite[0].ARD)
 
 	// Close timing at a 4.5 ns cycle budget.
 	const spec = 4.5
 	sol, ok := suite.MinCost(spec)
 	if !ok {
-		log.Fatalf("cannot close timing at %.2f ns; best is %.4f", spec, suite.MinARD().ARD)
+		log.Fatalf("cannot close timing at %.2f ns; best is %.4f", spec, best.ARD)
 	}
 	fmt.Printf("closing timing at %.2f ns: %d repeaters, cost %.0f, achieved ARD %.4f ns\n",
 		spec, sol.Repeaters(), sol.Cost, sol.ARD)

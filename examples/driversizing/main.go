@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dsBest := sizing.MinARD()
+	dsBest, err := sizing.MinARD()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("driver sizing:      best ARD %.4f ns (%.0f%% of baseline), driver cost %.0f\n",
 		dsBest.ARD, 100*dsBest.ARD/base.ARD, dsBest.Cost)
 
@@ -50,7 +53,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	riBest := reps.MinARD()
+	riBest, err := reps.MinARD()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("repeater insertion: best ARD %.4f ns (%.0f%% of baseline), %d repeaters\n",
 		riBest.ARD, 100*riBest.ARD/base.ARD, riBest.Repeaters())
 

@@ -67,7 +67,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sol := suite.MinARD()
+	sol, err := suite.MinARD()
+	if err != nil {
+		log.Fatal(err)
+	}
 	asg := sol.Assignment()
 	fmt.Printf("\nplacement report: %d repeaters, cost %.0f, ARD %.4f ns\n",
 		sol.Repeaters(), sol.Cost, sol.ARD)

@@ -67,13 +67,17 @@ func main() {
 			knee = suite[i]
 		}
 	}
+	fastest, err := suite.MinARD()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, pick := range []struct {
 		tag string
 		sol msrnet.RootSolution
 	}{
 		{"cheapest", suite[0]},
 		{"knee", knee},
-		{"fastest", suite.MinARD()},
+		{"fastest", fastest},
 	} {
 		path := fmt.Sprintf("tradeoff-%s.svg", pick.tag)
 		f, err := os.Create(path)

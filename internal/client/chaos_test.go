@@ -1,0 +1,222 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/core"
+	"msrnet/internal/faultinject"
+	"msrnet/internal/netgen"
+	"msrnet/internal/netio"
+	"msrnet/internal/obs"
+	"msrnet/internal/service"
+)
+
+// fiveHundredCounter counts server-error responses passing through the
+// client's transport: the chaos run must never turn a valid net into a
+// bare 5xx.
+type fiveHundredCounter struct {
+	base http.RoundTripper
+	n    int64
+}
+
+func (c *fiveHundredCounter) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := c.base.RoundTrip(r)
+	if err == nil && resp.StatusCode >= 500 {
+		c.n++
+	}
+	return resp, err
+}
+
+func chaosNet(t *testing.T, seed int64, pins int) netio.NetFile {
+	t.Helper()
+	tr, err := netgen.Generate(seed, netgen.Defaults(pins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netio.Encode("", tr, buslib.Default())
+}
+
+// TestChaosEndToEnd drives the full fault-tolerance story over a real
+// listener: a 16-net batch against a daemon whose workers panic, then
+// sleep and lose their cache, while the retrying client drives every
+// valid net to an OK result; deadline-pressed msri jobs come back
+// flagged degraded (never silently truncated) within the documented
+// accuracy bound; and the drain leaves no goroutines behind. Run under
+// -race in CI (the chaos smoke job).
+func TestChaosEndToEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := obs.New()
+	inj := faultinject.New(7, reg)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	const jobTimeout = 30 * time.Second
+	d := service.New(service.Config{
+		Workers:    4,
+		QueueDepth: 64,
+		JobTimeout: jobTimeout,
+		CacheSize:  64,
+		// Headroom = the whole deadline: every msri job degrades on
+		// arrival (phase D); plain ard jobs are unaffected.
+		DegradeHeadroom: jobTimeout,
+		CoarseEps:       0.05,
+		Faults:          inj,
+		Reg:             reg,
+		Logger:          quiet,
+	})
+	srv, err := service.Serve("127.0.0.1:0", d, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counter := &fiveHundredCounter{base: &http.Transport{}}
+	httpc := &http.Client{Transport: counter}
+	c := New("http://"+srv.Addr().String(), Options{
+		HTTPClient:  httpc,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        1,
+	})
+
+	const nNets = 16
+	batch := &service.Request{Version: service.SchemaVersion}
+	nets := make([]netio.NetFile, nNets)
+	for i := range nets {
+		nets[i] = chaosNet(t, int64(300+i), 6+i%4)
+		batch.Jobs = append(batch.Jobs, service.Job{ID: fmt.Sprintf("net-%d", i), Mode: "ard", Net: nets[i]})
+	}
+	ctx := context.Background()
+
+	// Phase A: every worker invocation panics. Panic isolation must turn
+	// each one into a structured, retryable per-job failure — HTTP stays
+	// 200, the daemon stays up.
+	if err := inj.Configure("svc/worker:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Submit(ctx, batch)
+	if err != nil {
+		t.Fatalf("phase A submit: %v", err)
+	}
+	for i, r := range resp.Results {
+		if r.Status != service.StatusError || r.Code != service.ErrInternal || !r.Retryable {
+			t.Fatalf("phase A net-%d: %+v, want retryable internal error", i, r)
+		}
+	}
+	if got := reg.Counter("svc/panics_recovered").Value(); got != nNets {
+		t.Fatalf("phase A: %d panics recovered, want %d", got, nNets)
+	}
+
+	// Phase B: workers are slow and the cache both misses on read and
+	// drops every write. The retrying client still drives all 16 to OK.
+	if err := inj.Configure("svc/worker:latency:1:20ms;svc/cache/get:error:1;svc/cache/put:error:1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Run(ctx, batch)
+	if err != nil {
+		t.Fatalf("phase B run: %v", err)
+	}
+	for i, r := range resp.Results {
+		if r.Status != service.StatusOK || r.Cached {
+			t.Fatalf("phase B net-%d: %+v, want fresh OK", i, r)
+		}
+	}
+	if got := reg.Counter("svc/cache_inserts").Value(); got != 0 {
+		t.Fatalf("phase B: %d cache inserts despite put faults", got)
+	}
+
+	// Phase C: faults cleared — the daemon heals with no restart. A
+	// fresh run computes and caches; a repeat is served from cache.
+	if err := inj.Configure(""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Run(ctx, batch)
+	if err != nil {
+		t.Fatalf("phase C run: %v", err)
+	}
+	for i, r := range resp.Results {
+		if r.Status != service.StatusOK {
+			t.Fatalf("phase C net-%d: %+v", i, r)
+		}
+	}
+	resp, err = c.Submit(ctx, batch)
+	if err != nil {
+		t.Fatalf("phase C repeat: %v", err)
+	}
+	for i, r := range resp.Results {
+		if !r.Cached {
+			t.Fatalf("phase C net-%d not served from cache after healing", i)
+		}
+	}
+
+	// Phase D: deadline-pressed optimization. With the whole deadline
+	// reserved as headroom, msri jobs degrade on arrival — flagged, never
+	// silently truncated, and within ε·PruneCalls of the exact optimum.
+	msri := &service.Request{Version: service.SchemaVersion}
+	for i := 0; i < 4; i++ {
+		msri.Jobs = append(msri.Jobs, service.Job{ID: fmt.Sprintf("opt-%d", i), Mode: "msri", Net: nets[i]})
+	}
+	resp, err = c.Run(ctx, msri)
+	if err != nil {
+		t.Fatalf("phase D run: %v", err)
+	}
+	for i, r := range resp.Results {
+		if r.Status != service.StatusOK {
+			t.Fatalf("phase D opt-%d: %+v", i, r)
+		}
+		if !r.Degraded || r.DegradedReason == "" {
+			t.Fatalf("phase D opt-%d not flagged degraded: %+v", i, r)
+		}
+		if r.Opt == nil || len(r.Opt.Suite) == 0 || r.Opt.CoarseEps <= 0 {
+			t.Fatalf("phase D opt-%d truncated degraded result: %+v", i, r.Opt)
+		}
+		tr, tech, err := netio.Decode(nets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.Optimize(tr.RootAt(tr.Terminals()[0]), tech, core.Options{Repeaters: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := out.Suite.MinARD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := exact.ARD + r.Opt.CoarseEps*float64(r.Opt.Stats.PruneCalls) + 1e-9
+		if r.Opt.Chosen.ARD > bound || r.Opt.Chosen.ARD < exact.ARD-1e-9 {
+			t.Fatalf("phase D opt-%d: degraded ARD %.9g outside [%.9g, %.9g]",
+				i, r.Opt.Chosen.ARD, exact.ARD, bound)
+		}
+	}
+	if got := reg.Counter("svc/jobs_degraded").Value(); got < 4 {
+		t.Fatalf("svc/jobs_degraded = %d, want ≥ 4", got)
+	}
+
+	// Across every phase, no valid net ever produced a server error.
+	if counter.n != 0 {
+		t.Fatalf("%d 5xx responses for valid nets", counter.n)
+	}
+
+	// Phase E: graceful drain, then no goroutine leaks.
+	httpc.CloseIdleConnections()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after drain", before, runtime.NumGoroutine())
+}

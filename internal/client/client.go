@@ -1,0 +1,262 @@
+// Package client is the Go client for msrnetd's msrnet-job/v1 surface,
+// with the retry discipline the daemon's failure taxonomy is designed
+// for. Submit retries whole HTTP submissions on transport errors, 429
+// (honoring Retry-After) and 5xx with capped exponential backoff and
+// seeded jitter; Run additionally resubmits individual jobs whose
+// results came back failed-but-Retryable (deadline_exceeded, shed_load,
+// internal, …) — safe because jobs are idempotent, keyed by the
+// content hash of the net. Deterministic client-caused failures
+// (bad_request, spec_unmet) are never retried.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msrnet/internal/service"
+)
+
+// Options tunes the client's retry discipline. The zero value is
+// usable: sensible attempt counts and backoff bounds are applied.
+type Options struct {
+	// HTTPClient issues the requests; http.DefaultClient when nil.
+	HTTPClient *http.Client
+	// MaxAttempts bounds HTTP submissions per Submit call (first try
+	// included). Defaults to 4.
+	MaxAttempts int
+	// JobRounds bounds how many extra rounds Run spends resubmitting
+	// retryable failed jobs after the initial submission. Defaults to 2.
+	JobRounds int
+	// BaseBackoff is the first retry delay; doubled per attempt up to
+	// MaxBackoff, then jittered to [½d, d). Defaults 100ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed determines the jitter sequence; 0 seeds from the clock.
+	Seed int64
+	// Logger receives one line per retry; silent when nil.
+	Logger *slog.Logger
+}
+
+// Client talks to one msrnetd. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+	opt  Options
+	log  *slog.Logger
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8383").
+func New(baseURL string, opt Options) *Client {
+	if opt.HTTPClient == nil {
+		opt.HTTPClient = http.DefaultClient
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 4
+	}
+	if opt.JobRounds < 0 {
+		opt.JobRounds = 0
+	} else if opt.JobRounds == 0 {
+		opt.JobRounds = 2
+	}
+	if opt.BaseBackoff <= 0 {
+		opt.BaseBackoff = 100 * time.Millisecond
+	}
+	if opt.MaxBackoff <= 0 {
+		opt.MaxBackoff = 5 * time.Second
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	log := opt.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: opt.HTTPClient,
+		opt:  opt,
+		log:  log,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// APIError is a non-200 response from the daemon, carrying its
+// structured body when one decoded.
+type APIError struct {
+	Status int
+	Body   service.ErrorBody
+
+	// retryAfter is the server's Retry-After hint, when present.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Body.Code != "" {
+		return fmt.Sprintf("msrnetd: HTTP %d %s: %s", e.Status, e.Body.Code, e.Body.Error)
+	}
+	return fmt.Sprintf("msrnetd: HTTP %d", e.Status)
+}
+
+// Temporary reports whether the failure is worth retrying: 429
+// (backpressure) and 5xx (server-side faults). 4xx other than 429 are
+// the client's fault and deterministic.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// Submit posts req, retrying transport errors, 429 and 5xx with capped
+// exponential backoff and jitter (honoring Retry-After on 429) up to
+// MaxAttempts. A 200 may still carry per-job failures — see Run for
+// job-level retries.
+func (c *Client) Submit(ctx context.Context, req *service.Request) (*service.Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	var last error
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, last)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.post(ctx, payload)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		if ae, ok := err.(*APIError); ok && !ae.Temporary() {
+			return nil, err // deterministic: retrying cannot help
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
+		}
+		c.log.Info("submit retry", "attempt", attempt+1, "err", err)
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.opt.MaxAttempts, last)
+}
+
+// Run submits req and then, for up to JobRounds extra rounds,
+// resubmits the jobs whose results failed with Retryable codes,
+// merging the fresh outcomes into the original result order. Jobs are
+// idempotent by content hash, so a resubmission either hits the cache
+// or recomputes the identical answer.
+func (c *Client) Run(ctx context.Context, req *service.Request) (*service.Response, error) {
+	resp, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < c.opt.JobRounds; round++ {
+		var idx []int
+		for i, r := range resp.Results {
+			if r.Status == service.StatusError && r.Retryable {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		c.log.Info("retrying failed jobs", "round", round+1, "jobs", len(idx))
+		sub := &service.Request{Version: req.Version, Jobs: make([]service.Job, len(idx))}
+		for k, i := range idx {
+			sub.Jobs[k] = req.Jobs[i]
+		}
+		again, err := c.Submit(ctx, sub)
+		if err != nil {
+			return resp, fmt.Errorf("client: job retry round %d: %w", round+1, err)
+		}
+		if len(again.Results) != len(idx) {
+			return resp, fmt.Errorf("client: job retry returned %d results for %d jobs", len(again.Results), len(idx))
+		}
+		for k, i := range idx {
+			r := again.Results[k]
+			r.ID = resp.Results[i].ID // keep the original label on index-labeled jobs
+			resp.Results[i] = r
+		}
+	}
+	return resp, nil
+}
+
+// post issues one HTTP submission. Non-200 statuses come back as
+// *APIError.
+func (c *Client) post(ctx context.Context, payload []byte) (*service.Response, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hresp, err := c.http.Do(hr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		ae := &APIError{Status: hresp.StatusCode}
+		body, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+		json.Unmarshal(body, &ae.Body)
+		ae.retryAfter = parseRetryAfter(hresp.Header.Get("Retry-After"))
+		return nil, ae
+	}
+	var resp service.Response
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// backoff computes the delay before the attempt-th retry: the server's
+// Retry-After when the last failure carried one, else capped
+// exponential with jitter in [½d, d).
+func (c *Client) backoff(attempt int, last error) time.Duration {
+	if ae, ok := last.(*APIError); ok && ae.retryAfter > 0 {
+		return ae.retryAfter
+	}
+	d := c.opt.BaseBackoff << (attempt - 1)
+	if d > c.opt.MaxBackoff || d <= 0 {
+		d = c.opt.MaxBackoff
+	}
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("client: %w", ctx.Err())
+	}
+}
+
+// parseRetryAfter handles the delta-seconds form; the HTTP-date form
+// is not worth supporting for a same-module daemon that only sends
+// integers.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,228 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"msrnet/internal/service"
+)
+
+// script serves a fixed sequence of canned responses, then keeps
+// repeating the last one.
+type script struct {
+	mu    sync.Mutex
+	steps []func(w http.ResponseWriter, r *http.Request)
+	calls int
+	// bodies records each decoded request for assertions.
+	bodies []service.Request
+}
+
+func (s *script) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var req service.Request
+	json.NewDecoder(r.Body).Decode(&req)
+	s.bodies = append(s.bodies, req)
+	i := s.calls
+	s.calls++
+	if i >= len(s.steps) {
+		i = len(s.steps) - 1
+	}
+	step := s.steps[i]
+	s.mu.Unlock()
+	step(w, r)
+}
+
+func (s *script) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func errStep(status int, code string, hdr map[string]string) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for k, v := range hdr {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(service.ErrorBody{Version: service.SchemaVersion, Code: code, Error: code})
+	}
+}
+
+func okStep(results ...service.Result) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.Response{Version: service.SchemaVersion, Results: results})
+	}
+}
+
+func fastOpts(seed int64) Options {
+	return Options{BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: seed}
+}
+
+func req(ids ...string) *service.Request {
+	r := &service.Request{Version: service.SchemaVersion}
+	for _, id := range ids {
+		r.Jobs = append(r.Jobs, service.Job{ID: id, Mode: "ard"})
+	}
+	return r
+}
+
+// TestSubmitRetries429And5xx: the canonical recovery sequence — 429
+// with Retry-After, then a 503, then success.
+func TestSubmitRetries429And5xx(t *testing.T) {
+	s := &script{steps: []func(http.ResponseWriter, *http.Request){
+		errStep(http.StatusTooManyRequests, service.ErrQueueFull, map[string]string{"Retry-After": "0"}),
+		errStep(http.StatusServiceUnavailable, service.ErrInternal, nil),
+		okStep(service.Result{ID: "a", Status: service.StatusOK}),
+	}}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts(1))
+	resp, err := c.Submit(context.Background(), req("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.count() != 3 {
+		t.Fatalf("server saw %d calls, want 3", s.count())
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Status != service.StatusOK {
+		t.Fatalf("bad response: %+v", resp)
+	}
+}
+
+// TestSubmitDoesNotRetry4xx: a 400 is deterministic — exactly one call.
+func TestSubmitDoesNotRetry4xx(t *testing.T) {
+	s := &script{steps: []func(http.ResponseWriter, *http.Request){
+		errStep(http.StatusBadRequest, service.ErrBadRequest, nil),
+	}}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts(1))
+	_, err := c.Submit(context.Background(), req("a"))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if ae.Body.Code != service.ErrBadRequest {
+		t.Fatalf("body code = %q", ae.Body.Code)
+	}
+	if s.count() != 1 {
+		t.Fatalf("server saw %d calls, want 1", s.count())
+	}
+}
+
+// TestSubmitGivesUp: persistent 5xx exhausts MaxAttempts.
+func TestSubmitGivesUp(t *testing.T) {
+	s := &script{steps: []func(http.ResponseWriter, *http.Request){
+		errStep(http.StatusInternalServerError, service.ErrInternal, nil),
+	}}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	opt := fastOpts(1)
+	opt.MaxAttempts = 3
+	c := New(srv.URL, opt)
+	_, err := c.Submit(context.Background(), req("a"))
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want wrapped APIError 500", err)
+	}
+	if s.count() != 3 {
+		t.Fatalf("server saw %d calls, want 3", s.count())
+	}
+}
+
+// TestRunResubmitsRetryableJobs: a batch where one job fails with a
+// retryable code is healed by resubmitting just that job.
+func TestRunResubmitsRetryableJobs(t *testing.T) {
+	s := &script{steps: []func(http.ResponseWriter, *http.Request){
+		okStep(
+			service.Result{ID: "a", Status: service.StatusOK},
+			service.Result{ID: "b", Status: service.StatusError, Code: service.ErrShedLoad, Retryable: true},
+			service.Result{ID: "c", Status: service.StatusError, Code: service.ErrBadRequest},
+		),
+		okStep(service.Result{ID: "b", Status: service.StatusOK}),
+	}}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts(1))
+	resp, err := c.Run(context.Background(), req("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.count() != 2 {
+		t.Fatalf("server saw %d calls, want 2", s.count())
+	}
+	// Only the retryable job went back.
+	if got := s.bodies[1].Jobs; len(got) != 1 || got[0].ID != "b" {
+		t.Fatalf("retry round resubmitted %+v", got)
+	}
+	// Merged in order: a ok, b healed, c still the deterministic failure.
+	want := []struct {
+		id, status string
+	}{{"a", service.StatusOK}, {"b", service.StatusOK}, {"c", service.StatusError}}
+	for i, w := range want {
+		if resp.Results[i].ID != w.id || resp.Results[i].Status != w.status {
+			t.Fatalf("result %d = %+v, want %s/%s", i, resp.Results[i], w.id, w.status)
+		}
+	}
+}
+
+// TestRunStopsAfterJobRounds: a job that keeps failing retryably is
+// surfaced after the configured rounds, not retried forever.
+func TestRunStopsAfterJobRounds(t *testing.T) {
+	s := &script{steps: []func(http.ResponseWriter, *http.Request){
+		okStep(service.Result{ID: "a", Status: service.StatusError, Code: service.ErrInternal, Retryable: true}),
+	}}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	opt := fastOpts(1)
+	opt.JobRounds = 2
+	c := New(srv.URL, opt)
+	resp, err := c.Run(context.Background(), req("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.count() != 3 { // initial + 2 rounds
+		t.Fatalf("server saw %d calls, want 3", s.count())
+	}
+	if resp.Results[0].Status != service.StatusError || !resp.Results[0].Retryable {
+		t.Fatalf("final result %+v", resp.Results[0])
+	}
+}
+
+// TestSubmitHonorsContext: cancellation interrupts the backoff sleep.
+func TestSubmitHonorsContext(t *testing.T) {
+	s := &script{steps: []func(http.ResponseWriter, *http.Request){
+		errStep(http.StatusServiceUnavailable, service.ErrInternal, nil),
+	}}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	opt := fastOpts(1)
+	opt.BaseBackoff = 10 * time.Second
+	opt.MaxBackoff = 10 * time.Second
+	c := New(srv.URL, opt)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, req("a"))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}

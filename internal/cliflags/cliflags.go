@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"msrnet/internal/obs"
+	"msrnet/internal/validate"
 	"msrnet/internal/obs/export"
 	trc "msrnet/internal/obs/trace"
 )
@@ -162,4 +163,17 @@ func (r *Run) Close() error {
 		keep(r.srv.Close())
 	}
 	return first
+}
+
+// Fatal prints err the way every command in this repository reports a
+// terminal failure — "tool: message", plus the msrnet-error/v1
+// taxonomy code in brackets when the error carries one, so scripted
+// callers can branch on the code without parsing prose — and exits 1.
+func Fatal(tool string, err error) {
+	if code := validate.CodeOf(err); code != "" {
+		fmt.Fprintf(os.Stderr, "%s: %v [%s]\n", tool, err, code)
+	} else {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	os.Exit(1)
 }

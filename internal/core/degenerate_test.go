@@ -31,7 +31,7 @@ func TestCoincidentTerminals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := res.Suite.MinARD()
+	best := mustMinARD(t, res.Suite)
 	if math.IsInf(best.ARD, 0) || best.ARD <= 0 {
 		t.Fatalf("degenerate ARD: %g", best.ARD)
 	}
@@ -124,7 +124,7 @@ func TestSingleSourceManySinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Cross-check best solution against the naive single-source radius.
-	best := res.Suite.MinARD()
+	best := mustMinARD(t, res.Suite)
 	n := rctree.NewNet(rt, tech, best.Assignment())
 	dist := n.DelaysFrom(root)
 	worst := math.Inf(-1)
@@ -154,7 +154,7 @@ func TestRepeaterAtEveryPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := res.Suite.MinARD()
+	best := mustMinARD(t, res.Suite)
 	if best.Repeaters() < 5 {
 		t.Errorf("resistive line buffered with only %d repeaters", best.Repeaters())
 	}

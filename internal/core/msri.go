@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -80,6 +82,19 @@ type Options struct {
 	// call/drop counters keyed by pruner kind. A nil Obs keeps the hot
 	// paths allocation-free.
 	Obs obs.Recorder
+	// Context, when non-nil, is polled at every node visit and prune
+	// call; once it is canceled or past its deadline the run unwinds and
+	// Optimize returns an error wrapping ctx.Err() (test with
+	// errors.Is(err, context.DeadlineExceeded) etc.). Partial work is
+	// discarded — the suite is never silently truncated.
+	Context context.Context
+	// CoarseEps relaxes dominance on the delay coordinates (Q, A, D) by
+	// the given amount while keeping Cost and Cap exact, shrinking
+	// solution sets at a bounded accuracy price: the returned minimum
+	// ARD exceeds the exact one by at most CoarseEps·Stats.PruneCalls.
+	// Zero (the default) is the exact algorithm; this is the degraded
+	// mode the serving layer falls back to under deadline pressure.
+	CoarseEps float64
 	// Trace, when non-nil, records the per-node timeline of the bottom-up
 	// walk into the ring tracer: one "dp/leaf"/"dp/steiner"/"dp/insertion"
 	// slice per node (args: node id, final set size, max PWL segment
@@ -130,7 +145,10 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 	if opt.Repeaters && len(tech.Repeaters) == 0 {
 		return nil, fmt.Errorf("core: Repeaters set but technology has no repeaters")
 	}
-	d := &dp{rt: rt, tech: tech, opt: opt, tr: opt.Trace}
+	if opt.CoarseEps < 0 || math.IsNaN(opt.CoarseEps) || math.IsInf(opt.CoarseEps, 0) {
+		return nil, fmt.Errorf("core: CoarseEps %v must be a finite non-negative number", opt.CoarseEps)
+	}
+	d := &dp{rt: rt, tech: tech, opt: opt, ctx: opt.Context, tr: opt.Trace}
 	if opt.Parallel {
 		d.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	}
@@ -212,7 +230,7 @@ func maxSegsOf(sols []*Solution) int {
 }
 
 func (d *dp) solveNode(v int) []*Solution {
-	if d.getErr() != nil {
+	if d.aborted() {
 		return nil
 	}
 	t := d.rt.Tree
@@ -274,6 +292,7 @@ type dp struct {
 	rt   *topo.Rooted
 	tech buslib.Tech
 	opt  Options
+	ctx  context.Context // nil disables deadline polling
 	ins  instr
 	tr   *trace.Tracer
 
@@ -311,6 +330,20 @@ func (d *dp) getErr() error {
 	return d.err
 }
 
+// aborted polls the run's context (the periodic deadline check of the
+// DP) and reports whether the walk should unwind. It is called at every
+// node visit and every prune call — the two places where the remaining
+// work between checks is bounded by a single set operation.
+func (d *dp) aborted() bool {
+	if d.ctx != nil {
+		if err := d.ctx.Err(); err != nil {
+			d.setErr(fmt.Errorf("core: optimization aborted: %w", err))
+			return true
+		}
+	}
+	return d.getErr() != nil
+}
+
 func (d *dp) note(sols []*Solution) {
 	d.mu.Lock()
 	d.stats.SolutionsCreated += len(sols)
@@ -346,16 +379,19 @@ func (d *dp) noteSetSize(n int) {
 }
 
 func (d *dp) prune(sols []*Solution) []*Solution {
+	if d.aborted() {
+		return nil
+	}
 	rg := d.tr.Begin("dp/prune", "core")
 	var out []*Solution
 	switch d.opt.Pruner {
 	case PruneNaive:
-		out = pruneNaive(sols)
+		out = pruneNaive(sols, d.opt.CoarseEps)
 		sortSolutions(out)
 	case PruneOff:
 		out = sols
 	default:
-		out = pruneDivide(sols)
+		out = pruneDivide(sols, d.opt.CoarseEps)
 	}
 	drops := len(sols) - len(out)
 	d.mu.Lock()
@@ -689,19 +725,24 @@ func (s Suite) MinCost(spec float64) (RootSolution, bool) {
 	return RootSolution{}, false
 }
 
+// ErrEmptySuite reports a frontier lookup on an empty suite. Suites
+// built by Optimize are never empty (it errors instead), so hitting
+// this means the suite was constructed or filtered by hand.
+var ErrEmptySuite = errors.New("core: empty suite")
+
 // MinARD returns the best-performance solution regardless of cost (the
 // cost-oblivious formulation the paper notes is subsumed by Problem 2.1).
-func (s Suite) MinARD() RootSolution {
+func (s Suite) MinARD() (RootSolution, error) {
 	if len(s) == 0 {
-		panic("core: empty suite")
+		return RootSolution{}, ErrEmptySuite
 	}
-	return s[len(s)-1]
+	return s[len(s)-1], nil
 }
 
 // MinCostSolution returns the cheapest solution overall.
-func (s Suite) MinCostSolution() RootSolution {
+func (s Suite) MinCostSolution() (RootSolution, error) {
 	if len(s) == 0 {
-		panic("core: empty suite")
+		return RootSolution{}, ErrEmptySuite
 	}
-	return s[0]
+	return s[0], nil
 }

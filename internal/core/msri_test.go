@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -209,15 +210,37 @@ func TestSuiteIsParetoSorted(t *testing.T) {
 		t.Error("MinCost(loose spec) should return cheapest")
 	}
 	// MinCost with an impossible spec fails.
-	if _, ok := s.MinCost(s.MinARD().ARD - 1); ok {
+	if _, ok := s.MinCost(mustMinARD(t, s).ARD - 1); ok {
 		t.Error("MinCost(impossible spec) should fail")
 	}
-	if s.MinARD().ARD > s[0].ARD {
+	if mustMinARD(t, s).ARD > s[0].ARD {
 		t.Error("MinARD worse than cheapest solution")
 	}
-	if s.MinCostSolution().Cost != s[0].Cost {
+	cheapest, err := s.MinCostSolution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheapest.Cost != s[0].Cost {
 		t.Error("MinCostSolution mismatch")
 	}
+	// The empty suite is a typed error, not a panic.
+	if _, err := core.Suite(nil).MinARD(); !errors.Is(err, core.ErrEmptySuite) {
+		t.Errorf("empty MinARD error = %v, want ErrEmptySuite", err)
+	}
+	if _, err := core.Suite(nil).MinCostSolution(); !errors.Is(err, core.ErrEmptySuite) {
+		t.Errorf("empty MinCostSolution error = %v, want ErrEmptySuite", err)
+	}
+}
+
+// mustMinARD unwraps Suite.MinARD for suites the test knows are
+// non-empty.
+func mustMinARD(t testing.TB, s core.Suite) core.RootSolution {
+	t.Helper()
+	sol, err := s.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
 }
 
 // TestRepeatersNeverHurt: enabling repeaters can only improve (or match)
@@ -235,9 +258,9 @@ func TestRepeatersNeverHurt(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Suite.MinARD().ARD > baseARD+1e-9 {
+		if best := mustMinARD(t, res.Suite); best.ARD > baseARD+1e-9 {
 			t.Fatalf("trial %d: best ARD %.9g worse than unbuffered %.9g",
-				trial, res.Suite.MinARD().ARD, baseARD)
+				trial, best.ARD, baseARD)
 		}
 		// The cheapest point must be the unbuffered solution.
 		if math.Abs(res.Suite[0].Cost) > 1e-12 {
@@ -322,9 +345,10 @@ func TestWireSizingExtension(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if sized.Suite.MinARD().ARD > plain.Suite.MinARD().ARD+1e-9 {
+		sizedBest, plainBest := mustMinARD(t, sized.Suite), mustMinARD(t, plain.Suite)
+		if sizedBest.ARD > plainBest.ARD+1e-9 {
 			t.Fatalf("trial %d: wire sizing hurt: %.9g vs %.9g",
-				trial, sized.Suite.MinARD().ARD, plain.Suite.MinARD().ARD)
+				trial, sizedBest.ARD, plainBest.ARD)
 		}
 	}
 }
@@ -501,7 +525,7 @@ func TestQuickSuiteProperties(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := res.Suite
-		lo, hi := s.MinARD().ARD, s[0].ARD
+		lo, hi := mustMinARD(t, s).ARD, s[0].ARD
 		prevCost := math.Inf(1)
 		for k := 0; k <= 20; k++ {
 			spec := hi - (hi-lo)*float64(k)/20

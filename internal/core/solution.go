@@ -150,40 +150,47 @@ const domTol = 1e-12
 // s's scalars are all ≤ t's, and on the returned c_E region (within
 // s.Dom) s's A and D do not exceed t's. Parities must match; mismatched
 // parity never dominates.
-func dominatedRegion(s, t *Solution) pwl.IntervalSet {
+//
+// eps relaxes the comparison on the delay coordinates only (Q, A, D): a
+// solution whose delays are within eps of a cheaper one is treated as
+// dominated. Cost and Cap stay at the strict tolerance, so eps trades
+// timing accuracy — never resource accounting — for smaller sets. The
+// induced ARD error is additive per prune pass: at most eps per call,
+// hence ≤ eps·Stats.PruneCalls for the whole run.
+func dominatedRegion(s, t *Solution, eps float64) pwl.IntervalSet {
 	if s.Parity != t.Parity {
 		return nil
 	}
-	if s.Cost > t.Cost+domTol || s.Cap > t.Cap+domTol || !scalarLeq(s.Q, t.Q) {
+	if s.Cost > t.Cost+domTol || s.Cap > t.Cap+domTol || !scalarLeq(s.Q, t.Q, domTol+eps) {
 		return nil
 	}
 	reg := s.Dom.Intersect(t.Dom)
 	if reg.IsEmpty() {
 		return nil
 	}
-	reg = reg.Intersect(s.A.LeqRegions(t.A, domTol))
+	reg = reg.Intersect(s.A.LeqRegions(t.A, domTol+eps))
 	if reg.IsEmpty() {
 		return nil
 	}
-	reg = reg.Intersect(s.D.LeqRegions(t.D, domTol))
+	reg = reg.Intersect(s.D.LeqRegions(t.D, domTol+eps))
 	return reg
 }
 
-func scalarLeq(a, b float64) bool {
+func scalarLeq(a, b, tol float64) bool {
 	if math.IsInf(a, -1) {
 		return true
 	}
 	if math.IsInf(b, -1) {
 		return false
 	}
-	return a <= b+domTol
+	return a <= b+tol
 }
 
 // pruneNaive computes the minimal functional subset of sols by pairwise
 // comparison (O(k²) pairs). Solutions whose domain becomes empty are
 // removed. The input slice is not modified; surviving solutions may carry
 // reduced domains.
-func pruneNaive(sols []*Solution) []*Solution {
+func pruneNaive(sols []*Solution, eps float64) []*Solution {
 	work := make([]*Solution, len(sols))
 	copy(work, sols)
 	sortSolutions(work)
@@ -195,7 +202,7 @@ func pruneNaive(sols []*Solution) []*Solution {
 			if i == j || work[j].Dom.IsEmpty() {
 				continue
 			}
-			reg := dominatedRegion(work[i], work[j])
+			reg := dominatedRegion(work[i], work[j], eps)
 			if reg.IsEmpty() {
 				continue
 			}
@@ -218,11 +225,11 @@ func pruneNaive(sols []*Solution) []*Solution {
 // half against the other. Suboptimal solutions discarded deep in the
 // recursion never participate in higher-level comparisons, which is the
 // source of the speedup in practice.
-func pruneDivide(sols []*Solution) []*Solution {
+func pruneDivide(sols []*Solution, eps float64) []*Solution {
 	work := make([]*Solution, len(sols))
 	copy(work, sols)
 	sortSolutions(work)
-	out := mfsRec(work)
+	out := mfsRec(work, eps)
 	final := out[:0]
 	for _, s := range out {
 		if !s.Dom.IsEmpty() {
@@ -233,26 +240,26 @@ func pruneDivide(sols []*Solution) []*Solution {
 	return final
 }
 
-func mfsRec(sols []*Solution) []*Solution {
+func mfsRec(sols []*Solution, eps float64) []*Solution {
 	if len(sols) <= 1 {
 		return sols
 	}
 	if len(sols) <= 4 {
-		return pruneNaive(sols)
+		return pruneNaive(sols, eps)
 	}
 	mid := len(sols) / 2
-	left := mfsRec(sols[:mid])
-	right := mfsRec(sols[mid:])
+	left := mfsRec(sols[:mid], eps)
+	right := mfsRec(sols[mid:], eps)
 	// Cross-prune: right against left, then left against the surviving
 	// right.
-	right = pruneAgainst(right, left)
-	left = pruneAgainst(left, right)
+	right = pruneAgainst(right, left, eps)
+	left = pruneAgainst(left, right, eps)
 	return append(left, right...)
 }
 
 // pruneAgainst shrinks the domains of targets using the members of
 // pruners, returning the surviving targets.
-func pruneAgainst(targets, prunners []*Solution) []*Solution {
+func pruneAgainst(targets, prunners []*Solution, eps float64) []*Solution {
 	out := make([]*Solution, 0, len(targets))
 	for _, t := range targets {
 		cur := t
@@ -260,7 +267,7 @@ func pruneAgainst(targets, prunners []*Solution) []*Solution {
 			if s.Dom.IsEmpty() || cur.Dom.IsEmpty() {
 				continue
 			}
-			reg := dominatedRegion(s, cur)
+			reg := dominatedRegion(s, cur, eps)
 			if reg.IsEmpty() {
 				continue
 			}

@@ -64,7 +64,7 @@ func TestTwoPinMatchesEvenSpacing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := res.Suite.MinARD()
+	best := mustMinARD(t, res.Suite)
 
 	// (a) k = 3, 7, 15 are exactly representable on the 64-segment grid.
 	for _, k := range []int{0, 3, 7, 15} {
@@ -101,7 +101,7 @@ func TestTwoPinRepeaterCountGrowsWithLength(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		k := res.Suite.MinARD().Repeaters()
+		k := mustMinARD(t, res.Suite).Repeaters()
 		if k < prev {
 			t.Errorf("length %g: repeater count dropped to %d from %d", length, k, prev)
 		}
@@ -124,7 +124,7 @@ func TestTwoPinDiameterMonotoneInLength(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d := res.Suite.MinARD().ARD
+		d := mustMinARD(t, res.Suite).ARD
 		if d <= prev {
 			t.Errorf("length %g: optimized diameter %g not larger than %g", length, d, prev)
 		}

@@ -57,24 +57,34 @@ func (n NetResult) RepSeconds() float64 { return n.Obs.SpanSeconds("net/repeater
 
 // DSMin returns the minimum diameter achievable by sizing and its cost
 // (driver costs only; the min-cost baseline spends Pins units on 1X
-// drivers).
-func (n NetResult) DSMin() (diam, cost float64) {
-	best := n.SizingSuite.MinARD()
-	return best.ARD, best.Cost
+// drivers). The error is core.ErrEmptySuite on a zero-value NetResult.
+func (n NetResult) DSMin() (diam, cost float64, err error) {
+	best, err := n.SizingSuite.MinARD()
+	if err != nil {
+		return 0, 0, err
+	}
+	return best.ARD, best.Cost, nil
 }
 
 // RepMin returns the minimum diameter achievable by repeater insertion
-// and its total cost including the Pins fixed 1X drivers.
-func (n NetResult) RepMin() (diam, cost float64) {
-	best := n.RepSuite.MinARD()
-	return best.ARD, best.Cost + n.BaseCost
+// and its total cost including the Pins fixed 1X drivers. The error is
+// core.ErrEmptySuite on a zero-value NetResult.
+func (n NetResult) RepMin() (diam, cost float64, err error) {
+	best, err := n.RepSuite.MinARD()
+	if err != nil {
+		return 0, 0, err
+	}
+	return best.ARD, best.Cost + n.BaseCost, nil
 }
 
 // RepMatching returns the cheapest repeater solution whose diameter
 // equals or betters the best driver-sizing diameter (column 5 of
 // Table II), as total cost including fixed drivers.
 func (n NetResult) RepMatching() (cost float64, ok bool) {
-	dsDiam, _ := n.DSMin()
+	dsDiam, _, err := n.DSMin()
+	if err != nil {
+		return 0, false
+	}
 	sol, ok := n.RepSuite.MinCost(dsDiam)
 	if !ok {
 		return 0, false
@@ -170,8 +180,14 @@ func accumulateTable2(pins int, results []NetResult) (Table2Row, error) {
 	row := Table2Row{Pins: pins}
 	var dsDiams, riDiams []float64
 	for _, nr := range results {
-		dsD, dsC := nr.DSMin()
-		riD, riC := nr.RepMin()
+		dsD, dsC, err := nr.DSMin()
+		if err != nil {
+			return row, fmt.Errorf("seed %d: %w", nr.Seed, err)
+		}
+		riD, riC, err := nr.RepMin()
+		if err != nil {
+			return row, fmt.Errorf("seed %d: %w", nr.Seed, err)
+		}
 		match, ok := nr.RepMatching()
 		if !ok {
 			return row, fmt.Errorf("seed %d: no repeater solution matches sizing diameter", nr.Seed)
@@ -271,8 +287,14 @@ func Table3(tech buslib.Tech) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		dsBest := nr.SizingSuite.MinARD()
-		repBest := nr.RepSuite.MinARD()
+		dsBest, err := nr.SizingSuite.MinARD()
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", sp.seed, err)
+		}
+		repBest, err := nr.RepSuite.MinARD()
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", sp.seed, err)
+		}
 		rows = append(rows, Table3Row{
 			Name:    fmt.Sprintf("net%d-%dpin", i+1, sp.pins),
 			Pins:    sp.pins,
@@ -430,7 +452,10 @@ func Asymmetric(pins, nets int, seed0 int64, tech buslib.Tech, fracs []float64) 
 			if err != nil {
 				return nil, err
 			}
-			best := res.Suite.MinARD()
+			best, err := res.Suite.MinARD()
+			if err != nil {
+				return nil, err
+			}
 			accD += best.ARD / baseARD
 			accC += best.Cost
 		}

@@ -19,8 +19,14 @@ func TestRunNetShape(t *testing.T) {
 	if nr.Insertion == 0 || nr.WireUm <= 0 || nr.BaseARD <= 0 {
 		t.Fatalf("degenerate result: %+v", nr)
 	}
-	dsD, dsC := nr.DSMin()
-	riD, riC := nr.RepMin()
+	dsD, dsC, err := nr.DSMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	riD, riC, err := nr.RepMin()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Both optimizations must improve on the baseline.
 	if dsD >= nr.BaseARD {
 		t.Errorf("sizing did not improve: %g vs %g", dsD, nr.BaseARD)

@@ -47,9 +47,13 @@ func SpacingStudy(pins, nets int, seed0 int64, tech buslib.Tech, spacings []floa
 				return nil, err
 			}
 			sp.End()
+			best, err := res.Suite.MinARD()
+			if err != nil {
+				return nil, err
+			}
 			row.AvgSec += reg.SpanSeconds("net/repeaters")
 			row.AvgIns += float64(len(tr.Insertions()))
-			row.RIDiam += res.Suite.MinARD().ARD / baseARD
+			row.RIDiam += best.ARD / baseARD
 		}
 		k := float64(nets)
 		row.AvgSec /= k
@@ -138,9 +142,21 @@ func Combined(pins, nets int, seed0 int64, tech buslib.Tech) (CombinedRow, error
 		if err != nil {
 			return row, err
 		}
-		row.DSDiam += ds.Suite.MinARD().ARD / baseARD
-		row.RIDiam += ri.Suite.MinARD().ARD / baseARD
-		row.CombinedDiam += both.Suite.MinARD().ARD / baseARD
+		dsBest, err := ds.Suite.MinARD()
+		if err != nil {
+			return row, err
+		}
+		riBest, err := ri.Suite.MinARD()
+		if err != nil {
+			return row, err
+		}
+		bothBest, err := both.Suite.MinARD()
+		if err != nil {
+			return row, err
+		}
+		row.DSDiam += dsBest.ARD / baseARD
+		row.RIDiam += riBest.ARD / baseARD
+		row.CombinedDiam += bothBest.ARD / baseARD
 	}
 	k := float64(nets)
 	row.DSDiam /= k

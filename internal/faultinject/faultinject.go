@@ -1,0 +1,256 @@
+// Package faultinject is a seedable, registry-instrumented fault
+// injector for chaos testing the serving layer. Code under test calls
+// Fire(ctx, point) at named injection points; an injector configured
+// with a fault spec then probabilistically returns errors, sleeps, or
+// panics there. A nil *Injector is inert and free, so production paths
+// keep their injection points permanently wired.
+//
+// A spec is a semicolon-separated list of faults, each
+//
+//	point:mode[:probability][:duration]
+//
+// where mode is "error", "panic" or "latency". The probability
+// defaults to 1; latency requires a trailing Go duration. Multiple
+// faults may target the same point — all are evaluated, in spec order:
+//
+//	svc/worker:latency:1:200ms;svc/worker:panic:0.2;svc/cache/get:error:0.5
+//
+// Draws come from a per-fault RNG deterministically derived from the
+// injector seed and the fault's position, so a given seed replays the
+// same decision sequence at each point (up to goroutine interleaving).
+// Every evaluation and outcome feeds the fault/* counters.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msrnet/internal/obs"
+)
+
+// Modes a fault can take.
+const (
+	ModeError   = "error"
+	ModeLatency = "latency"
+	ModePanic   = "panic"
+)
+
+// Env variables read by FromEnv.
+const (
+	EnvFaults = "MSRNET_FAULTS"
+	EnvSeed   = "MSRNET_FAULT_SEED"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error; test
+// with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// fault is one parsed spec entry.
+type fault struct {
+	point string
+	mode  string
+	prob  float64
+	delay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Injector evaluates configured faults at named points. The zero of
+// *Injector (nil) never fires. All methods are safe for concurrent
+// use; Configure atomically replaces the active fault set.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	byPt   map[string][]*fault
+	nSpecs int
+
+	fired, injErr, injPanic, injDelay *obs.Counter
+}
+
+// New builds an injector with no active faults. The registry may be
+// nil; seed determines every probabilistic decision.
+func New(seed int64, reg *obs.Registry) *Injector {
+	return &Injector{
+		seed:     seed,
+		byPt:     map[string][]*fault{},
+		fired:    reg.Counter("fault/evaluations"),
+		injErr:   reg.Counter("fault/errors_injected"),
+		injPanic: reg.Counter("fault/panics_injected"),
+		injDelay: reg.Counter("fault/latency_injected"),
+	}
+}
+
+// FromEnv builds an injector from MSRNET_FAULTS and MSRNET_FAULT_SEED.
+// Returns nil (inert) when MSRNET_FAULTS is unset or empty — the
+// normal production state.
+func FromEnv(reg *obs.Registry) (*Injector, error) {
+	spec := os.Getenv(EnvFaults)
+	if spec == "" {
+		return nil, nil
+	}
+	var seed int64 = 1
+	if s := os.Getenv(EnvSeed); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad %s %q: %w", EnvSeed, s, err)
+		}
+		seed = v
+	}
+	in := New(seed, reg)
+	if err := in.Configure(spec); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Configure parses spec and atomically replaces the active fault set.
+// An empty spec clears every fault. On a parse error the previous set
+// stays active.
+func (in *Injector) Configure(spec string) error {
+	byPt := map[string][]*fault{}
+	n := 0
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return err
+		}
+		// Derive the fault RNG from the injector seed and the fault's
+		// spec position so reconfiguration replays deterministically.
+		f.rng = rand.New(rand.NewSource(in.seed + int64(n)*int64(1e9)))
+		byPt[f.point] = append(byPt[f.point], f)
+		n++
+	}
+	in.mu.Lock()
+	in.byPt = byPt
+	in.nSpecs = n
+	in.mu.Unlock()
+	return nil
+}
+
+// parseFault parses one point:mode[:prob][:duration] entry.
+func parseFault(s string) (*fault, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("faultinject: %q needs at least point:mode", s)
+	}
+	f := &fault{point: fields[0], mode: fields[1], prob: 1}
+	if f.point == "" {
+		return nil, fmt.Errorf("faultinject: %q has an empty point", s)
+	}
+	rest := fields[2:]
+	switch f.mode {
+	case ModeError, ModePanic:
+		if len(rest) > 1 {
+			return nil, fmt.Errorf("faultinject: %q: %s takes at most a probability", s, f.mode)
+		}
+		if len(rest) == 1 {
+			if err := f.setProb(rest[0]); err != nil {
+				return nil, fmt.Errorf("faultinject: %q: %w", s, err)
+			}
+		}
+	case ModeLatency:
+		switch len(rest) {
+		case 1: // latency:<dur>
+			rest = []string{"1", rest[0]}
+		case 2: // latency:<prob>:<dur>
+		default:
+			return nil, fmt.Errorf("faultinject: %q: latency takes [prob:]duration", s)
+		}
+		if err := f.setProb(rest[0]); err != nil {
+			return nil, fmt.Errorf("faultinject: %q: %w", s, err)
+		}
+		d, err := time.ParseDuration(rest[1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("faultinject: %q: bad duration %q", s, rest[1])
+		}
+		f.delay = d
+	default:
+		return nil, fmt.Errorf("faultinject: %q: unknown mode %q (want error, latency or panic)", s, f.mode)
+	}
+	return f, nil
+}
+
+func (f *fault) setProb(s string) error {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return fmt.Errorf("bad probability %q (want [0,1])", s)
+	}
+	f.prob = p
+	return nil
+}
+
+// hit draws the fault's coin.
+func (f *fault) hit() bool {
+	if f.prob >= 1 {
+		return true
+	}
+	if f.prob <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < f.prob
+}
+
+// Fire evaluates every fault configured at point, in spec order:
+// latency sleeps (bounded by ctx), error returns a wrapped
+// ErrInjected, panic panics. Nil injectors and unconfigured points
+// return nil immediately.
+func (in *Injector) Fire(ctx context.Context, point string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	faults := in.byPt[point]
+	in.mu.Unlock()
+	if len(faults) == 0 {
+		return nil
+	}
+	in.fired.Inc()
+	for _, f := range faults {
+		if !f.hit() {
+			continue
+		}
+		switch f.mode {
+		case ModeLatency:
+			in.injDelay.Inc()
+			t := time.NewTimer(f.delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		case ModeError:
+			in.injErr.Inc()
+			return fmt.Errorf("%w at %s", ErrInjected, point)
+		case ModePanic:
+			in.injPanic.Inc()
+			panic(fmt.Sprintf("faultinject: injected panic at %s", point))
+		}
+	}
+	return nil
+}
+
+// Active reports the number of configured faults — zero on a nil
+// injector.
+func (in *Injector) Active() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nSpecs
+}

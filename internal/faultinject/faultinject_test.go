@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"msrnet/internal/obs"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(context.Background(), "svc/worker"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Active() != 0 {
+		t.Fatal("nil injector reports active faults")
+	}
+}
+
+func TestConfigureAndFire(t *testing.T) {
+	in := New(1, nil)
+	if err := in.Configure("svc/cache/get:error:1;svc/worker:latency:25ms"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", in.Active())
+	}
+	err := in.Fire(context.Background(), "svc/cache/get")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error fault: %v", err)
+	}
+	if !strings.Contains(err.Error(), "svc/cache/get") {
+		t.Fatalf("error does not name the point: %v", err)
+	}
+	// Unconfigured point: nothing fires.
+	if err := in.Fire(context.Background(), "svc/queue"); err != nil {
+		t.Fatalf("unconfigured point fired: %v", err)
+	}
+	// Latency sleeps roughly the configured time.
+	start := time.Now()
+	if err := in.Fire(context.Background(), "svc/worker"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+	// Reconfiguring with an empty spec clears everything.
+	if err := in.Configure(""); err != nil {
+		t.Fatal(err)
+	}
+	if in.Active() != 0 {
+		t.Fatal("clear did not drop faults")
+	}
+	if err := in.Fire(context.Background(), "svc/cache/get"); err != nil {
+		t.Fatalf("cleared injector fired: %v", err)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	in := New(1, nil)
+	if err := in.Configure("p:latency:10s"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := in.Fire(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("latency ignored context: slept %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := New(1, nil)
+	if err := in.Configure("p:panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("panic fault did not panic")
+		}
+	}()
+	in.Fire(context.Background(), "p")
+}
+
+func TestProbabilityIsSeededAndRoughlyCalibrated(t *testing.T) {
+	count := func(seed int64) int {
+		in := New(seed, nil)
+		if err := in.Configure("p:error:0.3"); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if in.Fire(context.Background(), "p") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(42), count(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 fired %d/1000", a)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	in := New(1, nil)
+	for _, bad := range []string{
+		"justapoint",
+		"p:teleport",
+		"p:error:1.5",
+		"p:error:x",
+		"p:latency",
+		"p:latency:0.5:notadur",
+		"p:latency:-5ms",
+		":error",
+	} {
+		if err := in.Configure(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	// A failed Configure leaves the previous set active.
+	if err := in.Configure("p:error:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Configure("p:bogus"); err == nil {
+		t.Fatal("bad reconfigure accepted")
+	}
+	if !errors.Is(in.Fire(context.Background(), "p"), ErrInjected) {
+		t.Fatal("failed reconfigure clobbered the active set")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvFaults, "")
+	in, err := FromEnv(nil)
+	if err != nil || in != nil {
+		t.Fatalf("empty env: in=%v err=%v", in, err)
+	}
+	t.Setenv(EnvFaults, "p:error:1")
+	t.Setenv(EnvSeed, "7")
+	in, err = FromEnv(obs.New())
+	if err != nil || in == nil || in.Active() != 1 {
+		t.Fatalf("FromEnv: in=%v err=%v", in, err)
+	}
+	t.Setenv(EnvSeed, "notanumber")
+	if _, err := FromEnv(nil); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	t.Setenv(EnvSeed, "")
+	t.Setenv(EnvFaults, "p:bogus")
+	if _, err := FromEnv(nil); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

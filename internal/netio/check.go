@@ -1,0 +1,201 @@
+package netio
+
+import (
+	"fmt"
+
+	"msrnet/internal/validate"
+)
+
+// Check performs the deep structural and numeric validation of a net
+// file against the msrnet-error/v1 taxonomy, before any topo.Tree is
+// built: schema version, size limits, dense node ids, node kinds,
+// finiteness and sign of every coordinate/length/electrical value,
+// edge endpoint sanity, cycle and connectivity detection (union-find),
+// tree-degree rules for terminals and insertion points, source/sink
+// presence, and the technology block. Decode runs it automatically;
+// callers that want tighter limits (e.g. a serving daemon) call it
+// directly. The first violation is returned as a *validate.Error.
+func Check(f NetFile, lim validate.Limits) error {
+	lim = lim.Resolve()
+	if f.Version != FormatVersion {
+		return validate.E(validate.CodeUnsupportedVersion, "version",
+			"unsupported net-file version %d (want %d)", f.Version, FormatVersion)
+	}
+	if err := checkTech(f.Tech, lim); err != nil {
+		return err
+	}
+	n := len(f.Nodes)
+	if n == 0 {
+		return validate.E(validate.CodeEmptyNet, "nodes", "net has no nodes")
+	}
+	if n > lim.MaxNodes {
+		return validate.E(validate.CodeTooLarge, "nodes",
+			"%d nodes exceeds the limit of %d", n, lim.MaxNodes)
+	}
+	if len(f.Edges) > lim.MaxEdges {
+		return validate.E(validate.CodeTooLarge, "edges",
+			"%d edges exceeds the limit of %d", len(f.Edges), lim.MaxEdges)
+	}
+
+	degree := make([]int, n)
+	var sources, sinks int
+	for i, nd := range f.Nodes {
+		path := nodePath(i)
+		if nd.ID != i {
+			return validate.E(validate.CodeNodeOrder, path,
+				"node ids must be dense and ordered; got id %d at index %d", nd.ID, i)
+		}
+		switch nd.Kind {
+		case "terminal", "steiner", "insertion":
+		default:
+			return validate.E(validate.CodeBadKind, path,
+				"unknown node kind %q (want terminal, steiner or insertion)", nd.Kind)
+		}
+		if err := validate.Finite(validate.CodeNonFinite, path+".x", nd.X); err != nil {
+			return err
+		}
+		if err := validate.Finite(validate.CodeNonFinite, path+".y", nd.Y); err != nil {
+			return err
+		}
+		if nd.Kind == "terminal" {
+			if nd.IsSource {
+				sources++
+			}
+			if nd.IsSink {
+				sinks++
+			}
+			for _, v := range []struct {
+				field string
+				val   float64
+				sign  bool // must also be ≥ 0
+			}{
+				{"aat", nd.AAT, false},
+				{"q", nd.Q, false},
+				{"cin", nd.Cin, true},
+				{"rout", nd.Rout, true},
+				{"driver_intrinsic", nd.DrvIntr, true},
+			} {
+				p := path + "." + v.field
+				if v.sign {
+					if err := validate.NonNegative(validate.CodeNonFinite, validate.CodeNegativeRC, p, v.val); err != nil {
+						return err
+					}
+				} else if err := validate.Finite(validate.CodeNonFinite, p, v.val); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	dsu := validate.NewDSU(n)
+	for i, e := range f.Edges {
+		path := edgePath(i)
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return validate.E(validate.CodeEdgeRange, path,
+				"endpoint out of range: %d–%d with %d nodes", e.A, e.B, n)
+		}
+		if e.A == e.B {
+			return validate.E(validate.CodeSelfLoop, path, "self-loop at node %d", e.A)
+		}
+		if err := validate.NonNegative(validate.CodeNonFinite, validate.CodeNegativeRC, path+".length", e.Length); err != nil {
+			return err
+		}
+		if !dsu.Union(e.A, e.B) {
+			return validate.E(validate.CodeCycle, path,
+				"edge %d–%d closes a cycle", e.A, e.B)
+		}
+		degree[e.A]++
+		degree[e.B]++
+	}
+	if dsu.Components() > 1 {
+		return validate.E(validate.CodeDisconnected, "edges",
+			"graph has %d connected components, want 1", dsu.Components())
+	}
+	if len(f.Edges) != n-1 {
+		// Unreachable after the cycle/connectivity checks, kept as the
+		// taxonomy's backstop for future edge representations.
+		return validate.E(validate.CodeNotATree, "edges",
+			"%d nodes but %d edges; a tree needs n-1", n, len(f.Edges))
+	}
+	for i, nd := range f.Nodes {
+		switch nd.Kind {
+		case "terminal":
+			if degree[i] != 1 {
+				return validate.E(validate.CodeTerminalDegree, nodePath(i),
+					"terminal %q has degree %d, must be a leaf", nd.Name, degree[i])
+			}
+		case "insertion":
+			if degree[i] != 2 {
+				return validate.E(validate.CodeInsertionDegree, nodePath(i),
+					"insertion point has degree %d, want 2", degree[i])
+			}
+		}
+	}
+	if sources == 0 {
+		return validate.E(validate.CodeNoSource, "nodes", "net has no source terminal")
+	}
+	if sinks == 0 {
+		return validate.E(validate.CodeNoSink, "nodes", "net has no sink terminal")
+	}
+	return nil
+}
+
+// checkTech validates the technology block: finite, non-negative unit
+// parasitics, bounded libraries, and sane per-element numbers.
+func checkTech(t TechJSON, lim validate.Limits) error {
+	for _, v := range []struct {
+		path string
+		val  float64
+	}{
+		{"tech.wire_res_per_um", t.WireResPerUm},
+		{"tech.wire_cap_per_um", t.WireCapPerUm},
+		{"tech.prev_stage_res", t.PrevStageRes},
+		{"tech.next_stage_cap", t.NextStageCap},
+	} {
+		if err := validate.NonNegative(validate.CodeTechNonFinite, validate.CodeTechNegativeRC, v.path, v.val); err != nil {
+			return err
+		}
+	}
+	if len(t.Repeaters) > lim.MaxLibrary {
+		return validate.E(validate.CodeTechTooLarge, "tech.repeaters",
+			"%d repeaters exceeds the limit of %d", len(t.Repeaters), lim.MaxLibrary)
+	}
+	if len(t.Drivers) > lim.MaxLibrary {
+		return validate.E(validate.CodeTechTooLarge, "tech.drivers",
+			"%d drivers exceeds the limit of %d", len(t.Drivers), lim.MaxLibrary)
+	}
+	for i, r := range t.Repeaters {
+		p := repPath(i)
+		for _, v := range []struct {
+			field string
+			val   float64
+		}{
+			{"cost", r.Cost}, {"cap_a", r.CapA}, {"cap_b", r.CapB},
+			{"rout_ab", r.RoutAB}, {"rout_ba", r.RoutBA},
+			{"delay_ab", r.DelayAB}, {"delay_ba", r.DelayBA},
+		} {
+			if err := validate.NonNegative(validate.CodeTechNonFinite, validate.CodeTechNegativeRC, p+"."+v.field, v.val); err != nil {
+				return err
+			}
+		}
+	}
+	for i, d := range t.Drivers {
+		p := drvPath(i)
+		for _, v := range []struct {
+			field string
+			val   float64
+		}{
+			{"cost", d.Cost}, {"rout", d.Rout}, {"intrinsic", d.Intrinsic},
+		} {
+			if err := validate.NonNegative(validate.CodeTechNonFinite, validate.CodeTechNegativeRC, p+"."+v.field, v.val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func nodePath(i int) string { return fmt.Sprintf("nodes[%d]", i) }
+func edgePath(i int) string { return fmt.Sprintf("edges[%d]", i) }
+func repPath(i int) string  { return fmt.Sprintf("tech.repeaters[%d]", i) }
+func drvPath(i int) string  { return fmt.Sprintf("tech.drivers[%d]", i) }

@@ -1,0 +1,119 @@
+package netio
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+	"msrnet/internal/topo"
+	"msrnet/internal/validate"
+)
+
+// TestCorpusCodes drives Read+Decode over the canonical malformed-input
+// corpus and asserts each rejection carries exactly the taxonomy code
+// the corpus promises — the contract the CLIs, daemon and clients
+// branch on.
+func TestCorpusCodes(t *testing.T) {
+	for _, c := range validate.Corpus() {
+		t.Run(c.Name, func(t *testing.T) {
+			f, err := Read(strings.NewReader(c.JSON))
+			if err == nil {
+				_, _, err = Decode(f)
+			}
+			got := validate.CodeOf(err)
+			if got != c.WantCode {
+				t.Fatalf("code = %q (err %v), want %q", got, err, c.WantCode)
+			}
+			if c.WantCode == "" && err != nil {
+				t.Fatalf("well-formed entry rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestDecodeNeverPanics: inputs that previously tripped topo's panics
+// (self-loops, negative lengths) must now come back as typed errors.
+func TestDecodeNeverPanics(t *testing.T) {
+	base := Encode("", mustNet(t, 3, 6), buslib.Default())
+
+	selfLoop := base
+	selfLoop.Edges = append(append([]EdgeJSON(nil), base.Edges...), EdgeJSON{A: 1, B: 1, Length: 5})
+	if _, _, err := Decode(selfLoop); validate.CodeOf(err) != validate.CodeSelfLoop {
+		t.Fatalf("self-loop: %v", err)
+	}
+
+	negLen := base
+	negLen.Edges = append([]EdgeJSON(nil), base.Edges...)
+	negLen.Edges[0].Length = -1
+	if _, _, err := Decode(negLen); validate.CodeOf(err) != validate.CodeNegativeRC {
+		t.Fatalf("negative length: %v", err)
+	}
+}
+
+// TestDecodeNonFinite covers the NaN/Inf checks JSON cannot reach (its
+// grammar has no such literals): in-memory NetFiles with poisoned
+// numbers must be rejected with the non-finite codes.
+func TestDecodeNonFinite(t *testing.T) {
+	nan := math.NaN()
+	base := Encode("", mustNet(t, 5, 6), buslib.Default())
+
+	badNode := base
+	badNode.Nodes = append([]NodeJSON(nil), base.Nodes...)
+	badNode.Nodes[0].X = nan
+	if _, _, err := Decode(badNode); validate.CodeOf(err) != validate.CodeNonFinite {
+		t.Fatalf("NaN coordinate: %v", err)
+	}
+
+	badTerm := base
+	badTerm.Nodes = append([]NodeJSON(nil), base.Nodes...)
+	for i := range badTerm.Nodes {
+		if badTerm.Nodes[i].Kind == "terminal" {
+			badTerm.Nodes[i].Cin = math.Inf(1)
+			break
+		}
+	}
+	if _, _, err := Decode(badTerm); validate.CodeOf(err) != validate.CodeNonFinite {
+		t.Fatalf("Inf cin: %v", err)
+	}
+
+	badTech := base
+	badTech.Tech.WireResPerUm = nan
+	if _, _, err := Decode(badTech); validate.CodeOf(err) != validate.CodeTechNonFinite {
+		t.Fatalf("NaN wire resistance: %v", err)
+	}
+
+	badRep := base
+	badRep.Tech.Repeaters = append([]buslib.Repeater(nil), base.Tech.Repeaters...)
+	badRep.Tech.Repeaters[0].CapA = nan
+	if _, _, err := Decode(badRep); validate.CodeOf(err) != validate.CodeTechNonFinite {
+		t.Fatalf("NaN repeater cap: %v", err)
+	}
+}
+
+// TestDecodeLimits: an oversized net is rejected with net/too_large
+// under tightened limits and accepted under the defaults.
+func TestDecodeLimits(t *testing.T) {
+	f := Encode("", mustNet(t, 4, 8), buslib.Default())
+	if _, _, err := Decode(f); err != nil {
+		t.Fatalf("default limits reject a netgen net: %v", err)
+	}
+	_, _, err := DecodeWithLimits(f, validate.Limits{MaxNodes: 2})
+	if validate.CodeOf(err) != validate.CodeTooLarge {
+		t.Fatalf("tight limits: %v", err)
+	}
+	_, _, err = DecodeWithLimits(f, validate.Limits{MaxLibrary: 1})
+	if validate.CodeOf(err) != validate.CodeTechTooLarge {
+		t.Fatalf("tight library limit: %v", err)
+	}
+}
+
+func mustNet(t *testing.T, seed int64, pins int) *topo.Tree {
+	t.Helper()
+	tr, err := netgen.Generate(seed, netgen.Defaults(pins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

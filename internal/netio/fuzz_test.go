@@ -3,23 +3,37 @@ package netio
 import (
 	"strings"
 	"testing"
+
+	"msrnet/internal/validate"
 )
 
-// FuzzRead ensures arbitrary input never panics the decoder and that
-// anything it accepts round-trips structurally.
+// FuzzRead ensures arbitrary input never panics the decoder, that every
+// rejection carries an msrnet-error/v1 taxonomy code, and that anything
+// it accepts round-trips structurally. Seeded with the validation
+// taxonomy's canonical corpus so each code's trigger is a mutation
+// starting point.
 func FuzzRead(f *testing.F) {
 	f.Add(`{"version":1,"nodes":[],"edges":[]}`)
 	f.Add(`{"version":1,"nodes":[{"id":0,"kind":"terminal","is_source":true,"is_sink":true}],"edges":[]}`)
 	f.Add(`{`)
 	f.Add(`[]`)
 	f.Add(`{"version":1,"nodes":[{"id":0,"kind":"steiner"},{"id":1,"kind":"terminal"}],"edges":[{"a":0,"b":1,"length":10}]}`)
+	for _, c := range validate.Corpus() {
+		f.Add(c.JSON)
+	}
 	f.Fuzz(func(t *testing.T, in string) {
 		nf, err := Read(strings.NewReader(in))
 		if err != nil {
-			return // rejection is fine; panics are not
+			if validate.CodeOf(err) == "" {
+				t.Fatalf("Read rejection without taxonomy code: %v", err)
+			}
+			return // typed rejection is fine; panics are not
 		}
 		tr, tech, err := Decode(nf)
 		if err != nil {
+			if validate.CodeOf(err) == "" {
+				t.Fatalf("Decode rejection without taxonomy code: %v", err)
+			}
 			return
 		}
 		// Anything decodable must survive re-encode + re-decode.

@@ -14,6 +14,7 @@ import (
 	"msrnet/internal/geom"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
+	"msrnet/internal/validate"
 )
 
 // FormatVersion identifies the on-disk schema.
@@ -99,10 +100,20 @@ func Encode(name string, tr *topo.Tree, tech buslib.Tech) NetFile {
 	return f
 }
 
-// Decode rebuilds the topology and technology from the file form.
+// Decode rebuilds the topology and technology from the file form. The
+// file is first run through Check with the default limits, so any
+// returned error carries an msrnet-error/v1 taxonomy code (see
+// internal/validate) and the tree construction below cannot panic on
+// hostile input.
 func Decode(f NetFile) (*topo.Tree, buslib.Tech, error) {
-	if f.Version != FormatVersion {
-		return nil, buslib.Tech{}, fmt.Errorf("netio: unsupported version %d", f.Version)
+	return DecodeWithLimits(f, validate.Limits{})
+}
+
+// DecodeWithLimits is Decode under caller-chosen size limits (zero
+// fields take the defaults).
+func DecodeWithLimits(f NetFile, lim validate.Limits) (*topo.Tree, buslib.Tech, error) {
+	if err := Check(f, lim); err != nil {
+		return nil, buslib.Tech{}, err
 	}
 	tech := buslib.Tech{
 		Wire:         buslib.Wire{ResPerUm: f.Tech.WireResPerUm, CapPerUm: f.Tech.WireCapPerUm},
@@ -112,10 +123,7 @@ func Decode(f NetFile) (*topo.Tree, buslib.Tech, error) {
 		NextStageCap: f.Tech.NextStageCap,
 	}
 	tr := topo.New()
-	for i, nj := range f.Nodes {
-		if nj.ID != i {
-			return nil, tech, fmt.Errorf("netio: node ids must be dense and ordered; got %d at index %d", nj.ID, i)
-		}
+	for _, nj := range f.Nodes {
 		pt := geom.Pt(nj.X, nj.Y)
 		switch nj.Kind {
 		case "terminal":
@@ -128,17 +136,14 @@ func Decode(f NetFile) (*topo.Tree, buslib.Tech, error) {
 			tr.AddSteiner(pt)
 		case "insertion":
 			tr.AddInsertion(pt)
-		default:
-			return nil, tech, fmt.Errorf("netio: unknown node kind %q", nj.Kind)
 		}
 	}
 	for _, ej := range f.Edges {
-		if ej.A < 0 || ej.A >= tr.NumNodes() || ej.B < 0 || ej.B >= tr.NumNodes() {
-			return nil, tech, fmt.Errorf("netio: edge endpoint out of range: %+v", ej)
-		}
 		tr.AddEdge(ej.A, ej.B, ej.Length)
 	}
 	if err := tr.Validate(); err != nil {
+		// Check above enforces every Validate invariant first; this is
+		// the backstop should the two ever drift.
 		return nil, tech, fmt.Errorf("netio: %w", err)
 	}
 	return tr, tech, nil
@@ -151,12 +156,14 @@ func Write(w io.Writer, f NetFile) error {
 	return enc.Encode(f)
 }
 
-// Read parses a net file.
+// Read parses a net file. Syntax errors carry the net/bad_json
+// taxonomy code.
 func Read(r io.Reader) (NetFile, error) {
 	var f NetFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
-		return f, fmt.Errorf("netio: %w", err)
+		return f, fmt.Errorf("netio: %w: %w",
+			validate.E(validate.CodeBadJSON, "", "net file is not valid JSON"), err)
 	}
 	return f, nil
 }

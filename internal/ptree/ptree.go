@@ -277,7 +277,19 @@ func TimingDriven(pts []geom.Point, terms []buslib.Terminal, tech buslib.Tech,
 			return nil, err
 		}
 		cand := &Result{Tree: tr, Suite: res.Suite, WirelengthUm: tr.TotalWireLength()}
-		if best == nil || cand.Suite.MinARD().ARD < best.Suite.MinARD().ARD {
+		candBest, err := cand.Suite.MinARD()
+		if err != nil {
+			return nil, err
+		}
+		if best == nil {
+			best = cand
+			continue
+		}
+		bestBest, err := best.Suite.MinARD()
+		if err != nil {
+			return nil, err
+		}
+		if candBest.ARD < bestBest.ARD {
 			best = cand
 		}
 	}

@@ -156,7 +156,11 @@ func TestTimingDrivenImprovesOrMatchesBaseline(t *testing.T) {
 		_ = ard.Compute(baseNet, ard.Options{})
 		// TimingDriven considered the 1-Steiner candidate itself, so its
 		// chosen topology can only be at least as good.
-		if res.Suite.MinARD().ARD <= 0 {
+		best, err := res.Suite.MinARD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.ARD <= 0 {
 			t.Fatalf("degenerate result")
 		}
 		if res.Tree == nil || res.WirelengthUm <= 0 {
@@ -199,9 +203,13 @@ func TestTimingDrivenPicksBestCandidate(t *testing.T) {
 			best = opt
 		}
 	}
-	if math.Abs(res.Suite.MinARD().ARD-best) > 1e-9 {
+	got, err := res.Suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.ARD-best) > 1e-9 {
 		t.Errorf("TimingDriven returned %.6f, best candidate is %.6f",
-			res.Suite.MinARD().ARD, best)
+			got.ARD, best)
 	}
 }
 
@@ -222,5 +230,9 @@ func optimize(rt *topo.Rooted, tech buslib.Tech) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.Suite.MinARD().ARD, nil
+	best, err := res.Suite.MinARD()
+	if err != nil {
+		return 0, err
+	}
+	return best.ARD, nil
 }

@@ -22,8 +22,12 @@ func optimized(t *testing.T) (*core.Result, interface{ Terminals() []int }, func
 	if err != nil {
 		t.Fatal(err)
 	}
+	best, err := res.Suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := Summary(&buf, rt, buslib.Default(), res.Suite.MinARD()); err != nil {
+	if err := Summary(&buf, rt, buslib.Default(), best); err != nil {
 		t.Fatal(err)
 	}
 	return res, tr, buf.String

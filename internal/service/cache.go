@@ -20,8 +20,8 @@ type resultCache struct {
 	ll  *list.List // front = most recently used
 	idx map[string]*list.Element
 
-	hits, misses, evictions *obs.Counter
-	size                    *obs.Gauge
+	hits, misses, evictions, inserts *obs.Counter
+	size                             *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -40,6 +40,7 @@ func newResultCache(capacity int, reg *obs.Registry) *resultCache {
 		hits:      reg.Counter("svc/cache_hits"),
 		misses:    reg.Counter("svc/cache_misses"),
 		evictions: reg.Counter("svc/cache_evictions"),
+		inserts:   reg.Counter("svc/cache_inserts"),
 		size:      reg.Gauge("svc/cache_size"),
 	}
 }
@@ -77,6 +78,7 @@ func (c *resultCache) Put(key string, res Result) {
 		return
 	}
 	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.inserts.Inc()
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

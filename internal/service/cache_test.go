@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"msrnet/internal/obs"
+)
+
+// TestCacheConcurrentConsistency hammers the result cache from many
+// goroutines with a mixed hit/miss/eviction load (key space larger
+// than capacity) and then checks the counters' books balance exactly:
+// every Get is a hit or a miss, every insert is either still resident
+// or was evicted, and the size never exceeds capacity. Run under
+// -race this also proves the locking.
+func TestCacheConcurrentConsistency(t *testing.T) {
+	const (
+		capacity   = 32
+		goroutines = 8
+		opsPerG    = 2000
+		keySpace   = 96 // 3× capacity: constant eviction pressure
+	)
+	reg := obs.New()
+	c := newResultCache(capacity, reg)
+
+	var gets, puts int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			myGets, myPuts := int64(0), int64(0)
+			for i := 0; i < opsPerG; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i*13)%keySpace)
+				if i%3 == 0 {
+					c.Put(key, Result{Status: StatusOK, NetKey: key})
+					myPuts++
+				} else {
+					if res, ok := c.Get(key); ok && res.NetKey != key {
+						t.Errorf("cache returned %q for key %q", res.NetKey, key)
+					}
+					myGets++
+				}
+			}
+			mu.Lock()
+			gets += myGets
+			puts += myPuts
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	hits := reg.Counter("svc/cache_hits").Value()
+	misses := reg.Counter("svc/cache_misses").Value()
+	inserts := reg.Counter("svc/cache_inserts").Value()
+	evictions := reg.Counter("svc/cache_evictions").Value()
+
+	if hits+misses != gets {
+		t.Errorf("hits(%d)+misses(%d) = %d, want gets = %d", hits, misses, hits+misses, gets)
+	}
+	if inserts > puts {
+		t.Errorf("inserts(%d) > puts(%d)", inserts, puts)
+	}
+	if got := int64(c.Len()); inserts-evictions != got {
+		t.Errorf("inserts(%d)−evictions(%d) = %d, want resident = %d", inserts, evictions, inserts-evictions, got)
+	}
+	if c.Len() > capacity {
+		t.Errorf("len %d exceeds capacity %d", c.Len(), capacity)
+	}
+	if size := reg.Gauge("svc/cache_size").Value(); size > capacity {
+		t.Errorf("svc/cache_size gauge %d exceeds capacity %d", size, capacity)
+	}
+}
+
+// TestCacheDisabled: capacity ≤ 0 must behave as a pure miss machine
+// without booking inserts.
+func TestCacheDisabled(t *testing.T) {
+	reg := obs.New()
+	c := newResultCache(0, reg)
+	c.Put("k", Result{Status: StatusOK})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if got := reg.Counter("svc/cache_inserts").Value(); got != 0 {
+		t.Fatalf("disabled cache booked %d inserts", got)
+	}
+	if got := reg.Counter("svc/cache_misses").Value(); got != 1 {
+		t.Fatalf("disabled cache booked %d misses, want 1", got)
+	}
+}

@@ -49,7 +49,10 @@ func singleShot(t *testing.T, f netio.NetFile) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chosen := out.Suite.MinARD()
+	chosen, err := out.Suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt := &OptResult{
 		Chosen: SuitePoint{Cost: chosen.Cost, ARD: chosen.ARD, Repeaters: chosen.Repeaters()},
 		Assign: netio.EncodeAssignment(chosen.Cost, chosen.ARD, chosen.Assignment()),

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msrnet/internal/validate"
+)
+
+// FuzzJobsHandler throws arbitrary bodies at POST /v1/jobs and demands
+// the serving contract holds for every one of them: no panic escapes
+// the handler, every response is valid JSON, rejections carry a
+// structured code, and nothing maps to a bare 5xx (the only 5xx the
+// surface emits is a deliberate 503). Seeded with the msrnet-error/v1
+// corpus wrapped into job envelopes so each taxonomy trigger is a
+// mutation starting point.
+func FuzzJobsHandler(f *testing.F) {
+	d := New(Config{Workers: 2, QueueDepth: 8, JobTimeout: 5 * time.Second, CacheSize: 8, Logger: quietLogger()})
+	srv := httptest.NewServer(d.Handler())
+	f.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Close(ctx)
+	})
+
+	f.Add(``)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"version":"msrnet-job/v1","jobs":[]}`)
+	f.Add(`{"version":"bogus","jobs":[{"mode":"ard","net":{}}]}`)
+	for _, c := range validate.Corpus() {
+		f.Add(fmt.Sprintf(`{"version":"msrnet-job/v1","jobs":[{"mode":"ard","net":%s}]}`, c.JSON))
+		f.Add(fmt.Sprintf(`{"version":"msrnet-job/v1","jobs":[{"mode":"msri","options":{"spec":1.5},"net":%s}]}`, c.JSON))
+	}
+
+	client := srv.Client()
+	f.Fuzz(func(t *testing.T, body string) {
+		resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("bare 5xx %d for body %q", resp.StatusCode, body)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var r Response
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				t.Fatalf("200 with undecodable body: %v", err)
+			}
+			if r.Version != SchemaVersion {
+				t.Fatalf("200 with version %q", r.Version)
+			}
+		default:
+			var eb ErrorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("status %d with undecodable body: %v", resp.StatusCode, err)
+			}
+			if eb.Code == "" {
+				t.Fatalf("status %d rejection without a code", resp.StatusCode)
+			}
+		}
+	})
+}

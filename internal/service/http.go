@@ -44,7 +44,9 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if serr.Status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
-		writeError(w, serr.Status, serr.Code, serr.Msg)
+		writeErrorBody(w, serr.Status, ErrorBody{
+			Version: SchemaVersion, Code: serr.Code, Error: serr.Msg, Cause: serr.Cause,
+		})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -54,9 +56,13 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorBody(w, status, ErrorBody{Version: SchemaVersion, Code: code, Error: msg})
+}
+
+func writeErrorBody(w http.ResponseWriter, status int, body ErrorBody) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorBody{Version: SchemaVersion, Code: code, Error: msg})
+	json.NewEncoder(w).Encode(body)
 }
 
 // HTTPServer is the daemon's bound listener. Shutdown stops accepting,

@@ -81,7 +81,21 @@ const (
 	ErrInternal         = "internal"          // panic or other fault isolated to the job
 	ErrSpecUnmet        = "spec_unmet"        // no solution meets the requested timing spec
 	ErrShuttingDown     = "shutting_down"     // daemon is draining
+	ErrShedLoad         = "shed_load"         // job spent its deadline queued; resubmit for a fresh budget
 )
+
+// retryableCode reports whether a failure code describes a transient
+// condition: resubmitting the identical job (safe — jobs are
+// idempotent, keyed by content hash) may succeed. Client-caused
+// failures (bad_request, spec_unmet) are deterministic and not
+// retryable.
+func retryableCode(code string) bool {
+	switch code {
+	case ErrDeadlineExceeded, ErrShedLoad, ErrInternal, ErrQueueFull, ErrShuttingDown:
+		return true
+	}
+	return false
+}
 
 // Result is the outcome for one job.
 type Result struct {
@@ -90,8 +104,19 @@ type Result struct {
 	// Code and Error describe the failure when Status is "error".
 	Code  string `json:"code,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Retryable marks a failure as transient: resubmitting the same job
+	// is safe (jobs are idempotent by content hash) and may succeed.
+	Retryable bool `json:"retryable,omitempty"`
 	// Cached reports that the result was served from the LRU cache.
 	Cached bool `json:"cached,omitempty"`
+	// Degraded reports that the optimizer fell back to coarse (ε-relaxed)
+	// pruning to meet the job deadline; DegradedReason says why. The
+	// result is complete and valid but its ARD may exceed the exact
+	// optimum by the documented bound (see OptResult.CoarseEps). Degraded
+	// results are never cached — a retry with more headroom recomputes
+	// exactly.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// NetKey is the canonical content hash of the net (the net half of
 	// the cache key), so clients can correlate identical nets.
 	NetKey string `json:"net_key,omitempty"`
@@ -114,6 +139,10 @@ type OptResult struct {
 	Chosen SuitePoint           `json:"chosen"`
 	Assign netio.AssignmentJSON `json:"assignment"`
 	Stats  core.Stats           `json:"stats"`
+	// CoarseEps is the dominance relaxation the degraded run used (only
+	// set when the carrying Result is Degraded). The reported ARD is at
+	// most CoarseEps×Stats.PruneCalls above the exact optimum.
+	CoarseEps float64 `json:"coarse_eps,omitempty"`
 }
 
 // SuitePoint is one point of the cost/ARD tradeoff frontier.
@@ -128,6 +157,11 @@ type ErrorBody struct {
 	Version string `json:"version"`
 	Code    string `json:"code"`
 	Error   string `json:"error"`
+	// Cause carries the msrnet-error/v1 taxonomy code (see
+	// internal/validate) when the failure traces to net or technology
+	// validation — machine-readable, so clients can branch without
+	// parsing Error.
+	Cause string `json:"cause,omitempty"`
 }
 
 // Validate checks the request envelope (not the nets — decode errors

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -12,10 +13,12 @@ import (
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
 	"msrnet/internal/core"
+	"msrnet/internal/faultinject"
 	"msrnet/internal/netio"
 	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
+	"msrnet/internal/validate"
 )
 
 // Config tunes the daemon.
@@ -32,12 +35,35 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity in entries; ≤ 0
 	// disables caching. Defaults are applied by msrnetd, not here.
 	CacheSize int
+	// DegradeHeadroom is the slice of the job deadline reserved for the
+	// coarse fallback: an optimization that has not finished exactly by
+	// deadline−headroom is retried with ε-relaxed pruning, and a job
+	// arriving at a worker with less than headroom remaining skips the
+	// exact attempt entirely. Zero defaults to JobTimeout/4; negative
+	// disables degradation (jobs either finish exactly or fail with
+	// deadline_exceeded). Meaningless without a JobTimeout.
+	DegradeHeadroom time.Duration
+	// CoarseEps is the dominance relaxation of degraded runs (see
+	// core.Options.CoarseEps). Zero defaults to 0.02 ns.
+	CoarseEps float64
+	// ShedMargin, when positive, sheds jobs at dequeue whose remaining
+	// deadline is below the margin: they fail fast with shed_load
+	// (retryable) instead of burning a worker on a doomed attempt.
+	ShedMargin time.Duration
+	// Faults, when non-nil, injects test faults at the daemon's named
+	// injection points (svc/decode, svc/queue, svc/worker,
+	// svc/cache/get, svc/cache/put). Nil in production.
+	Faults *faultinject.Injector
 	// Reg receives the daemon's metrics and per-job phase spans; may be
 	// nil.
 	Reg *obs.Registry
 	// Logger receives job-level logs; slog.Default when nil.
 	Logger *slog.Logger
 }
+
+// DefaultCoarseEps is the dominance relaxation degraded runs use when
+// Config.CoarseEps is zero.
+const DefaultCoarseEps = 0.02
 
 // LatencyBounds are the millisecond bucket bounds of the svc/queue_wait_ms
 // and svc/job_ms histograms.
@@ -61,6 +87,7 @@ type Daemon struct {
 
 	submitted, completed, failed *obs.Counter
 	rejected, deadlines, panics  *obs.Counter
+	degraded, shed               *obs.Counter
 	queueDepth, workers          *obs.Gauge
 	queueWait, jobDur            *obs.Histogram
 
@@ -113,6 +140,8 @@ func New(cfg Config) *Daemon {
 		rejected:   reg.Counter("svc/jobs_rejected"),
 		deadlines:  reg.Counter("svc/jobs_deadline_exceeded"),
 		panics:     reg.Counter("svc/panics_recovered"),
+		degraded:   reg.Counter("svc/jobs_degraded"),
+		shed:       reg.Counter("svc/jobs_shed"),
 		queueDepth: reg.Gauge("svc/queue_depth"),
 		workers:    reg.Gauge("svc/workers"),
 		queueWait:  reg.Histogram("svc/queue_wait_ms", LatencyBounds),
@@ -131,12 +160,23 @@ type SubmitError struct {
 	Status int // HTTP status code
 	Code   string
 	Msg    string
+	// Cause is the msrnet-error/v1 taxonomy code when the rejection
+	// traces to net/technology validation; empty otherwise.
+	Cause string
 }
 
 func (e *SubmitError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
 
 func submitErr(status int, code, format string, args ...any) *SubmitError {
 	return &SubmitError{Status: status, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeErr builds the 400 for a net that failed validation, carrying
+// the taxonomy code of err as the machine-readable cause.
+func decodeErr(label string, err error) *SubmitError {
+	se := submitErr(http.StatusBadRequest, ErrBadRequest, "job %s: %v", label, err)
+	se.Cause = validate.CodeOf(err)
+	return se
 }
 
 // Submit validates and runs every job of req, in request order, and
@@ -159,15 +199,19 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	decSpan := d.reg.StartSpan("svc/submit/decode")
 	for i := range req.Jobs {
 		j := &req.Jobs[i]
+		if err := d.cfg.Faults.Fire(ctx, "svc/decode"); err != nil {
+			decSpan.End()
+			return nil, submitErr(http.StatusServiceUnavailable, ErrInternal, "decode: %v", err)
+		}
 		netKey, err := netio.ContentHash(j.Net)
 		if err != nil {
 			decSpan.End()
-			return nil, submitErr(http.StatusBadRequest, ErrBadRequest, "job %s: %v", j.label(i), err)
+			return nil, decodeErr(j.label(i), err)
 		}
 		tr, tech, err := netio.Decode(j.Net)
 		if err != nil {
 			decSpan.End()
-			return nil, submitErr(http.StatusBadRequest, ErrBadRequest, "job %s: %v", j.label(i), err)
+			return nil, decodeErr(j.label(i), err)
 		}
 		if len(tr.Sources()) == 0 || len(tr.Sinks()) == 0 {
 			decSpan.End()
@@ -176,7 +220,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		}
 		key := j.cacheKey(netKey)
 		d.submitted.Inc()
-		if res, ok := d.cache.Get(key); ok {
+		if res, ok := d.cacheGet(ctx, key); ok {
 			res.ID = j.label(i)
 			res.Cached = true
 			results[i] = res
@@ -224,10 +268,24 @@ func (d *Daemon) jobContext(ctx context.Context) (context.Context, context.Cance
 	return context.WithCancel(ctx)
 }
 
+// cacheGet looks up key under the svc/cache/get injection point: an
+// injected fault degrades to a miss (the job recomputes) rather than
+// failing the request.
+func (d *Daemon) cacheGet(ctx context.Context, key string) (Result, bool) {
+	if err := d.cfg.Faults.Fire(ctx, "svc/cache/get"); err != nil {
+		d.log.Warn("cache get fault", "err", err)
+		return Result{}, false
+	}
+	return d.cache.Get(key)
+}
+
 // enqueue admits all tasks atomically or none.
 func (d *Daemon) enqueue(ts []*task) *SubmitError {
 	if len(ts) == 0 {
 		return nil
+	}
+	if err := d.cfg.Faults.Fire(context.Background(), "svc/queue"); err != nil {
+		return submitErr(http.StatusServiceUnavailable, ErrInternal, "queue: %v", err)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -280,6 +338,11 @@ func (d *Daemon) runTask(t *task) {
 	if err := t.ctx.Err(); err != nil {
 		t.res = d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("expired before start: %v", err))
 		d.deadlines.Inc()
+	} else if d.shouldShed(t) {
+		d.shed.Inc()
+		t.res = d.failResult(t, ErrShedLoad, fmt.Sprintf(
+			"job spent its deadline queued (%v remaining < %v margin); resubmit for a fresh budget",
+			remainingBudget(t.ctx), d.cfg.ShedMargin))
 	} else {
 		resCh := make(chan Result, 1)
 		go func() {
@@ -290,6 +353,10 @@ func (d *Daemon) runTask(t *task) {
 					resCh <- d.failResult(t, ErrInternal, fmt.Sprintf("panic: %v", p))
 				}
 			}()
+			if err := d.cfg.Faults.Fire(t.ctx, "svc/worker"); err != nil {
+				resCh <- d.failResult(t, ErrInternal, fmt.Sprintf("worker: %v", err))
+				return
+			}
 			resCh <- d.exec(t)
 		}()
 		select {
@@ -306,20 +373,51 @@ func (d *Daemon) runTask(t *task) {
 	d.jobDur.Observe(ms)
 	if t.res.Status == StatusOK {
 		d.completed.Inc()
-		// Cache the result without per-request decoration.
-		stored := t.res
-		stored.ID = ""
-		stored.Cached = false
-		d.cache.Put(t.key, stored)
+		if t.res.Degraded {
+			// A degraded result is only the best answer under THIS job's
+			// deadline pressure; caching it would pin the coarse answer
+			// for future unpressed submissions of the same net.
+			d.degraded.Inc()
+		} else if d.cfg.Faults.Fire(t.ctx, "svc/cache/put") == nil {
+			// Cache the result without per-request decoration. An injected
+			// put fault drops the insert — the cache is an optimization,
+			// never a correctness dependency.
+			stored := t.res
+			stored.ID = ""
+			stored.Cached = false
+			d.cache.Put(t.key, stored)
+		}
 	} else {
 		d.failed.Inc()
 	}
 	d.log.Info("job done", "job", t.label, "status", t.res.Status, "code", t.res.Code,
-		"mode", t.job.Mode, "net_key", t.netKey, "ms", ms)
+		"mode", t.job.Mode, "net_key", t.netKey, "ms", ms, "degraded", t.res.Degraded)
+}
+
+// shouldShed reports whether the task's remaining deadline at dequeue
+// is below the shedding margin — the job spent its budget queued and
+// an attempt would almost surely time out mid-flight.
+func (d *Daemon) shouldShed(t *task) bool {
+	if d.cfg.ShedMargin <= 0 {
+		return false
+	}
+	rem := remainingBudget(t.ctx)
+	return rem >= 0 && rem < d.cfg.ShedMargin
+}
+
+// remainingBudget returns the time left before ctx's deadline, or -1
+// when it has none.
+func remainingBudget(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return -1
+	}
+	return time.Until(dl)
 }
 
 func (d *Daemon) failResult(t *task, code, msg string) Result {
-	return Result{ID: t.label, Status: StatusError, Code: code, Error: msg, NetKey: t.netKey}
+	return Result{ID: t.label, Status: StatusError, Code: code, Error: msg,
+		NetKey: t.netKey, Retryable: retryableCode(code)}
 }
 
 // exec computes the job's result. It runs on a per-job goroutine under
@@ -363,18 +461,24 @@ func (d *Daemon) exec(t *task) Result {
 			opt.Pruner = core.PruneNaive
 		}
 		span := d.reg.StartSpan("svc/job/optimize")
-		out, err := core.Optimize(rt, t.tech, opt)
+		out, deg, err := d.runOptimize(t, rt, opt)
 		span.End()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("optimize: %v", err))
+			}
 			return d.failResult(t, ErrBadRequest, fmt.Sprintf("optimize: %v", err))
 		}
-		chosen := out.Suite.MinARD()
+		chosen, err := out.Suite.MinARD()
+		if err != nil {
+			return d.failResult(t, ErrInternal, fmt.Sprintf("optimize: %v", err))
+		}
 		if j.Options.Spec > 0 {
 			sol, ok := out.Suite.MinCost(j.Options.Spec)
 			if !ok {
 				return d.failResult(t, ErrSpecUnmet, fmt.Sprintf(
 					"no solution meets ARD ≤ %g ns (best achievable %.6f)",
-					j.Options.Spec, out.Suite.MinARD().ARD))
+					j.Options.Spec, chosen.ARD))
 			}
 			chosen = sol
 		}
@@ -388,9 +492,72 @@ func (d *Daemon) exec(t *task) Result {
 			opt2.Suite = append(opt2.Suite, suitePoint(s))
 		}
 		encSpan.End()
+		if deg != nil {
+			res.Degraded = true
+			res.DegradedReason = deg.reason
+			opt2.CoarseEps = deg.eps
+		}
 		res.Opt = opt2
 	}
 	return res
+}
+
+// degradeInfo describes the fallback a degraded optimization took.
+type degradeInfo struct {
+	reason string
+	eps    float64
+}
+
+// runOptimize runs the DP under the degradation policy. With headroom
+// h (DegradeHeadroom, defaulting to JobTimeout/4) and a job deadline D:
+// a job reaching a worker with less than h remaining skips the exact
+// attempt and runs coarse (ε-relaxed pruning) directly; otherwise the
+// exact DP runs under a soft deadline D−h, and if it expires there
+// while the job is still live, the headroom is spent on a coarse
+// retry. Negative headroom or a deadline-free job disables the policy:
+// one exact attempt, bounded only by the job context.
+func (d *Daemon) runOptimize(t *task, rt *topo.Rooted, opt core.Options) (*core.Result, *degradeInfo, error) {
+	headroom := d.cfg.DegradeHeadroom
+	if headroom == 0 {
+		headroom = d.cfg.JobTimeout / 4
+	}
+	deadline, hasDL := t.ctx.Deadline()
+	if headroom <= 0 || !hasDL {
+		opt.Context = t.ctx
+		out, err := core.Optimize(rt, t.tech, opt)
+		return out, nil, err
+	}
+	eps := d.cfg.CoarseEps
+	if eps == 0 {
+		eps = DefaultCoarseEps
+	}
+	coarse := func(reason string) (*core.Result, *degradeInfo, error) {
+		copt := opt
+		copt.Context = t.ctx
+		copt.CoarseEps = eps
+		out, err := core.Optimize(rt, t.tech, copt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, &degradeInfo{reason: reason, eps: eps}, nil
+	}
+	if time.Until(deadline) < headroom {
+		// The queue ate the budget; an exact attempt cannot fit.
+		return coarse("queue_pressure")
+	}
+	soft, cancel := context.WithDeadline(t.ctx, deadline.Add(-headroom))
+	opt.Context = soft
+	out, err := core.Optimize(rt, t.tech, opt)
+	cancel()
+	if err == nil {
+		return out, nil, nil
+	}
+	// The exact attempt died on the soft deadline while the job itself
+	// is still live: spend the reserved headroom on a coarse retry.
+	if errors.Is(err, context.DeadlineExceeded) && t.ctx.Err() == nil {
+		return coarse("soft_deadline")
+	}
+	return nil, nil, err
 }
 
 func suitePoint(s core.RootSolution) SuitePoint {

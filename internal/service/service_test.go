@@ -352,7 +352,10 @@ func TestOptionsCopiesAreGoroutineSafe(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		best := res.Suite.MinARD()
+		best, err := res.Suite.MinARD()
+		if err != nil {
+			t.Fatal(err)
+		}
 		return outcome{cost: best.Cost, ard: best.ARD, stats: res.Stats}
 	}
 

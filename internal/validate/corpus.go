@@ -1,0 +1,191 @@
+package validate
+
+// CorpusEntry is one canonical malformed (or deliberately well-formed)
+// net file, paired with the taxonomy code its rejection must carry.
+// The corpus seeds the netio and service fuzz targets and anchors the
+// taxonomy tests: every code in the vocabulary has at least one entry
+// that provokes it.
+type CorpusEntry struct {
+	// Name identifies the entry in test output.
+	Name string
+	// JSON is the raw net-file document.
+	JSON string
+	// WantCode is the msrnet-error/v1 code netio.Read+Decode must
+	// return, or "" when the entry must decode cleanly.
+	WantCode string
+}
+
+// minimal two-terminal net fragments shared by the entries below. The
+// tech block is the smallest one that passes the numeric checks.
+const goodTech = `"tech":{"wire_res_per_um":0.1,"wire_cap_per_um":0.2}`
+
+// Corpus returns the canonical malformed-input set. Entries are valid
+// JSON unless the name says otherwise, so each exercises a specific
+// semantic check rather than the JSON parser.
+func Corpus() []CorpusEntry {
+	return []CorpusEntry{
+		{
+			Name:     "truncated json",
+			JSON:     `{"version":1,"nodes":[`,
+			WantCode: CodeBadJSON,
+		},
+		{
+			Name:     "wrong version",
+			JSON:     `{"version":99,` + goodTech + `,"nodes":[],"edges":[]}`,
+			WantCode: CodeUnsupportedVersion,
+		},
+		{
+			Name:     "empty net",
+			JSON:     `{"version":1,` + goodTech + `,"nodes":[],"edges":[]}`,
+			WantCode: CodeEmptyNet,
+		},
+		{
+			Name: "node ids not dense",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true,"rout":100},
+				{"id":7,"kind":"terminal","name":"b","is_sink":true,"cin":0.01}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeNodeOrder,
+		},
+		{
+			Name: "unknown node kind",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"teapot"},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true,"is_source":true}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeBadKind,
+		},
+		{
+			// JSON itself cannot carry NaN/±Inf — an overflowing literal
+			// dies in the parser. The CodeNonFinite checks are reachable
+			// only through programmatic NetFile construction; see the
+			// netio tests.
+			Name: "overflowing coordinate literal",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true,"x":1e999},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeBadJSON,
+		},
+		{
+			Name: "negative input capacitance",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true,"cin":-0.5}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeNegativeRC,
+		},
+		{
+			Name: "edge endpoint out of range",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":5,"length":10}]}`,
+			WantCode: CodeEdgeRange,
+		},
+		{
+			Name: "self-loop edge",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":0,"length":10}]}`,
+			WantCode: CodeSelfLoop,
+		},
+		{
+			Name: "negative wire length",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":-3}]}`,
+			WantCode: CodeNegativeRC,
+		},
+		{
+			Name: "cycle",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"steiner"},
+				{"id":2,"kind":"steiner"},
+				{"id":3,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":1},{"a":1,"b":2,"length":1},
+				         {"a":2,"b":1,"length":1},{"a":2,"b":3,"length":1}]}`,
+			WantCode: CodeCycle,
+		},
+		{
+			Name: "disconnected",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true},
+				{"id":2,"kind":"steiner"},
+				{"id":3,"kind":"steiner"}],
+				"edges":[{"a":0,"b":1,"length":1},{"a":2,"b":3,"length":1}]}`,
+			WantCode: CodeDisconnected,
+		},
+		{
+			Name: "too few edges",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true},
+				{"id":2,"kind":"steiner"}],
+				"edges":[{"a":0,"b":1,"length":1}]}`,
+			WantCode: CodeDisconnected,
+		},
+		{
+			Name: "terminal not a leaf",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"m","is_sink":true},
+				{"id":2,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":1},{"a":1,"b":2,"length":1}]}`,
+			WantCode: CodeTerminalDegree,
+		},
+		{
+			Name: "insertion point of degree 1",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true,"is_sink":true},
+				{"id":1,"kind":"insertion"}],
+				"edges":[{"a":0,"b":1,"length":1}]}`,
+			WantCode: CodeInsertionDegree,
+		},
+		{
+			Name: "no source",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_sink":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeNoSource,
+		},
+		{
+			Name: "no sink",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_source":true}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeNoSink,
+		},
+		{
+			Name: "negative wire capacitance",
+			JSON: `{"version":1,"tech":{"wire_res_per_um":0.1,"wire_cap_per_um":-0.2},"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeTechNegativeRC,
+		},
+		{
+			Name: "negative repeater cost",
+			JSON: `{"version":1,"tech":{"wire_res_per_um":0.1,"wire_cap_per_um":0.2,
+				"repeaters":[{"name":"r1","cost":-1}]},"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: CodeTechNegativeRC,
+		},
+		{
+			Name: "well-formed two-pin net",
+			JSON: `{"version":1,` + goodTech + `,"nodes":[
+				{"id":0,"kind":"terminal","name":"a","is_source":true,"rout":100},
+				{"id":1,"kind":"terminal","name":"b","is_sink":true,"cin":0.01}],
+				"edges":[{"a":0,"b":1,"length":10}]}`,
+			WantCode: "",
+		},
+	}
+}

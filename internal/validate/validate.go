@@ -1,0 +1,216 @@
+// Package validate defines the msrnet-error/v1 taxonomy: a typed,
+// machine-readable vocabulary for everything that can be wrong with a
+// net file, its technology, or a serving request. Every rejection in
+// netio, the CLIs and the msrnetd HTTP surface is (or wraps) an *Error
+// carrying one of the Code* constants, so clients and scripts can
+// branch on the code instead of parsing prose. The package also holds
+// the generic structural/numeric checkers the netio walk builds on
+// (finiteness, sign, union-find cycle/connectivity detection) and the
+// corpus of canonical malformed inputs that seeds the fuzz targets.
+//
+// The deep NetFile walk itself lives in netio.Check — netio owns the
+// file schema — but every error it produces is typed here. See
+// DESIGN.md §9.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TaxonomyVersion identifies the error vocabulary. It is echoed in
+// msrnetd error bodies next to the code.
+const TaxonomyVersion = "msrnet-error/v1"
+
+// Net-level codes: the structure or numbers of the net file are wrong.
+const (
+	// CodeBadJSON: the input is not syntactically valid JSON.
+	CodeBadJSON = "net/bad_json"
+	// CodeUnsupportedVersion: the file's schema version is unknown.
+	CodeUnsupportedVersion = "net/unsupported_version"
+	// CodeEmptyNet: the net has no nodes.
+	CodeEmptyNet = "net/empty"
+	// CodeTooLarge: the net exceeds the configured size limits.
+	CodeTooLarge = "net/too_large"
+	// CodeNodeOrder: node ids are not dense and in index order.
+	CodeNodeOrder = "net/node_id_order"
+	// CodeBadKind: a node kind is not terminal/steiner/insertion.
+	CodeBadKind = "net/bad_node_kind"
+	// CodeNonFinite: a coordinate, length or electrical value is NaN/±Inf.
+	CodeNonFinite = "net/non_finite"
+	// CodeNegativeRC: a resistance, capacitance or length is negative.
+	CodeNegativeRC = "net/negative_rc"
+	// CodeEdgeRange: an edge endpoint is not a valid node id.
+	CodeEdgeRange = "net/edge_endpoint"
+	// CodeSelfLoop: an edge connects a node to itself.
+	CodeSelfLoop = "net/self_loop"
+	// CodeCycle: the edge set contains a cycle.
+	CodeCycle = "net/cycle"
+	// CodeDisconnected: the graph has more than one component.
+	CodeDisconnected = "net/disconnected"
+	// CodeNotATree: edge count does not match node count − 1.
+	CodeNotATree = "net/not_a_tree"
+	// CodeTerminalDegree: a terminal is not a leaf.
+	CodeTerminalDegree = "net/terminal_not_leaf"
+	// CodeInsertionDegree: an insertion point does not have degree 2.
+	CodeInsertionDegree = "net/insertion_degree"
+	// CodeNoSource: the net has no source terminal.
+	CodeNoSource = "net/no_source"
+	// CodeNoSink: the net has no sink terminal.
+	CodeNoSink = "net/no_sink"
+)
+
+// Technology-level codes.
+const (
+	// CodeTechNonFinite: a technology parameter is NaN/±Inf.
+	CodeTechNonFinite = "tech/non_finite"
+	// CodeTechNegativeRC: a technology R/C/cost is negative.
+	CodeTechNegativeRC = "tech/negative_rc"
+	// CodeTechEmptyLibrary: an operation requires a repeater/driver
+	// library the technology does not carry.
+	CodeTechEmptyLibrary = "tech/empty_library"
+	// CodeTechTooLarge: a repeater/driver library exceeds the limits.
+	CodeTechTooLarge = "tech/too_large"
+)
+
+// Error is one typed validation failure. Code is a member of the
+// msrnet-error/v1 vocabulary above; Path locates the offending element
+// ("nodes[3].cin", "edges[0]", "tech.repeaters[2].cost"); Detail is the
+// human-readable explanation.
+type Error struct {
+	Code   string `json:"code"`
+	Path   string `json:"path,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// Error renders "code at path: detail" (path omitted when empty).
+func (e *Error) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("%s: %s", e.Code, e.Detail)
+	}
+	return fmt.Sprintf("%s at %s: %s", e.Code, e.Path, e.Detail)
+}
+
+// E builds a taxonomy error.
+func E(code, path, format string, args ...any) *Error {
+	return &Error{Code: code, Path: path, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the taxonomy code from err (unwrapping as needed);
+// empty when err carries none.
+func CodeOf(err error) string {
+	var ve *Error
+	if errors.As(err, &ve) {
+		return ve.Code
+	}
+	return ""
+}
+
+// PathOf extracts the element path from err; empty when err carries
+// none.
+func PathOf(err error) string {
+	var ve *Error
+	if errors.As(err, &ve) {
+		return ve.Path
+	}
+	return ""
+}
+
+// Limits bounds the size of an acceptable net — the defense against
+// hostile or runaway inputs (a daemon must reject a billion-node net at
+// decode, not at OOM).
+type Limits struct {
+	// MaxNodes caps the node count (0 = DefaultLimits value).
+	MaxNodes int
+	// MaxEdges caps the edge count (0 = DefaultLimits value).
+	MaxEdges int
+	// MaxLibrary caps the repeater and driver library sizes each
+	// (0 = DefaultLimits value).
+	MaxLibrary int
+}
+
+// DefaultLimits are the decode-time bounds: generous for legitimate
+// EDA workloads, far below anything that would distress the process.
+func DefaultLimits() Limits {
+	return Limits{MaxNodes: 200_000, MaxEdges: 200_000, MaxLibrary: 4096}
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = d.MaxNodes
+	}
+	if l.MaxEdges <= 0 {
+		l.MaxEdges = d.MaxEdges
+	}
+	if l.MaxLibrary <= 0 {
+		l.MaxLibrary = d.MaxLibrary
+	}
+	return l
+}
+
+// Resolve returns the limits with defaults applied — what a checker
+// actually enforces.
+func (l Limits) Resolve() Limits { return l.withDefaults() }
+
+// Finite returns a typed error when v is NaN or ±Inf.
+func Finite(code, path string, v float64) *Error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return E(code, path, "value %v is not finite", v)
+	}
+	return nil
+}
+
+// NonNegative returns a typed error when v is negative or non-finite
+// (negative R/C/length/cost are physically meaningless and break the
+// Elmore model's monotonicity assumptions).
+func NonNegative(finiteCode, negCode, path string, v float64) *Error {
+	if err := Finite(finiteCode, path, v); err != nil {
+		return err
+	}
+	if v < 0 {
+		return E(negCode, path, "value %v is negative", v)
+	}
+	return nil
+}
+
+// DSU is a union-find over n elements used for cycle and connectivity
+// detection on the edge list — the structural core of the net checks.
+type DSU struct {
+	parent []int
+	comps  int
+}
+
+// NewDSU builds a forest of n singletons.
+func NewDSU(n int) *DSU {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &DSU{parent: p, comps: n}
+}
+
+func (d *DSU) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, reporting false when they were
+// already connected (i.e. the edge closes a cycle).
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return false
+	}
+	d.parent[ra] = rb
+	d.comps--
+	return true
+}
+
+// Components reports the number of connected components.
+func (d *DSU) Components() int { return d.comps }

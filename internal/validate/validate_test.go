@@ -1,0 +1,123 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	e := E(CodeCycle, "edges[2]", "edge %d–%d closes a cycle", 2, 1)
+	if got := e.Error(); got != "net/cycle at edges[2]: edge 2–1 closes a cycle" {
+		t.Fatalf("render: %q", got)
+	}
+	noPath := E(CodeEmptyNet, "", "net has no nodes")
+	if got := noPath.Error(); got != "net/empty: net has no nodes" {
+		t.Fatalf("render without path: %q", got)
+	}
+}
+
+func TestCodeOfUnwraps(t *testing.T) {
+	base := E(CodeNoSource, "nodes", "net has no source terminal")
+	wrapped := fmt.Errorf("job #3: %w", fmt.Errorf("decode: %w", base))
+	if got := CodeOf(wrapped); got != CodeNoSource {
+		t.Fatalf("CodeOf(wrapped) = %q", got)
+	}
+	if got := PathOf(wrapped); got != "nodes" {
+		t.Fatalf("PathOf(wrapped) = %q", got)
+	}
+	if got := CodeOf(errors.New("plain")); got != "" {
+		t.Fatalf("CodeOf(plain) = %q, want empty", got)
+	}
+	if got := CodeOf(nil); got != "" {
+		t.Fatalf("CodeOf(nil) = %q, want empty", got)
+	}
+}
+
+func TestFiniteAndNonNegative(t *testing.T) {
+	if err := Finite(CodeNonFinite, "x", 1.5); err != nil {
+		t.Fatalf("finite value rejected: %v", err)
+	}
+	nan := 0.0
+	nan /= nan
+	if err := Finite(CodeNonFinite, "x", nan); err == nil || err.Code != CodeNonFinite {
+		t.Fatalf("NaN accepted: %v", err)
+	}
+	if err := NonNegative(CodeNonFinite, CodeNegativeRC, "cin", -1); err == nil || err.Code != CodeNegativeRC {
+		t.Fatalf("negative accepted: %v", err)
+	}
+	if err := NonNegative(CodeNonFinite, CodeNegativeRC, "cin", nan); err == nil || err.Code != CodeNonFinite {
+		t.Fatalf("NaN ranked below sign check: %v", err)
+	}
+}
+
+func TestDSU(t *testing.T) {
+	d := NewDSU(5)
+	if d.Components() != 5 {
+		t.Fatalf("fresh components = %d", d.Components())
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if !d.Union(e[0], e[1]) {
+			t.Fatalf("union %v reported a cycle", e)
+		}
+	}
+	if d.Components() != 2 {
+		t.Fatalf("components = %d, want 2", d.Components())
+	}
+	if d.Union(2, 0) {
+		t.Fatal("cycle-closing union not detected")
+	}
+	if !d.Union(2, 3) {
+		t.Fatal("cross-component union rejected")
+	}
+	if d.Components() != 1 {
+		t.Fatalf("final components = %d, want 1", d.Components())
+	}
+}
+
+func TestLimitsResolve(t *testing.T) {
+	r := Limits{}.Resolve()
+	d := DefaultLimits()
+	if r != d {
+		t.Fatalf("zero limits resolve to %+v, want defaults %+v", r, d)
+	}
+	r = Limits{MaxNodes: 10}.Resolve()
+	if r.MaxNodes != 10 || r.MaxEdges != d.MaxEdges || r.MaxLibrary != d.MaxLibrary {
+		t.Fatalf("partial limits resolve to %+v", r)
+	}
+}
+
+// TestCorpusCoversTaxonomy: every net/tech code in the vocabulary has a
+// corpus entry provoking it (so the fuzz seeds exercise the whole
+// taxonomy), and every entry's code is part of the vocabulary.
+func TestCorpusCoversTaxonomy(t *testing.T) {
+	// CodeNonFinite and CodeTechNonFinite are absent: JSON cannot carry
+	// NaN/±Inf, so their triggers only exist as in-memory NetFiles (the
+	// netio tests cover them directly).
+	all := []string{
+		CodeBadJSON, CodeUnsupportedVersion, CodeEmptyNet, CodeNodeOrder,
+		CodeBadKind, CodeNegativeRC, CodeEdgeRange,
+		CodeSelfLoop, CodeCycle, CodeDisconnected, CodeTerminalDegree,
+		CodeInsertionDegree, CodeNoSource, CodeNoSink,
+		CodeTechNegativeRC,
+	}
+	have := map[string]bool{}
+	for _, c := range Corpus() {
+		have[c.WantCode] = true
+		if c.WantCode == "" {
+			continue
+		}
+		if !strings.HasPrefix(c.WantCode, "net/") && !strings.HasPrefix(c.WantCode, "tech/") {
+			t.Errorf("%s: code %q outside the net/ and tech/ namespaces", c.Name, c.WantCode)
+		}
+	}
+	for _, code := range all {
+		if !have[code] {
+			t.Errorf("taxonomy code %s has no corpus entry", code)
+		}
+	}
+	if !have[""] {
+		t.Error("corpus has no well-formed entry")
+	}
+}

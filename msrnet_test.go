@@ -47,11 +47,15 @@ func TestARDAndOptimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if suite.MinARD().ARD >= base.ARD {
-		t.Errorf("optimization did not improve: %g vs %g", suite.MinARD().ARD, base.ARD)
+	best, err := suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.ARD >= base.ARD {
+		t.Errorf("optimization did not improve: %g vs %g", best.ARD, base.ARD)
 	}
 	// Spec-driven lookup: cheapest solution meeting a mid-range spec.
-	spec := (base.ARD + suite.MinARD().ARD) / 2
+	spec := (base.ARD + best.ARD) / 2
 	sol, ok := suite.MinCost(spec)
 	if !ok {
 		t.Fatal("mid-range spec infeasible")
@@ -76,7 +80,11 @@ func TestSizeDrivers(t *testing.T) {
 		t.Fatal(err)
 	}
 	base, _ := net.ARD(msrnet.Assignment{})
-	if suite.MinARD().ARD >= base.ARD {
+	best, err := suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.ARD >= base.ARD {
 		t.Error("driver sizing did not improve")
 	}
 }
@@ -118,8 +126,12 @@ func TestRenderSVG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	best, err := suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := net.RenderSVG(&buf, suite.MinARD().Assignment(), "best"); err != nil {
+	if err := net.RenderSVG(&buf, best.Assignment(), "best"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "<svg") {
@@ -236,7 +248,10 @@ func TestSynthesizeTimingDrivenFacade(t *testing.T) {
 	}
 	// The synthesized net is a normal Net: spec lookup and re-evaluation
 	// work on it.
-	sol := suite.MinARD()
+	sol, err := suite.MinARD()
+	if err != nil {
+		t.Fatal(err)
+	}
 	check, err := net.ARD(sol.Assignment())
 	if err != nil {
 		t.Fatal(err)
