@@ -31,6 +31,7 @@ import (
 
 	"msrnet/internal/cliflags"
 	"msrnet/internal/faultinject"
+	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/service"
 )
 
@@ -42,20 +43,24 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 30*time.Second, "per-job deadline (0 = none)")
 		cacheSize  = flag.Int("cache", 512, "LRU result-cache capacity in entries (0 = disable caching)")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown may spend draining in-flight jobs")
+		drainGrace = flag.Duration("drain-grace", 0, "on SIGTERM, keep serving for this long with /readyz failing (and admission closed) before the listener stops, so load balancers drain traffic first")
 		headroom   = flag.Duration("degrade-headroom", 0, "deadline slice reserved for the coarse (ε-relaxed) fallback (0 = job-timeout/4, negative = disable degradation)")
 		coarseEps  = flag.Float64("coarse-eps", 0, "dominance relaxation of degraded runs in ns (0 = default 0.02)")
 		shedMargin = flag.Duration("shed-margin", 0, "shed jobs at dequeue whose remaining deadline is below this margin (0 = disable shedding)")
 		faults     = flag.String("faults", "", "fault-injection spec for chaos testing, e.g. 'svc/worker:panic:0.1;svc/cache/get:error:0.5' (also via "+faultinject.EnvFaults+")")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed (also via "+faultinject.EnvSeed+")")
 	)
-	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{AlwaysRegistry: true})
+	obsFlags := cliflags.Register(flag.CommandLine,
+		cliflags.Caps{AlwaysRegistry: true, AlwaysTracer: true, TraceEvents: true})
 	flag.Parse()
 
 	run, err := obsFlags.Start()
 	if err != nil {
 		fatal(err)
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	// Every log line carries the request-scoped trace_id/job_id when its
+	// context has one (see internal/obs/reqctx).
+	logger := reqctx.Logger(slog.NewTextHandler(os.Stderr, nil))
 
 	// The -faults flag wins over MSRNET_FAULTS; both default to no
 	// injector at all (nil is inert), so production pays nothing.
@@ -84,6 +89,7 @@ func main() {
 		Faults:          inj,
 		Reg:             run.Reg,
 		Logger:          logger,
+		Tracer:          run.Tracer,
 	})
 	srv, err := service.Serve(*listen, d, logger)
 	if err != nil {
@@ -93,7 +99,16 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	logger.Info("shutting down", "signal", s.String(), "drain_timeout", *drain)
+	logger.Info("shutting down", "signal", s.String(), "drain_grace", *drainGrace, "drain_timeout", *drain)
+
+	// Grace window: /readyz fails and admission is closed while the
+	// listener (including /healthz, still 200) keeps serving, giving
+	// load balancers time to route away before connections start
+	// getting refused.
+	if *drainGrace > 0 {
+		srv.StartDrain()
+		time.Sleep(*drainGrace)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -41,6 +41,15 @@ type Options struct {
 	// carry the input sizes (nodes, sources, sinks) the O(n) claim is
 	// stated over. Nil is free.
 	Trace *trace.Tracer
+	// TraceArgs are appended to every trace event this run emits —
+	// request-scoped identity (trace_id, job seq) in the serving layer,
+	// so a shared ring can be filtered per job. Ignored without Trace.
+	TraceArgs []trace.Arg
+}
+
+// targs appends the run's identity tags to an event's own args.
+func (o *Options) targs(args ...trace.Arg) []trace.Arg {
+	return append(args, o.TraceArgs...)
 }
 
 // Result carries the ARD value and the witnessing critical pair.
@@ -101,8 +110,8 @@ func Compute(n *rctree.Net, opt Options) Result {
 	defer total.End()
 	trTotal := opt.Trace.Begin("ard/compute", "ard")
 	defer func() {
-		trTotal.End(trace.I("nodes", t.NumNodes()),
-			trace.I("sources", len(t.Sources())), trace.I("sinks", len(t.Sinks())))
+		trTotal.End(opt.targs(trace.I("nodes", t.NumNodes()),
+			trace.I("sources", len(t.Sources())), trace.I("sinks", len(t.Sinks())))...)
 	}()
 	if opt.Obs != nil {
 		opt.Obs.Counter("ard/runs").Inc()
@@ -123,7 +132,7 @@ func Compute(n *rctree.Net, opt Options) Result {
 		}
 		stageCap[v] = n.StageCapAt(v)
 	}
-	trCap.End(trace.I("nodes", t.NumNodes()))
+	trCap.End(opt.targs(trace.I("nodes", t.NumNodes()))...)
 	capPass.End()
 
 	dfsPass := obs.Start(opt.Obs, "ard/compute/dfs")
@@ -186,7 +195,7 @@ func Compute(n *rctree.Net, opt Options) Result {
 		}
 		sub[v] = cur
 	}
-	trDFS.End(trace.I("nodes", len(n.R.PostOrder)))
+	trDFS.End(opt.targs(trace.I("nodes", len(n.R.PostOrder)))...)
 
 	// Root combination. The paper roots the tree at an arbitrary terminal;
 	// the root acts as one more leaf joined to its (single) child branch.
@@ -225,7 +234,7 @@ func Compute(n *rctree.Net, opt Options) Result {
 	if len(rootLifts) >= 2 {
 		best = maxP(best, crossMax(rootLifts))
 	}
-	trRoot.End(trace.I("branches", len(rootLifts)))
+	trRoot.End(opt.targs(trace.I("branches", len(rootLifts)))...)
 	return Result{ARD: best.v, CritSrc: best.src, CritSink: best.sink}
 }
 

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/service"
 )
 
@@ -119,47 +120,81 @@ func (e *APIError) Temporary() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status >= 500
 }
 
+// submitStats is the delivery cost of one Submit call: HTTP attempts
+// made and total backoff slept before them.
+type submitStats struct {
+	attempts int
+	backoff  time.Duration
+}
+
 // Submit posts req, retrying transport errors, 429 and 5xx with capped
 // exponential backoff and jitter (honoring Retry-After on 429) up to
-// MaxAttempts. A 200 may still carry per-job failures — see Run for
-// job-level retries.
+// MaxAttempts. The submission carries an X-Msrnet-Trace-Id header —
+// the context's trace ID when present (reqctx.WithTraceID), freshly
+// generated otherwise — and every retry decision is logged with it. A
+// 200 may still carry per-job failures — see Run for job-level retries.
 func (c *Client) Submit(ctx context.Context, req *service.Request) (*service.Response, error) {
+	resp, _, err := c.submit(ctx, req, 0)
+	return resp, err
+}
+
+func (c *Client) submit(ctx context.Context, req *service.Request, round int) (*service.Response, submitStats, error) {
+	ctx, traceID := reqctx.EnsureTraceID(ctx)
+	var st submitStats
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: encode request: %w", err)
+		return nil, st, fmt.Errorf("client: encode request: %w", err)
 	}
 	var last error
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.backoff(attempt, last)); err != nil {
-				return nil, err
+			d := c.backoff(attempt, last)
+			c.log.InfoContext(ctx, "submit retry",
+				"trace_id", traceID, "attempt", attempt+1, "max_attempts", c.opt.MaxAttempts,
+				"backoff", d, "round", round, "err", last)
+			if err := c.sleep(ctx, d); err != nil {
+				return nil, st, err
 			}
+			st.backoff += d
 		}
-		resp, err := c.post(ctx, payload)
+		st.attempts++
+		resp, err := c.post(ctx, payload, traceID, round)
 		if err == nil {
-			return resp, nil
+			return resp, st, nil
 		}
 		last = err
 		if ae, ok := err.(*APIError); ok && !ae.Temporary() {
-			return nil, err // deterministic: retrying cannot help
+			return nil, st, err // deterministic: retrying cannot help
 		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
+			return nil, st, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
 		}
-		c.log.Info("submit retry", "attempt", attempt+1, "err", err)
 	}
-	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.opt.MaxAttempts, last)
+	c.log.WarnContext(ctx, "submit giving up",
+		"trace_id", traceID, "attempts", c.opt.MaxAttempts, "err", last)
+	return nil, st, fmt.Errorf("client: giving up after %d attempts: %w", c.opt.MaxAttempts, last)
 }
 
 // Run submits req and then, for up to JobRounds extra rounds,
 // resubmits the jobs whose results failed with Retryable codes,
 // merging the fresh outcomes into the original result order. Jobs are
 // idempotent by content hash, so a resubmission either hits the cache
-// or recomputes the identical answer.
+// or recomputes the identical answer. Every result comes back stamped
+// with a ClientInfo delivery report: the HTTP attempts, job-retry
+// rounds and total backoff its delivery cost, plus the trace ID the
+// submissions carried.
 func (c *Client) Run(ctx context.Context, req *service.Request) (*service.Response, error) {
-	resp, err := c.Submit(ctx, req)
+	ctx, traceID := reqctx.EnsureTraceID(ctx)
+	resp, st, err := c.submit(ctx, req, 0)
 	if err != nil {
 		return nil, err
+	}
+	attempts := make([]int, len(resp.Results))
+	rounds := make([]int, len(resp.Results))
+	backoff := make([]time.Duration, len(resp.Results))
+	for i := range resp.Results {
+		attempts[i] = st.attempts
+		backoff[i] = st.backoff
 	}
 	for round := 0; round < c.opt.JobRounds; round++ {
 		var idx []int
@@ -171,35 +206,60 @@ func (c *Client) Run(ctx context.Context, req *service.Request) (*service.Respon
 		if len(idx) == 0 {
 			break
 		}
-		c.log.Info("retrying failed jobs", "round", round+1, "jobs", len(idx))
-		sub := &service.Request{Version: req.Version, Jobs: make([]service.Job, len(idx))}
+		c.log.InfoContext(ctx, "retrying failed jobs",
+			"trace_id", traceID, "round", round+1, "jobs", len(idx))
+		sub := &service.Request{Version: req.Version, Jobs: make([]service.Job, len(idx)), Explain: req.Explain}
 		for k, i := range idx {
 			sub.Jobs[k] = req.Jobs[i]
 		}
-		again, err := c.Submit(ctx, sub)
+		again, rst, err := c.submit(ctx, sub, round+1)
 		if err != nil {
+			c.stampClient(resp, attempts, rounds, backoff, traceID)
 			return resp, fmt.Errorf("client: job retry round %d: %w", round+1, err)
 		}
 		if len(again.Results) != len(idx) {
+			c.stampClient(resp, attempts, rounds, backoff, traceID)
 			return resp, fmt.Errorf("client: job retry returned %d results for %d jobs", len(again.Results), len(idx))
 		}
 		for k, i := range idx {
 			r := again.Results[k]
 			r.ID = resp.Results[i].ID // keep the original label on index-labeled jobs
 			resp.Results[i] = r
+			attempts[i] += rst.attempts
+			backoff[i] += rst.backoff
+			rounds[i]++
 		}
 	}
+	c.stampClient(resp, attempts, rounds, backoff, traceID)
 	return resp, nil
 }
 
-// post issues one HTTP submission. Non-200 statuses come back as
-// *APIError.
-func (c *Client) post(ctx context.Context, payload []byte) (*service.Response, error) {
+// stampClient attaches the per-job delivery report.
+func (c *Client) stampClient(resp *service.Response, attempts, rounds []int, backoff []time.Duration, traceID string) {
+	for i := range resp.Results {
+		resp.Results[i].Client = &service.ClientInfo{
+			Attempts:  attempts[i],
+			Rounds:    rounds[i],
+			BackoffMs: float64(backoff[i]) / float64(time.Millisecond),
+			TraceID:   traceID,
+		}
+	}
+}
+
+// post issues one HTTP submission carrying the trace and retry-round
+// headers. Non-200 statuses come back as *APIError.
+func (c *Client) post(ctx context.Context, payload []byte, traceID string, round int) (*service.Response, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		hr.Header.Set(reqctx.HeaderTraceID, traceID)
+	}
+	if round > 0 {
+		hr.Header.Set(reqctx.HeaderRetryRound, strconv.Itoa(round))
+	}
 	hresp, err := c.http.Do(hr)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)

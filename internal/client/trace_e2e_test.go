@@ -1,0 +1,171 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"msrnet/internal/obs"
+	"msrnet/internal/obs/reqctx"
+	"msrnet/internal/obs/trace"
+	"msrnet/internal/service"
+)
+
+// safeBuffer is a bytes.Buffer usable as a slog sink from the daemon's
+// concurrent workers.
+type safeBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *safeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestTracePropagationEndToEnd is the request-scoped observability
+// acceptance test: one client-generated trace ID must be correlatable
+// across every surface the daemon offers — the structured logs, the
+// Chrome trace-event ring, the /debug/jobs explain report, and the
+// per-outcome latency quantiles. Runs under -race in CI.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	const traceID = "e2e-trace-0123abcd"
+
+	logBuf := &safeBuffer{}
+	logger := reqctx.Logger(slog.NewJSONHandler(logBuf, nil))
+	reg := obs.New()
+	tcr := trace.New(1 << 14)
+	d := service.New(service.Config{
+		Workers: 2,
+		Reg:     reg,
+		Logger:  logger,
+		Tracer:  tcr,
+	})
+	srv, err := service.Serve("127.0.0.1:0", d, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	base := "http://" + srv.Addr().String()
+
+	c := New(base, Options{Logger: logger, Seed: 1})
+	ctx := reqctx.WithTraceID(context.Background(), traceID)
+	req := &service.Request{
+		Version: service.SchemaVersion,
+		Jobs:    []service.Job{{ID: "e2e", Mode: "both", Net: chaosNet(t, 11, 10)}},
+		Explain: true,
+	}
+	resp, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Results[0]
+	if r.Status != service.StatusOK {
+		t.Fatalf("result: %+v", r)
+	}
+
+	// Surface 0: the result itself — explain report and client stamp
+	// both carry the ID.
+	if r.Explain == nil || r.Explain.TraceID != traceID {
+		t.Fatalf("explain on result: %+v", r.Explain)
+	}
+	if r.Client == nil || r.Client.TraceID != traceID || r.Client.Attempts != 1 {
+		t.Fatalf("client stamp: %+v", r.Client)
+	}
+	jobID := r.Explain.JobID
+
+	// Surface 1: the daemon's slog output — the "job done" line (and the
+	// access log) carry trace_id via the context-aware handler.
+	logs := logBuf.String()
+	if !strings.Contains(logs, fmt.Sprintf("%q:%q", "trace_id", traceID)) {
+		t.Errorf("daemon logs never mention the trace id:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"msg":"job done"`) {
+		t.Errorf("no job-done line in logs")
+	}
+
+	// Surface 2: the Chrome trace ring — DP events are tagged with the
+	// trace id and the job id.
+	hr, _ := http.NewRequest(http.MethodGet, base+"/debug/trace", nil)
+	hresp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&doc)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := 0
+	for _, ev := range doc.Events {
+		if ev.Args["trace_id"] == traceID && ev.Args["job"] == jobID {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Errorf("no ring event tagged trace_id=%s job=%s (%d events total)", traceID, jobID, len(doc.Events))
+	}
+
+	// Surface 3: live job introspection — the report is retrievable by
+	// job id AND by trace id.
+	for _, id := range []string{jobID, traceID} {
+		gresp, err := http.Get(base + "/debug/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e service.Explain
+		err = json.NewDecoder(gresp.Body).Decode(&e)
+		gresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.JobID != jobID || e.TraceID != traceID || e.State != service.JobDone {
+			t.Errorf("GET /debug/jobs/%s: %+v", id, e)
+		}
+		if e.Solve == nil || e.Solve.PruneCalls == 0 {
+			t.Errorf("explain without solve shape: %+v", e.Solve)
+		}
+	}
+
+	// Surface 4: per-outcome latency quantiles, in both exports.
+	snap := reg.Snapshot()
+	if q, ok := snap.Quantiles["svc/latency/e2e/ok"]; !ok || q.Count == 0 {
+		t.Errorf("snapshot quantiles: %+v (ok=%t)", q, ok)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), `msrnet_svc_latency_e2e_ok{quantile="0.99"}`) {
+		t.Errorf("/metrics missing the ok-class e2e summary")
+	}
+}

@@ -50,6 +50,10 @@ type Caps struct {
 	// observability flag is set — for daemons whose serving metrics must
 	// exist regardless (msrnetd).
 	AlwaysRegistry bool
+	// AlwaysTracer makes Start create the ring tracer even without a
+	// -trace-events file — for daemons that serve the live ring over
+	// HTTP (GET /debug/trace) and only optionally dump it at exit.
+	AlwaysTracer bool
 }
 
 // Set holds the parsed flag values. Fields are pointers into the
@@ -107,7 +111,7 @@ func (s *Set) Start() (*Run, error) {
 	if *s.metrics != "" || *s.trace || s.listenAddr() != "" || s.caps.AlwaysRegistry {
 		r.Reg = obs.New()
 	}
-	if s.traceEvs != nil && *s.traceEvs != "" {
+	if (s.traceEvs != nil && *s.traceEvs != "") || s.caps.AlwaysTracer {
 		r.Tracer = trc.New(0)
 	}
 	if addr := s.listenAddr(); addr != "" {

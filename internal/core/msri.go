@@ -102,6 +102,11 @@ type Options struct {
 	// sizes, drops). Export with Tracer.WriteJSON and load in Perfetto.
 	// Orthogonal to Obs; a nil Trace costs one nil check per event site.
 	Trace *trace.Tracer
+	// TraceArgs are appended to every trace event this run emits. The
+	// serving layer sets the request-scoped identity here (trace_id and
+	// job seq), so many jobs sharing one ring tracer stay separable in
+	// a Perfetto view. Ignored without Trace.
+	TraceArgs []trace.Arg
 }
 
 // Stats reports work done by the dynamic program. All counters are
@@ -112,6 +117,21 @@ type Stats struct {
 	MaxSegs          int // largest PWL segment count observed
 	PruneCalls       int // prune invocations (counted for every pruner, including PruneOff)
 	Dropped          int // solutions removed by pruning (validity domain emptied)
+	NodesVisited     int // DP subtree solves completed (one per topology node below the root)
+	SetSizeSum       int // sum of final per-node set sizes; mean candidates/node = SetSizeSum/NodesVisited
+
+	// PruneSites breaks PruneCalls/Dropped down by the dominance rule's
+	// call site — "drivers" (leaf driver sizing), "wire_widths"
+	// (augment over width options), "join" (Steiner branch merge),
+	// "repeater" (insertion-point candidates) — the per-job shape the
+	// explain reports surface.
+	PruneSites map[string]PruneSiteStats `json:",omitempty"`
+}
+
+// PruneSiteStats is the per-site slice of the pruning work.
+type PruneSiteStats struct {
+	Calls int
+	Drops int
 }
 
 // Result is the outcome of Optimize: the Pareto suite plus run statistics.
@@ -148,7 +168,7 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 	if opt.CoarseEps < 0 || math.IsNaN(opt.CoarseEps) || math.IsInf(opt.CoarseEps, 0) {
 		return nil, fmt.Errorf("core: CoarseEps %v must be a finite non-negative number", opt.CoarseEps)
 	}
-	d := &dp{rt: rt, tech: tech, opt: opt, ctx: opt.Context, tr: opt.Trace}
+	d := &dp{rt: rt, tech: tech, opt: opt, ctx: opt.Context, tr: opt.Trace, tags: opt.TraceArgs}
 	if opt.Parallel {
 		d.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	}
@@ -194,12 +214,31 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 // final solution-set size and the largest PWL segment count in the set.
 func (d *dp) solve(v int) []*Solution {
 	if d.tr == nil {
-		return d.solveNode(v)
+		out := d.solveNode(v)
+		d.noteNode(len(out))
+		return out
 	}
 	rg := d.tr.Begin(nodeEventName(d.rt.Tree.Node(v).Kind), "core")
 	out := d.solveNode(v)
-	rg.End(trace.I("node", v), trace.I("set", len(out)), trace.I("segs", maxSegsOf(out)))
+	d.noteNode(len(out))
+	rg.End(d.targs(trace.I("node", v), trace.I("set", len(out)), trace.I("segs", maxSegsOf(out)))...)
 	return out
+}
+
+// targs appends the run's identity tags (Options.TraceArgs) to an
+// event's own args. Trace-only, so the append cost is paid only with a
+// live tracer.
+func (d *dp) targs(args ...trace.Arg) []trace.Arg {
+	return append(args, d.tags...)
+}
+
+// noteNode records one completed subtree solve and its final set size
+// — the per-node candidate-count profile the explain reports surface.
+func (d *dp) noteNode(setSize int) {
+	d.mu.Lock()
+	d.stats.NodesVisited++
+	d.stats.SetSizeSum += setSize
+	d.mu.Unlock()
 }
 
 // nodeEventName maps a topology node kind to its trace slice name.
@@ -278,10 +317,10 @@ func (d *dp) solveNode(v int) []*Solution {
 	}
 	cur := lifted[0]
 	for i := 1; i < len(lifted); i++ {
-		cur = d.prune(d.joinSets(cur, lifted[i]))
+		cur = d.prune(d.joinSets(cur, lifted[i]), "join")
 	}
 	if nd.Kind == topo.Insertion && d.opt.Repeaters {
-		cur = d.prune(d.repeaterSolutions(cur, v))
+		cur = d.prune(d.repeaterSolutions(cur, v), "repeater")
 	}
 	return cur
 }
@@ -295,6 +334,7 @@ type dp struct {
 	ctx  context.Context // nil disables deadline polling
 	ins  instr
 	tr   *trace.Tracer
+	tags []trace.Arg // identity args appended to every trace event
 
 	mu    sync.Mutex
 	stats Stats
@@ -378,7 +418,11 @@ func (d *dp) noteSetSize(n int) {
 	d.ins.maxSet.SetMax(int64(n))
 }
 
-func (d *dp) prune(sols []*Solution) []*Solution {
+// prune runs the configured MFS pruner over sols. The site labels the
+// dominance rule's call point ("drivers", "wire_widths", "join",
+// "repeater") for the Stats.PruneSites breakdown and the dp/prune
+// trace slice.
+func (d *dp) prune(sols []*Solution, site string) []*Solution {
 	if d.aborted() {
 		return nil
 	}
@@ -397,6 +441,13 @@ func (d *dp) prune(sols []*Solution) []*Solution {
 	d.mu.Lock()
 	d.stats.PruneCalls++
 	d.stats.Dropped += drops
+	if d.stats.PruneSites == nil {
+		d.stats.PruneSites = map[string]PruneSiteStats{}
+	}
+	ps := d.stats.PruneSites[site]
+	ps.Calls++
+	ps.Drops += drops
+	d.stats.PruneSites[site] = ps
 	if len(out) > d.stats.MaxSetSize {
 		d.stats.MaxSetSize = len(out)
 	}
@@ -413,7 +464,8 @@ func (d *dp) prune(sols []*Solution) []*Solution {
 		d.ins.maxSet.SetMax(int64(len(out)))
 	}
 	if d.tr != nil {
-		rg.End(trace.I("pre", len(sols)), trace.I("post", len(out)), trace.I("drops", drops))
+		rg.End(d.targs(trace.S("site", site), trace.I("pre", len(sols)),
+			trace.I("post", len(out)), trace.I("drops", drops))...)
 	}
 	return out
 }
@@ -451,7 +503,7 @@ func (d *dp) leafSolutions(v int) []*Solution {
 		out = append(out, mk(drv.Cost, drv.Rout, drv.Intrinsic, &drvRec{node: v, driver: drv}))
 	}
 	d.note(out)
-	return d.prune(out)
+	return d.prune(out, "drivers")
 }
 
 // augment implements Augment (Fig. 10): extend every solution of a
@@ -492,7 +544,7 @@ func (d *dp) augment(sols []*Solution, eid int) []*Solution {
 	}
 	d.note(out)
 	if len(widths) > 1 {
-		return d.prune(out)
+		return d.prune(out, "wire_widths")
 	}
 	d.noteSetSize(len(out))
 	return out

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"msrnet/internal/buslib"
@@ -97,7 +98,7 @@ func TestOptimizeStatsConsistentAcrossPruners(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v with recorder: %v", p, err)
 		}
-		if res2.Stats != s {
+		if !reflect.DeepEqual(res2.Stats, s) {
 			t.Errorf("pruner %v: stats differ with recorder: %+v vs %+v", p, res2.Stats, s)
 		}
 		if len(res2.Suite) != len(res.Suite) {

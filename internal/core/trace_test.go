@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"msrnet/internal/buslib"
@@ -33,7 +34,7 @@ func TestOptimizeTracesPerNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Suite) != len(base.Suite) || res.Stats != base.Stats {
+	if len(res.Suite) != len(base.Suite) || !reflect.DeepEqual(res.Stats, base.Stats) {
 		t.Errorf("tracing changed the run: %+v vs %+v", res.Stats, base.Stats)
 	}
 
@@ -103,7 +104,7 @@ func TestOptimizeTraceParallelRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if par.Stats != serial.Stats || len(par.Suite) != len(serial.Suite) {
+	if !reflect.DeepEqual(par.Stats, serial.Stats) || len(par.Suite) != len(serial.Suite) {
 		t.Errorf("parallel traced run diverged: %+v vs %+v", par.Stats, serial.Stats)
 	}
 	if tcr.Total() == 0 {

@@ -1,0 +1,95 @@
+// Package lint holds repository-convention tests that a generic linter
+// cannot express: build-time checks over the source tree itself.
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoAdHocLoggingInLibraries enforces the logging discipline the
+// request-scoped observability work depends on: every library package
+// (everything under internal/) must log through *slog.Logger — whose
+// context-aware methods attach trace_id/job_id — never via fmt's
+// stdout printers or the legacy global "log" package, which bypass the
+// handler chain and lose the request identity. Commands (cmd/) own
+// their stdout and are exempt; tests are exempt.
+func TestNoAdHocLoggingInLibraries(t *testing.T) {
+	root := moduleRoot(t)
+	var violations []string
+	err := filepath.Walk(filepath.Join(root, "internal"), func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "log" {
+				violations = append(violations,
+					rel+": imports \"log\" — use log/slog so lines carry trace_id")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "fmt" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				pos := fset.Position(call.Pos())
+				violations = append(violations,
+					rel+":"+strconv.Itoa(pos.Line)+": fmt."+sel.Sel.Name+
+						" writes to stdout — log via slog (or fmt.Fprint* to an explicit writer)")
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

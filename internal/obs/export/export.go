@@ -79,7 +79,38 @@ func WritePrometheus(w io.Writer, s obs.Snapshot) error {
 			return err
 		}
 	}
+	qnames := make([]string, 0, len(s.Quantiles))
+	for name := range s.Quantiles {
+		qnames = append(qnames, name)
+	}
+	sort.Strings(qnames)
+	for _, name := range qnames {
+		if err := writeQuantiles(w, name, s.Quantiles[name]); err != nil {
+			return err
+		}
+	}
 	return writeSpans(w, s.Spans)
+}
+
+// writeQuantiles renders one sliding-window histogram as a Prometheus
+// summary: pre-computed φ-quantiles plus _sum and _count. Unlike the
+// cumulative series, the quantiles cover only the trailing window —
+// which is exactly what an SLO dashboard wants to alert on.
+func writeQuantiles(w io.Writer, name string, q obs.QuantileSnapshot) error {
+	pn := PromName(name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+		return err
+	}
+	for _, p := range []struct {
+		phi string
+		v   float64
+	}{{"0.5", q.P50}, {"0.9", q.P90}, {"0.99", q.P99}} {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", pn, p.phi, formatFloat(p.v)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(q.Sum), pn, q.Count)
+	return err
 }
 
 func writeHistogram(w io.Writer, name string, h obs.HistSnapshot) error {

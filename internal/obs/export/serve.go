@@ -114,12 +114,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 // LogRequests wraps next so every request is logged through logger with
 // method, path, status, duration and remote address — the same access
 // log Serve installs, exported for services that own their listener.
+// The line is emitted with the request context, so a reqctx-wrapped
+// handler stamps it with the request's trace_id.
 func LogRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		logger.Info("http",
+		logger.InfoContext(r.Context(), "http",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,

@@ -53,6 +53,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]*WindowHist
 	spans    spanNode
 }
 

@@ -1,0 +1,110 @@
+package reqctx
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestIDGenerationAndValidity(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("two generated IDs collided: %s", a)
+	}
+	if len(a) != 16 || !ValidID(a) {
+		t.Fatalf("generated ID %q is not a valid 16-char ID", a)
+	}
+	for _, bad := range []string{"", "has space", "tab\tid", strings.Repeat("x", 65), "non\x01print"} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true, want false", bad)
+		}
+	}
+	if !ValidID("client-chosen.ID_42") {
+		t.Error("printable punctuated ID rejected")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" || JobID(ctx) != "" {
+		t.Fatal("empty context carries IDs")
+	}
+	ctx = WithJobID(WithTraceID(ctx, "t1"), "j1")
+	if TraceID(ctx) != "t1" || JobID(ctx) != "j1" {
+		t.Fatalf("round trip: trace=%q job=%q", TraceID(ctx), JobID(ctx))
+	}
+	ctx2, id := EnsureTraceID(ctx)
+	if id != "t1" || ctx2 != ctx {
+		t.Fatal("EnsureTraceID replaced an existing valid ID")
+	}
+	_, id = EnsureTraceID(context.Background())
+	if !ValidID(id) {
+		t.Fatalf("EnsureTraceID generated invalid ID %q", id)
+	}
+}
+
+// TestHandlerAttachesIDs: records logged with a carrying context gain
+// trace_id/job_id; context-free records pass through untouched.
+func TestHandlerAttachesIDs(t *testing.T) {
+	var buf bytes.Buffer
+	log := Logger(slog.NewTextHandler(&buf, nil))
+
+	ctx := WithJobID(WithTraceID(context.Background(), "trace-xyz"), "job-7")
+	log.InfoContext(ctx, "job done", "status", "ok")
+	line := buf.String()
+	if !strings.Contains(line, "trace_id=trace-xyz") || !strings.Contains(line, "job_id=job-7") {
+		t.Fatalf("log line missing IDs: %s", line)
+	}
+
+	buf.Reset()
+	log.Info("daemon starting")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("context-free line gained a trace_id: %s", buf.String())
+	}
+
+	// WithAttrs/WithGroup must preserve the wrapping.
+	buf.Reset()
+	log.With("component", "svc").InfoContext(ctx, "x")
+	if !strings.Contains(buf.String(), "trace_id=trace-xyz") {
+		t.Fatalf("With() dropped the reqctx handler: %s", buf.String())
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	var seen string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceID(r.Context())
+	}))
+
+	// Client-provided ID is propagated and echoed.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	req.Header.Set(HeaderTraceID, "client-id-1")
+	h.ServeHTTP(rec, req)
+	if seen != "client-id-1" {
+		t.Fatalf("handler saw trace ID %q, want client-id-1", seen)
+	}
+	if got := rec.Header().Get(HeaderTraceID); got != "client-id-1" {
+		t.Fatalf("response echo = %q, want client-id-1", got)
+	}
+
+	// Absent or malformed IDs are replaced with a generated one.
+	for _, hdr := range []string{"", "bad id with spaces", strings.Repeat("z", 200)} {
+		rec = httptest.NewRecorder()
+		req = httptest.NewRequest("POST", "/v1/jobs", nil)
+		if hdr != "" {
+			req.Header.Set(HeaderTraceID, hdr)
+		}
+		h.ServeHTTP(rec, req)
+		if !ValidID(seen) || seen == hdr {
+			t.Fatalf("header %q: handler saw %q, want a fresh valid ID", hdr, seen)
+		}
+		if rec.Header().Get(HeaderTraceID) != seen {
+			t.Fatalf("header %q: echo %q != context ID %q", hdr, rec.Header().Get(HeaderTraceID), seen)
+		}
+	}
+}

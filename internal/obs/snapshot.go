@@ -17,11 +17,24 @@ const MetricsSchema = "msrnet-metrics/v1"
 
 // Snapshot is a point-in-time, JSON-serializable copy of a registry.
 type Snapshot struct {
-	Schema     string                  `json:"schema"`
-	Counters   map[string]int64        `json:"counters,omitempty"`
-	Gauges     map[string]int64        `json:"gauges,omitempty"`
-	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
-	Spans      []SpanSnapshot          `json:"spans,omitempty"`
+	Schema     string                      `json:"schema"`
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]int64            `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot     `json:"histograms,omitempty"`
+	Quantiles  map[string]QuantileSnapshot `json:"quantiles,omitempty"`
+	Spans      []SpanSnapshot              `json:"spans,omitempty"`
+}
+
+// QuantileSnapshot is the serialized view of one sliding-window
+// histogram: p50/p90/p99 over the live window (milliseconds), plus the
+// window span so readers can interpret the counts.
+type QuantileSnapshot struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Count         int64   `json:"count"`
+	Sum           float64 `json:"sum"`
+	P50           float64 `json:"p50"`
+	P90           float64 `json:"p90"`
+	P99           float64 `json:"p99"`
 }
 
 // HistSnapshot is the serialized form of one histogram. Counts has one
@@ -82,6 +95,20 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Histograms[name] = hs
 		}
 	}
+	if len(r.windows) > 0 {
+		snap.Quantiles = make(map[string]QuantileSnapshot, len(r.windows))
+		for name, w := range r.windows {
+			st := w.Stats()
+			snap.Quantiles[name] = QuantileSnapshot{
+				WindowSeconds: w.Window().Seconds(),
+				Count:         st.Count,
+				Sum:           st.Sum,
+				P50:           st.P50,
+				P90:           st.P90,
+				P99:           st.P99,
+			}
+		}
+	}
 	snap.Spans = snapshotSpans(&r.spans)
 	return snap
 }
@@ -129,6 +156,19 @@ func (s Snapshot) Text() string {
 		b.WriteString("gauges:\n")
 		for _, name := range sortedKeys(s.Gauges) {
 			fmt.Fprintf(&b, "  %-44s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Quantiles) > 0 {
+		b.WriteString("quantiles:\n")
+		names := make([]string, 0, len(s.Quantiles))
+		for name := range s.Quantiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			q := s.Quantiles[name]
+			fmt.Fprintf(&b, "  %-44s n=%d p50=%.3gms p90=%.3gms p99=%.3gms (%.0fs window)\n",
+				name, q.Count, q.P50, q.P90, q.P99, q.WindowSeconds)
 		}
 	}
 	if len(s.Histograms) > 0 {

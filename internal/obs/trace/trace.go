@@ -44,17 +44,29 @@ const TraceEventSchema = "msrnet-trace-events/v1"
 // events with room to spare.
 const DefaultCapacity = 1 << 17
 
-// Arg is one typed event argument. Values are int64 because every
-// quantity the pipeline traces (node ids, solution-set sizes, PWL
-// segment counts, prune drops) is a small integer; keeping the slot
-// fixed-size is what makes recording allocation-free.
+// Arg is one typed event argument. Most values are int64 because the
+// quantities the pipeline traces (node ids, solution-set sizes, PWL
+// segment counts, prune drops) are small integers; string values (trace
+// IDs, prune-site names) are interned into the tracer's side table so
+// the slot stays fixed-size and pointer-free either way.
 type Arg struct {
 	Key string
 	Val int64
+	// Str, when IsStr is set, is the string value; Val is ignored.
+	Str   string
+	IsStr bool
 }
 
 // I builds an Arg from an int, the common case at call sites.
 func I(key string, v int) Arg { return Arg{Key: key, Val: int64(v)} }
+
+// S builds a string-valued Arg. The value is interned on record, so a
+// bounded vocabulary (site names, outcome classes) is free; unbounded
+// vocabularies (per-request trace IDs) grow the intern table one entry
+// per distinct value until the tracer's intern cap, after which new
+// strings collapse to "(interned-overflow)" — the ring stays bounded
+// regardless.
+func S(key, val string) Arg { return Arg{Key: key, Str: val, IsStr: true} }
 
 // maxArgs is the per-event argument capacity. Events carrying more are
 // truncated (never split), so slots stay fixed-size.
@@ -76,14 +88,15 @@ type Event struct {
 // by interned ids so the slot holds no pointers and the GC never scans
 // the (potentially multi-megabyte) ring.
 type slot struct {
-	name  uint32
-	cat   uint32
-	phase byte
-	nargs uint8
-	keys  [maxArgs]uint32
-	ts    int64 // nanoseconds since tracer start
-	dur   int64
-	vals  [maxArgs]int64
+	name    uint32
+	cat     uint32
+	phase   byte
+	nargs   uint8
+	strMask uint8 // bit i set: vals[i] is an interned string id
+	keys    [maxArgs]uint32
+	ts      int64 // nanoseconds since tracer start
+	dur     int64
+	vals    [maxArgs]int64
 }
 
 // Tracer records events into a fixed-capacity ring. All methods are
@@ -115,12 +128,27 @@ func New(capacity int) *Tracer {
 	}
 }
 
+// maxInterned caps the interning table. Event names, categories and
+// arg keys are a few dozen strings, but string arg *values* include
+// per-request trace IDs, which are unbounded over a daemon's lifetime;
+// the cap turns that into a bounded (≈2 MB worst-case) table instead
+// of a slow leak. Strings arriving past the cap all map to one
+// overflow id.
+const maxInterned = 1 << 16
+
+// internedOverflow replaces string values interned past the cap.
+const internedOverflow = "(interned-overflow)"
+
 // intern maps a string to its stable id, assigning one on first sight.
 // Callers must hold t.mu. Lookups of known strings do not allocate,
 // which keeps steady-state recording allocation-free.
 func (t *Tracer) intern(s string) uint32 {
 	if id, ok := t.ids[s]; ok {
 		return id
+	}
+	if len(t.strs) >= maxInterned-1 && s != internedOverflow {
+		// Table full: reserve the last slot for the overflow marker.
+		return t.intern(internedOverflow)
 	}
 	id := uint32(len(t.strs))
 	t.strs = append(t.strs, s)
@@ -185,7 +213,12 @@ func (t *Tracer) record(name, cat string, phase byte, ts, dur time.Duration, arg
 	sl.dur = int64(dur)
 	for i := 0; i < n; i++ {
 		sl.keys[i] = t.intern(args[i].Key)
-		sl.vals[i] = args[i].Val
+		if args[i].IsStr {
+			sl.strMask |= 1 << i
+			sl.vals[i] = int64(t.intern(args[i].Str))
+		} else {
+			sl.vals[i] = args[i].Val
+		}
 	}
 	if len(t.slots) < cap(t.slots) {
 		t.slots = append(t.slots, sl)
@@ -250,7 +283,11 @@ func (t *Tracer) Events() []Event {
 			NArgs: sl.nargs,
 		}
 		for i := 0; i < int(sl.nargs); i++ {
-			ev.Args[i] = Arg{Key: t.strs[sl.keys[i]], Val: sl.vals[i]}
+			if sl.strMask&(1<<i) != 0 {
+				ev.Args[i] = Arg{Key: t.strs[sl.keys[i]], Str: t.strs[sl.vals[i]], IsStr: true}
+			} else {
+				ev.Args[i] = Arg{Key: t.strs[sl.keys[i]], Val: sl.vals[i]}
+			}
 		}
 		out = append(out, ev)
 	}
@@ -323,7 +360,11 @@ func writeEvent(bw *bufio.Writer, ev Event) error {
 			}
 			bw.WriteString(quote(ev.Args[i].Key))
 			bw.WriteByte(':')
-			bw.WriteString(strconv.FormatInt(ev.Args[i].Val, 10))
+			if ev.Args[i].IsStr {
+				bw.WriteString(quote(ev.Args[i].Str))
+			} else {
+				bw.WriteString(strconv.FormatInt(ev.Args[i].Val, 10))
+			}
 		}
 		bw.WriteByte('}')
 	}

@@ -27,11 +27,11 @@ func TestRegionAndInstantRecording(t *testing.T) {
 	if x.Dur < time.Millisecond {
 		t.Errorf("region duration = %v, want ≥ 1ms", x.Dur)
 	}
-	if x.NArgs != 2 || x.Args[0] != (Arg{"node", 5}) || x.Args[1] != (Arg{"set", 12}) {
+	if x.NArgs != 2 || x.Args[0] != I("node", 5) || x.Args[1] != I("set", 12) {
 		t.Errorf("region args = %+v", x.Args[:x.NArgs])
 	}
 	i := evs[1]
-	if i.Phase != 'i' || i.Dur != 0 || i.NArgs != 1 || i.Args[0] != (Arg{"drops", 3}) {
+	if i.Phase != 'i' || i.Dur != 0 || i.NArgs != 1 || i.Args[0] != I("drops", 3) {
 		t.Errorf("instant event = %+v", i)
 	}
 	if i.TS < x.TS {

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Window histogram geometry. Values are recorded in microseconds into
+// HDR-style log-linear buckets: each power-of-two octave is split into
+// 2^windowSubBits linear sub-buckets, so the value resolution — and
+// therefore the worst-case relative error of any reported quantile —
+// is bounded by 2^-windowSubBits (6.25%); values below 2^(subBits+1) µs
+// are recorded exactly. Values above windowMaxMicros clamp into the
+// last bucket.
+const (
+	windowSubBits   = 4
+	windowMaxMicros = 1 << 30 // ≈ 17.9 minutes; far beyond any job deadline
+)
+
+// Default window shape: quantiles over the trailing minute, rotated in
+// five-second intervals. The effective window is [window−interval,
+// window] — the oldest interval leaves whole, not sample by sample.
+const (
+	DefaultWindow   = time.Minute
+	DefaultInterval = 5 * time.Second
+)
+
+// windowBucketIdx maps a microsecond value to its bucket. With
+// m = bits.Len64(u) and shift = max(0, m−(subBits+1)), the index is
+// shift<<subBits + u>>shift: the linear region (shift 0) is exact, and
+// every later octave contributes 2^subBits buckets.
+func windowBucketIdx(u uint64) int {
+	if u > windowMaxMicros {
+		u = windowMaxMicros
+	}
+	shift := bits.Len64(u) - (windowSubBits + 1)
+	if shift < 0 {
+		shift = 0
+	}
+	return shift<<windowSubBits + int(u>>shift)
+}
+
+// windowBucketRep returns the representative (midpoint) microsecond
+// value of a bucket — the inverse of windowBucketIdx up to the bounded
+// rounding the bucket width implies.
+func windowBucketRep(idx int) float64 {
+	block := idx >> windowSubBits
+	if block <= 1 {
+		return float64(idx) // linear region: one bucket per µs
+	}
+	shift := block - 1
+	lo := uint64(idx-shift<<windowSubBits) << shift
+	return float64(lo) + float64(uint64(1)<<shift)/2
+}
+
+var windowNumBuckets = windowBucketIdx(windowMaxMicros) + 1
+
+// winInterval is one rotation slot: the epoch it currently holds (the
+// interval-granular timestamp) plus its bucket counts. Counts are
+// plain atomics; the mutex in WindowHist serializes only the rare
+// epoch-rollover reset.
+type winInterval struct {
+	epoch  int64
+	count  int64
+	sum    uint64 // float64 bits of the sum in milliseconds
+	counts []int64
+}
+
+// WindowHist is a sliding-window latency histogram: observations land
+// in log-linear buckets of the current interval, intervals expire
+// wholesale as the window slides, and Stats merges the live intervals
+// into p50/p90/p99. Observe is lock-free in the steady state (atomic
+// adds; a mutex is taken only when an interval rotates), so it is safe
+// on the daemon's per-job completion path with many concurrent
+// workers. All methods are nil-safe.
+//
+// The reported quantiles carry two bounded errors: the bucket
+// resolution (relative error ≤ 2^-4 = 6.25%, exact below 32 µs) and
+// the window granularity (the window covers between window−interval
+// and window of trailing wall time). See DESIGN.md §10.
+type WindowHist struct {
+	interval time.Duration
+	ivals    []winInterval
+
+	resetMu sync.Mutex
+	now     func() time.Time // injectable for rotation tests
+}
+
+// NewWindowHist builds a sliding-window histogram covering the given
+// window rotated at the given interval (DefaultWindow/DefaultInterval
+// when non-positive). The window is rounded up to a whole number of
+// intervals.
+func NewWindowHist(window, interval time.Duration) *WindowHist {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	n := int((window + interval - 1) / interval)
+	if n < 1 {
+		n = 1
+	}
+	w := &WindowHist{interval: interval, ivals: make([]winInterval, n), now: time.Now}
+	for i := range w.ivals {
+		w.ivals[i].epoch = -1
+		w.ivals[i].counts = make([]int64, windowNumBuckets)
+	}
+	return w
+}
+
+// epochOf converts a wall time to the interval-granular epoch counter.
+func (w *WindowHist) epochOf(t time.Time) int64 {
+	return t.UnixNano() / int64(w.interval)
+}
+
+// Observe records one latency in milliseconds.
+func (w *WindowHist) Observe(ms float64) {
+	if w == nil {
+		return
+	}
+	if ms < 0 {
+		ms = 0
+	}
+	e := w.epochOf(w.now())
+	iv := &w.ivals[int(e%int64(len(w.ivals)))]
+	if atomic.LoadInt64(&iv.epoch) != e {
+		w.rotate(iv, e)
+	}
+	idx := windowBucketIdx(uint64(ms * 1000))
+	atomic.AddInt64(&iv.counts[idx], 1)
+	atomic.AddInt64(&iv.count, 1)
+	addFloatBits(&iv.sum, ms)
+}
+
+// rotate resets a slot whose interval has expired to hold the new
+// epoch. A concurrent observer that raced the rollover may land one
+// sample in the neighboring interval — within the window-granularity
+// error bound, never lost from the totals of its interval.
+func (w *WindowHist) rotate(iv *winInterval, e int64) {
+	w.resetMu.Lock()
+	defer w.resetMu.Unlock()
+	if atomic.LoadInt64(&iv.epoch) == e {
+		return // another writer rotated it first
+	}
+	for i := range iv.counts {
+		atomic.StoreInt64(&iv.counts[i], 0)
+	}
+	atomic.StoreInt64(&iv.count, 0)
+	atomic.StoreUint64(&iv.sum, 0)
+	atomic.StoreInt64(&iv.epoch, e)
+}
+
+// WindowStats is one merged view of the live window.
+type WindowStats struct {
+	// Count and Sum cover every observation still inside the window;
+	// Sum is in milliseconds.
+	Count int64
+	Sum   float64
+	// P50, P90, P99 are the quantile estimates in milliseconds (0 when
+	// the window is empty).
+	P50, P90, P99 float64
+}
+
+// Stats merges the intervals still inside the window and computes the
+// quantiles. Safe to call concurrently with Observe; the view is
+// approximately consistent (each bucket is read atomically).
+func (w *WindowHist) Stats() WindowStats {
+	var s WindowStats
+	if w == nil {
+		return s
+	}
+	e := w.epochOf(w.now())
+	oldest := e - int64(len(w.ivals)) + 1
+	merged := make([]int64, windowNumBuckets)
+	for i := range w.ivals {
+		iv := &w.ivals[i]
+		ep := atomic.LoadInt64(&iv.epoch)
+		if ep < oldest || ep > e {
+			continue
+		}
+		for b := range merged {
+			merged[b] += atomic.LoadInt64(&iv.counts[b])
+		}
+		s.Count += atomic.LoadInt64(&iv.count)
+		s.Sum += math.Float64frombits(atomic.LoadUint64(&iv.sum))
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.P50 = windowQuantile(merged, s.Count, 0.50)
+	s.P90 = windowQuantile(merged, s.Count, 0.90)
+	s.P99 = windowQuantile(merged, s.Count, 0.99)
+	return s
+}
+
+// Window returns the configured window span.
+func (w *WindowHist) Window() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.interval * time.Duration(len(w.ivals))
+}
+
+// windowQuantile finds the q-quantile by nearest rank over merged
+// bucket counts, returning the bucket's representative value in
+// milliseconds.
+func windowQuantile(merged []int64, total int64, q float64) float64 {
+	rank := int64(q*float64(total-1)) + 1 // 1-based nearest rank
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for idx, c := range merged {
+		cum += c
+		if cum >= rank {
+			return windowBucketRep(idx) / 1000
+		}
+	}
+	return windowBucketRep(len(merged)-1) / 1000
+}
+
+// Window returns the named sliding-window histogram, creating it on
+// first use with the given window/interval (defaults when
+// non-positive). Like the other metric kinds, later calls ignore the
+// shape arguments and a nil registry returns a nil (inert) histogram.
+func (r *Registry) Window(name string, window, interval time.Duration) *WindowHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.windows == nil {
+		r.windows = map[string]*WindowHist{}
+	}
+	w, ok := r.windows[name]
+	if !ok {
+		w = NewWindowHist(window, interval)
+		r.windows[name] = w
+	}
+	return w
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a WindowHist deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestWindow(window, interval time.Duration) (*WindowHist, *fakeClock) {
+	w := NewWindowHist(window, interval)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w.now = clk.now
+	return w, clk
+}
+
+// exactQuantile is the reference: nearest-rank over the sorted sample.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(q*float64(len(sorted)-1)) + 1
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestWindowQuantileAccuracy: on synthetic distributions, every
+// reported quantile is within the documented 2^-4 relative error of
+// the exact nearest-rank quantile (plus exactness below 32 µs).
+func TestWindowQuantileAccuracy(t *testing.T) {
+	const relBound = 1.0 / 16 // 2^-windowSubBits
+
+	distributions := map[string]func(r *rand.Rand) float64{
+		// Uniform milliseconds across three octave groups.
+		"uniform": func(r *rand.Rand) float64 { return 0.05 + 200*r.Float64() },
+		// Log-normal-ish: exp of a normal, the classic latency shape.
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()*1.2 + 2) },
+		// Bimodal: fast cache hits plus slow solves.
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Intn(10) < 8 {
+				return 0.2 + 0.1*r.Float64()
+			}
+			return 500 + 300*r.Float64()
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			w, _ := newTestWindow(time.Minute, 5*time.Second)
+			r := rand.New(rand.NewSource(7))
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := gen(r)
+				samples = append(samples, v)
+				w.Observe(v)
+			}
+			sort.Float64s(samples)
+			st := w.Stats()
+			if st.Count != int64(len(samples)) {
+				t.Fatalf("count = %d, want %d", st.Count, len(samples))
+			}
+			wantSum := 0.0
+			for _, v := range samples {
+				wantSum += v
+			}
+			if math.Abs(st.Sum-wantSum) > 1e-6*wantSum {
+				t.Errorf("sum = %g, want %g", st.Sum, wantSum)
+			}
+			for _, tc := range []struct {
+				q    float64
+				got  float64
+				name string
+			}{{0.50, st.P50, "p50"}, {0.90, st.P90, "p90"}, {0.99, st.P99, "p99"}} {
+				want := exactQuantile(samples, tc.q)
+				rel := math.Abs(tc.got-want) / want
+				if rel > relBound {
+					t.Errorf("%s = %g, exact %g: relative error %.4f > %.4f", tc.name, tc.got, want, rel, relBound)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowExactSmallValues: below 2^(subBits+1) µs the buckets are
+// one µs wide, so quantiles of identical samples are exact.
+func TestWindowExactSmallValues(t *testing.T) {
+	w, _ := newTestWindow(time.Minute, 5*time.Second)
+	for i := 0; i < 100; i++ {
+		w.Observe(0.017) // 17 µs
+	}
+	st := w.Stats()
+	if st.P50 != 0.017 || st.P99 != 0.017 {
+		t.Fatalf("small-value quantiles p50=%g p99=%g, want exactly 0.017", st.P50, st.P99)
+	}
+}
+
+// TestWindowRotation: observations expire as the window slides —
+// wholesale, one interval at a time — and slots are reused cleanly
+// after a long idle gap.
+func TestWindowRotation(t *testing.T) {
+	w, clk := newTestWindow(30*time.Second, 10*time.Second) // 3 intervals
+	w.Observe(1)
+	w.Observe(1)
+	clk.advance(10 * time.Second)
+	w.Observe(100)
+	if st := w.Stats(); st.Count != 3 {
+		t.Fatalf("after 1 rotation: count = %d, want 3", st.Count)
+	}
+
+	// Advance so the first interval leaves the window: only the 100ms
+	// observation remains, and the quantiles reflect that.
+	clk.advance(20 * time.Second)
+	st := w.Stats()
+	if st.Count != 1 {
+		t.Fatalf("after expiry: count = %d, want 1", st.Count)
+	}
+	if st.P50 < 90 || st.P50 > 110 {
+		t.Fatalf("after expiry: p50 = %g, want ≈100", st.P50)
+	}
+
+	// A gap far longer than the window empties it completely.
+	clk.advance(5 * time.Minute)
+	if st := w.Stats(); st.Count != 0 || st.P50 != 0 {
+		t.Fatalf("after long gap: %+v, want empty", st)
+	}
+
+	// Reuse after the gap: the stale slot resets rather than merging
+	// ancient counts.
+	w.Observe(5)
+	if st := w.Stats(); st.Count != 1 {
+		t.Fatalf("after reuse: count = %d, want 1", st.Count)
+	}
+}
+
+// TestWindowConcurrentWriters: many goroutines observing while a
+// reader polls quantiles and the clock advances across rotations. Run
+// under -race; totals must balance at quiescence.
+func TestWindowConcurrentWriters(t *testing.T) {
+	w, clk := newTestWindow(time.Minute, 10*time.Second)
+	const writers, perWriter = 8, 5000
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Stats()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perWriter; i++ {
+				w.Observe(r.Float64() * 50)
+				if i%1000 == 0 && g == 0 {
+					clk.advance(time.Second) // a few rotations mid-flight
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// The clock advanced ~5s total — well inside the window — so no
+	// interval expired and every observation must still be visible.
+	if st := w.Stats(); st.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", st.Count, writers*perWriter)
+	}
+}
+
+// TestRegistryWindow: creation-on-first-use, shape fixed at creation,
+// nil-safety, and the snapshot/Prometheus surfaces.
+func TestRegistryWindow(t *testing.T) {
+	var nilReg *Registry
+	if w := nilReg.Window("x", 0, 0); w != nil {
+		t.Fatal("nil registry returned a live window")
+	}
+	var nilW *WindowHist
+	nilW.Observe(1) // must not panic
+	if st := nilW.Stats(); st.Count != 0 {
+		t.Fatal("nil window counted")
+	}
+
+	reg := New()
+	w := reg.Window("svc/latency/e2e/ok", time.Minute, 5*time.Second)
+	if reg.Window("svc/latency/e2e/ok", time.Hour, time.Minute) != w {
+		t.Fatal("second Window call built a new histogram")
+	}
+	w.Observe(3)
+	snap := reg.Snapshot()
+	q, ok := snap.Quantiles["svc/latency/e2e/ok"]
+	if !ok {
+		t.Fatalf("snapshot missing quantiles: %+v", snap.Quantiles)
+	}
+	if q.Count != 1 || q.WindowSeconds != 60 || q.P50 <= 0 {
+		t.Fatalf("quantile snapshot = %+v", q)
+	}
+}

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"sort"
+	"sync"
+
+	"msrnet/internal/core"
+)
+
+// ExplainSchema identifies the JSON layout of a per-job explain report,
+// so tooling can detect format drift the same way it does for
+// msrnet-metrics/v1 and msrnet-trace-events/v1.
+const ExplainSchema = "msrnet-explain/v1"
+
+// Job lifecycle states surfaced by the introspection endpoints.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// Outcome classes. Every finished job lands in exactly one; the
+// per-class SLO latency windows (svc/latency/{queue,solve,e2e}/<class>)
+// are keyed by the same strings.
+const (
+	OutcomeOK       = "ok"
+	OutcomeDegraded = "degraded"
+	OutcomeShed     = "shed"
+	OutcomeError    = "error"
+)
+
+// outcomeClasses enumerates the classes so the daemon can pre-build
+// one latency window per class (no allocation on the job path).
+var outcomeClasses = []string{OutcomeOK, OutcomeDegraded, OutcomeShed, OutcomeError}
+
+// outcomeOf classifies a finished result.
+func outcomeOf(res Result) string {
+	switch {
+	case res.Status == StatusOK && res.Degraded:
+		return OutcomeDegraded
+	case res.Status == StatusOK:
+		return OutcomeOK
+	case res.Code == ErrShedLoad:
+		return OutcomeShed
+	default:
+		return OutcomeError
+	}
+}
+
+// Explain is the per-job solve report: where one job's wall-clock time
+// went and what the dynamic program did to it. A report is returned on
+// the job's Result when the request asks (?explain=1), kept in a
+// bounded ring for GET /debug/jobs/{id}, and listed live while the job
+// is still queued or running.
+type Explain struct {
+	Schema string `json:"schema"`
+	// JobID is the daemon-assigned identity ("j<seq>"), unique per
+	// executed job within one daemon lifetime; Label echoes the client's
+	// job ID (or batch index). Seq orders reports.
+	JobID string `json:"job_id"`
+	Seq   int64  `json:"seq"`
+	Label string `json:"label"`
+	// TraceID is the request-scoped correlation ID (X-Msrnet-Trace-Id):
+	// the same string appears on the daemon's slog lines and on the ring
+	// tracer's events for this job.
+	TraceID string `json:"trace_id,omitempty"`
+	NetKey  string `json:"net_key,omitempty"`
+	Mode    string `json:"mode"`
+	State   string `json:"state"`
+	// Outcome is ok/degraded/shed/error once State is done.
+	Outcome string `json:"outcome,omitempty"`
+	Code    string `json:"code,omitempty"`
+	// Cached marks a result served from the LRU without queueing.
+	Cached bool `json:"cached,omitempty"`
+
+	// Where the time went: queue wait vs. solve vs. end-to-end (their
+	// difference is scheduling and encode overhead).
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	SolveMs     float64 `json:"solve_ms"`
+	TotalMs     float64 `json:"total_ms"`
+
+	Solve       *SolveExplain   `json:"solve,omitempty"`
+	Degradation *DegradeExplain `json:"degradation,omitempty"`
+}
+
+// SolveExplain is the dynamic-program shape of the job: candidate
+// volume, per-site prune effectiveness and PWL complexity — the numbers
+// that say WHY a job was slow, not just that it was.
+type SolveExplain struct {
+	NodesVisited     int     `json:"nodes_visited"`
+	SolutionsCreated int     `json:"solutions_created"`
+	MaxSetSize       int     `json:"max_set_size"`
+	MeanSetSize      float64 `json:"mean_set_size"`
+	MaxSegs          int     `json:"max_pwl_segments"`
+	PruneCalls       int     `json:"prune_calls"`
+	Dropped          int     `json:"dropped"`
+	// PruneSites breaks the pruning down by dominance-rule call site
+	// (drivers, wire_widths, join, repeater).
+	PruneSites map[string]core.PruneSiteStats `json:"prune_sites,omitempty"`
+}
+
+// DegradeExplain records a deadline-pressure fallback decision and its
+// accuracy price.
+type DegradeExplain struct {
+	// Reason is queue_pressure (job reached a worker with too little
+	// budget for an exact attempt) or soft_deadline (the exact attempt
+	// expired and the reserved headroom ran the coarse retry).
+	Reason string `json:"reason"`
+	// CoarseEps is the dominance relaxation the coarse run used.
+	CoarseEps float64 `json:"coarse_eps"`
+	// ErrorBound is CoarseEps × the run's prune calls: the reported ARD
+	// exceeds the exact optimum by at most this many nanoseconds.
+	ErrorBound float64 `json:"error_bound_ns"`
+}
+
+// solveExplain converts the DP's stats into the report shape.
+func solveExplain(s core.Stats) *SolveExplain {
+	se := &SolveExplain{
+		NodesVisited:     s.NodesVisited,
+		SolutionsCreated: s.SolutionsCreated,
+		MaxSetSize:       s.MaxSetSize,
+		MaxSegs:          s.MaxSegs,
+		PruneCalls:       s.PruneCalls,
+		Dropped:          s.Dropped,
+		PruneSites:       s.PruneSites,
+	}
+	if s.NodesVisited > 0 {
+		se.MeanSetSize = float64(s.SetSizeSum) / float64(s.NodesVisited)
+	}
+	return se
+}
+
+// jobTable tracks explain reports: live jobs (queued/running) by id
+// plus a bounded ring of the most recently finished ones. All methods
+// are safe for concurrent use; reads return copies so handlers never
+// serialize a report a worker is still writing.
+type jobTable struct {
+	mu     sync.Mutex
+	cap    int
+	done   []*Explain // circular, next is the oldest slot
+	next   int
+	filled bool
+	active map[string]*Explain
+}
+
+// defaultExplainRing bounds the finished-report ring when the config
+// does not say otherwise.
+const defaultExplainRing = 256
+
+func newJobTable(capacity int) *jobTable {
+	if capacity <= 0 {
+		capacity = defaultExplainRing
+	}
+	return &jobTable{
+		cap:    capacity,
+		done:   make([]*Explain, capacity),
+		active: map[string]*Explain{},
+	}
+}
+
+// start registers a queued job.
+func (t *jobTable) start(e *Explain) {
+	t.mu.Lock()
+	t.active[e.JobID] = e
+	t.mu.Unlock()
+}
+
+// remove unregisters a job that never ran (batch rejected after
+// registration).
+func (t *jobTable) remove(id string) {
+	t.mu.Lock()
+	delete(t.active, id)
+	t.mu.Unlock()
+}
+
+// setRunning marks a queued job as dequeued.
+func (t *jobTable) setRunning(id string) {
+	t.mu.Lock()
+	if e, ok := t.active[id]; ok {
+		e.State = JobRunning
+	}
+	t.mu.Unlock()
+}
+
+// finish retires a live job: its completed report replaces the live
+// entry and joins the ring. Reports are immutable after finish.
+func (t *jobTable) finish(e *Explain) {
+	t.mu.Lock()
+	delete(t.active, e.JobID)
+	t.push(e)
+	t.mu.Unlock()
+}
+
+// record adds a report that never queued (cache hits) straight to the
+// ring.
+func (t *jobTable) record(e *Explain) {
+	t.mu.Lock()
+	t.push(e)
+	t.mu.Unlock()
+}
+
+func (t *jobTable) push(e *Explain) {
+	t.done[t.next] = e
+	t.next++
+	if t.next == t.cap {
+		t.next, t.filled = 0, true
+	}
+}
+
+// List returns the live jobs (by sequence) and the finished ring
+// (newest first), as copies.
+func (t *jobTable) List() (active, recent []Explain) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.active {
+		active = append(active, *e)
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].Seq < active[j].Seq })
+	n := t.next
+	if t.filled {
+		n = t.cap
+	}
+	for i := 0; i < n; i++ {
+		idx := (t.next - 1 - i + t.cap) % t.cap
+		if t.done[idx] != nil {
+			recent = append(recent, *t.done[idx])
+		}
+	}
+	return active, recent
+}
+
+// Get finds a report by job id, or — when no job id matches — the most
+// recent report carrying the given trace id, so a client can look a job
+// up by either handle.
+func (t *jobTable) Get(id string) (Explain, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.active[id]; ok {
+		return *e, true
+	}
+	n := t.next
+	if t.filled {
+		n = t.cap
+	}
+	var byTrace *Explain
+	for i := 0; i < n; i++ {
+		idx := (t.next - 1 - i + t.cap) % t.cap
+		e := t.done[idx]
+		if e == nil {
+			continue
+		}
+		if e.JobID == id {
+			return *e, true
+		}
+		if byTrace == nil && e.TraceID != "" && e.TraceID == id {
+			byTrace = e
+		}
+	}
+	for _, e := range t.active {
+		if e.TraceID != "" && e.TraceID == id && (byTrace == nil || e.Seq > byTrace.Seq) {
+			byTrace = e
+		}
+	}
+	if byTrace != nil {
+		return *byTrace, true
+	}
+	return Explain{}, false
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"msrnet/internal/obs/export"
+	"msrnet/internal/obs/reqctx"
 )
 
 // maxRequestBytes bounds a request body; a batch of a few hundred
@@ -17,12 +18,23 @@ const maxRequestBytes = 64 << 20
 
 // Handler returns the daemon's full HTTP surface on one mux:
 //
-//	POST /v1/jobs   msrnet-job/v1 batch optimization
-//	GET  /metrics   Prometheus text exposition (includes svc/* series)
+//	POST /v1/jobs          msrnet-job/v1 batch optimization (?explain=1)
+//	GET  /readyz           readiness: 503 while draining or saturated
+//	GET  /debug/jobs       live + recent per-job explain reports
+//	GET  /debug/jobs/{id}  one report, by job id or trace id
+//	GET  /debug/trace      the shared ring tracer as Chrome trace JSON
+//	GET  /metrics          Prometheus text exposition (includes svc/* series)
 //	GET  /debug/vars, /debug/pprof/*, /healthz   (internal/obs/export)
+//
+// /healthz (liveness) keeps answering 200 throughout a drain; only
+// /readyz flips.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", d.handleJobs)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /debug/jobs", d.handleJobList)
+	mux.HandleFunc("GET /debug/jobs/{id}", d.handleJobGet)
+	mux.HandleFunc("GET /debug/trace", d.handleTrace)
 	export.Register(mux, d.reg)
 	return mux
 }
@@ -39,6 +51,9 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrBadRequest, "decode request: "+err.Error())
 		return
 	}
+	if r.URL.Query().Get("explain") == "1" {
+		req.Explain = true
+	}
 	resp, serr := d.Submit(r.Context(), &req)
 	if serr != nil {
 		if serr.Status == http.StatusTooManyRequests {
@@ -51,7 +66,53 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		d.log.Warn("response write failed", "err", err)
+		d.log.WarnContext(r.Context(), "response write failed", "err", err)
+	}
+}
+
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ok, reason := d.Ready()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("not ready: " + reason + "\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// jobListBody is the JSON shape of GET /debug/jobs.
+type jobListBody struct {
+	Schema string    `json:"schema"`
+	Active []Explain `json:"active,omitempty"`
+	Recent []Explain `json:"recent,omitempty"`
+}
+
+func (d *Daemon) handleJobList(w http.ResponseWriter, r *http.Request) {
+	active, recent := d.table.List()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(jobListBody{Schema: ExplainSchema, Active: active, Recent: recent})
+}
+
+func (d *Daemon) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := d.table.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrBadRequest, "no job or trace "+id+" in the explain window")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(e)
+}
+
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Tracer == nil {
+		writeError(w, http.StatusNotFound, ErrBadRequest, "tracing disabled (start the daemon with -trace-events)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := d.cfg.Tracer.WriteJSON(w); err != nil {
+		d.log.WarnContext(r.Context(), "trace write failed", "err", err)
 	}
 }
 
@@ -77,9 +138,15 @@ type HTTPServer struct {
 // Addr reports the bound address (useful with ":0").
 func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
 
-// Shutdown performs the graceful sequence: stop the listener, wait for
-// in-flight requests, then drain the worker pool.
+// StartDrain flips the daemon to draining (readyz 503, admission
+// closed) while the listener keeps serving — call it a grace period
+// before Shutdown so load balancers observe the transition.
+func (s *HTTPServer) StartDrain() { s.d.StartDrain() }
+
+// Shutdown performs the graceful sequence: mark not-ready, stop the
+// listener, wait for in-flight requests, then drain the worker pool.
 func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	s.d.StartDrain()
 	err := s.srv.Shutdown(ctx)
 	if cerr := s.d.Close(ctx); err == nil {
 		err = cerr
@@ -88,8 +155,11 @@ func (s *HTTPServer) Shutdown(ctx context.Context) error {
 }
 
 // Serve binds addr and serves the daemon's Handler with the standard
-// access log. The server runs on its own goroutine; the caller owns the
-// Shutdown.
+// access log, under the trace-propagation middleware: every request
+// gets its X-Msrnet-Trace-Id (accepted or generated) on the context,
+// so handler and job logs carry trace_id when logger uses
+// reqctx.Handler. The server runs on its own goroutine; the caller
+// owns the Shutdown.
 func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
 	if logger == nil {
 		logger = slog.Default()
@@ -99,7 +169,7 @@ func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           export.LogRequests(logger, d.Handler()),
+		Handler:           reqctx.Middleware(export.LogRequests(logger, d.Handler())),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -108,6 +178,6 @@ func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
 		}
 	}()
 	logger.Info("msrnetd listening", "addr", ln.Addr().String(),
-		"endpoints", []string{"/v1/jobs", "/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
+		"endpoints", []string{"/v1/jobs", "/readyz", "/debug/jobs", "/debug/trace", "/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
 	return &HTTPServer{d: d, ln: ln, srv: srv}, nil
 }

@@ -22,6 +22,11 @@ const SchemaVersion = "msrnet-job/v1"
 type Request struct {
 	Version string `json:"version"`
 	Jobs    []Job  `json:"jobs"`
+	// Explain asks for a per-job msrnet-explain/v1 report on every
+	// result (also settable as ?explain=1 on the URL). Reports are
+	// per-request decoration: they carry trace-scoped identity and are
+	// never part of the cache key or the cached value.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Job is one net plus what to compute on it.
@@ -123,6 +128,31 @@ type Result struct {
 
 	ARD *ARDResult `json:"ard,omitempty"`
 	Opt *OptResult `json:"opt,omitempty"`
+
+	// Explain is the per-job solve report, present only when the request
+	// asked for one (Request.Explain / ?explain=1). The same report is
+	// retrievable later at GET /debug/jobs/{job_id}.
+	Explain *Explain `json:"explain,omitempty"`
+
+	// Client is stamped by internal/client (never by the daemon): the
+	// retry work this result cost — attempts, job-retry rounds and total
+	// backoff slept.
+	Client *ClientInfo `json:"client,omitempty"`
+}
+
+// ClientInfo is the client-side delivery report attached to a Result
+// by internal/client.
+type ClientInfo struct {
+	// Attempts counts HTTP submissions that carried this job (first try
+	// included).
+	Attempts int `json:"attempts"`
+	// Rounds counts job-level retry rounds that resubmitted this job.
+	Rounds int `json:"rounds,omitempty"`
+	// BackoffMs is the total backoff slept before submissions carrying
+	// this job.
+	BackoffMs float64 `json:"backoff_ms,omitempty"`
+	// TraceID is the correlation ID the client sent on the submission.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ARDResult reports the unoptimized augmented RC-diameter.

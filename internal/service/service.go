@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msrnet/internal/ard"
@@ -16,6 +17,8 @@ import (
 	"msrnet/internal/faultinject"
 	"msrnet/internal/netio"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/reqctx"
+	"msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/topo"
 	"msrnet/internal/validate"
@@ -57,8 +60,23 @@ type Config struct {
 	// Reg receives the daemon's metrics and per-job phase spans; may be
 	// nil.
 	Reg *obs.Registry
-	// Logger receives job-level logs; slog.Default when nil.
+	// Logger receives job-level logs; slog.Default when nil. Wrap the
+	// handler with reqctx.Handler so every line carries the request's
+	// trace_id/job_id automatically.
 	Logger *slog.Logger
+	// Tracer, when non-nil, receives the per-job DP timeline: every
+	// core/ard trace event of every job, tagged with the job's trace_id
+	// and job id so one shared ring stays separable per job in a
+	// Perfetto view. Served at GET /debug/trace.
+	Tracer *trace.Tracer
+	// ExplainRing bounds the finished msrnet-explain/v1 reports kept for
+	// GET /debug/jobs; defaults to 256.
+	ExplainRing int
+	// SLOWindow/SLOInterval shape the sliding-window latency quantiles
+	// (svc/latency/{queue,solve,e2e}/<outcome>); they default to
+	// obs.DefaultWindow / obs.DefaultInterval.
+	SLOWindow   time.Duration
+	SLOInterval time.Duration
 }
 
 // DefaultCoarseEps is the dominance relaxation degraded runs use when
@@ -77,6 +95,7 @@ type Daemon struct {
 	reg   *obs.Registry
 	log   *slog.Logger
 	cache *resultCache
+	table *jobTable
 
 	jobs chan *task
 	wg   sync.WaitGroup
@@ -85,15 +104,32 @@ type Daemon struct {
 	free   int // remaining queue slots
 	closed bool
 
+	// seq numbers executed jobs; draining flips at StartDrain, before
+	// the queue channel closes, so /readyz fails while in-flight work
+	// still finishes.
+	seq      atomic.Int64
+	draining atomic.Bool
+
 	submitted, completed, failed *obs.Counter
 	rejected, deadlines, panics  *obs.Counter
 	degraded, shed               *obs.Counter
 	queueDepth, workers          *obs.Gauge
+	drainGauge                   *obs.Gauge
 	queueWait, jobDur            *obs.Histogram
+
+	// lat holds one sliding-window latency triple per outcome class;
+	// built once at New so the job path never allocates a window.
+	lat map[string]latWindows
 
 	// execHook replaces exec in tests that need a slow or exploding
 	// job body without building an adversarial net.
 	execHook func(ctx context.Context, t *task) Result
+}
+
+// latWindows is the per-outcome-class SLO triple: queue wait, solve
+// time and end-to-end latency, each a sliding-window quantile estimator.
+type latWindows struct {
+	queue, solve, e2e *obs.WindowHist
 }
 
 // task is one unit of queued work: a validated, decoded job plus its
@@ -107,9 +143,19 @@ type task struct {
 	tr     *topo.Tree
 	tech   buslib.Tech
 
+	// Request-scoped identity: the client's trace id (from the request
+	// context) and the daemon-assigned job id ("j<seq>").
+	traceID string
+	jid     string
+	seq     int64
+	explain *Explain
+	want    bool // request asked for the explain on the result
+
 	ctx      context.Context
 	cancel   context.CancelFunc
 	enqueued time.Time
+	waitMs   float64 // queue wait, stamped at dequeue
+	solveMs  float64 // wall-clock of the solve attempt(s)
 
 	res  Result
 	done chan struct{}
@@ -132,6 +178,7 @@ func New(cfg Config) *Daemon {
 		reg:        reg,
 		log:        cfg.Logger,
 		cache:      newResultCache(cfg.CacheSize, reg),
+		table:      newJobTable(cfg.ExplainRing),
 		jobs:       make(chan *task, cfg.QueueDepth),
 		free:       cfg.QueueDepth,
 		submitted:  reg.Counter("svc/jobs_submitted"),
@@ -144,8 +191,24 @@ func New(cfg Config) *Daemon {
 		shed:       reg.Counter("svc/jobs_shed"),
 		queueDepth: reg.Gauge("svc/queue_depth"),
 		workers:    reg.Gauge("svc/workers"),
+		drainGauge: reg.Gauge("svc/draining"),
 		queueWait:  reg.Histogram("svc/queue_wait_ms", LatencyBounds),
 		jobDur:     reg.Histogram("svc/job_ms", LatencyBounds),
+	}
+	win, iv := cfg.SLOWindow, cfg.SLOInterval
+	if win <= 0 {
+		win = obs.DefaultWindow
+	}
+	if iv <= 0 {
+		iv = obs.DefaultInterval
+	}
+	d.lat = make(map[string]latWindows, len(outcomeClasses))
+	for _, class := range outcomeClasses {
+		d.lat[class] = latWindows{
+			queue: reg.Window("svc/latency/queue/"+class, win, iv),
+			solve: reg.Window("svc/latency/solve/"+class, win, iv),
+			e2e:   reg.Window("svc/latency/e2e/"+class, win, iv),
+		}
 	}
 	d.workers.Set(int64(cfg.Workers))
 	d.wg.Add(cfg.Workers)
@@ -194,6 +257,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 
 	// Decode every net up front: a malformed net is the client's fault
 	// and must be a structured 400, not a queued failure.
+	traceID := reqctx.TraceID(ctx)
 	results := make([]Result, len(req.Jobs))
 	var pending []*task
 	decSpan := d.reg.StartSpan("svc/submit/decode")
@@ -220,23 +284,42 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		}
 		key := j.cacheKey(netKey)
 		d.submitted.Inc()
+		seq := d.seq.Add(1)
+		jid := fmt.Sprintf("j%d", seq)
 		if res, ok := d.cacheGet(ctx, key); ok {
 			res.ID = j.label(i)
 			res.Cached = true
+			e := d.newExplain(jid, seq, j, i, traceID, netKey)
+			e.State = JobDone
+			e.Outcome = OutcomeOK
+			e.Cached = true
+			d.table.record(e)
+			if req.Explain {
+				res.Explain = e
+			}
 			results[i] = res
 			d.completed.Inc()
 			continue
 		}
-		t := &task{job: j, idx: i, label: j.label(i), netKey: netKey, key: key, tr: tr, tech: tech, done: make(chan struct{})}
-		t.ctx, t.cancel = d.jobContext(ctx)
+		t := &task{job: j, idx: i, label: j.label(i), netKey: netKey, key: key, tr: tr, tech: tech,
+			traceID: traceID, jid: jid, seq: seq, want: req.Explain, done: make(chan struct{})}
+		t.explain = d.newExplain(jid, seq, j, i, traceID, netKey)
+		t.ctx, t.cancel = d.jobContext(reqctx.WithJobID(ctx, jid))
 		pending = append(pending, t)
 		results[i] = Result{} // filled after completion
 	}
 	decSpan.End()
 
+	// Register the batch for introspection (GET /debug/jobs) before the
+	// queue can hand it to a worker; a rejected batch is unregistered so
+	// it leaves no trace in the table.
+	for _, t := range pending {
+		d.table.start(t.explain)
+	}
 	if err := d.enqueue(pending); err != nil {
 		for _, t := range pending {
 			t.cancel()
+			d.table.remove(t.jid)
 		}
 		return nil, err
 	}
@@ -257,6 +340,21 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		results[t.idx] = t.res
 	}
 	return &Response{Version: SchemaVersion, Results: results}, nil
+}
+
+// newExplain seeds the per-job report with its identity; timing and
+// solve shape are filled at completion.
+func (d *Daemon) newExplain(jid string, seq int64, j *Job, i int, traceID, netKey string) *Explain {
+	return &Explain{
+		Schema:  ExplainSchema,
+		JobID:   jid,
+		Seq:     seq,
+		Label:   j.label(i),
+		TraceID: traceID,
+		NetKey:  netKey,
+		Mode:    j.Mode,
+		State:   JobQueued,
+	}
 }
 
 // jobContext derives the per-job context: the request context bounded
@@ -289,7 +387,7 @@ func (d *Daemon) enqueue(ts []*task) *SubmitError {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed || d.draining.Load() {
 		return submitErr(http.StatusServiceUnavailable, ErrShuttingDown, "daemon is draining")
 	}
 	if len(ts) > d.free {
@@ -320,7 +418,8 @@ func (d *Daemon) worker() {
 	defer d.wg.Done()
 	for t := range d.jobs {
 		d.release(1)
-		d.queueWait.Observe(float64(time.Since(t.enqueued)) / float64(time.Millisecond))
+		t.waitMs = float64(time.Since(t.enqueued)) / float64(time.Millisecond)
+		d.queueWait.Observe(t.waitMs)
 		d.runTask(t)
 	}
 }
@@ -332,6 +431,7 @@ func (d *Daemon) worker() {
 func (d *Daemon) runTask(t *task) {
 	defer close(t.done)
 	defer t.cancel()
+	d.table.setRunning(t.jid)
 	span := d.reg.StartSpan("svc/job")
 	start := time.Now()
 
@@ -345,11 +445,12 @@ func (d *Daemon) runTask(t *task) {
 			remainingBudget(t.ctx), d.cfg.ShedMargin))
 	} else {
 		resCh := make(chan Result, 1)
+		solveStart := time.Now()
 		go func() {
 			defer func() {
 				if p := recover(); p != nil {
 					d.panics.Inc()
-					d.log.Error("job panic recovered", "job", t.label, "panic", fmt.Sprint(p))
+					d.log.ErrorContext(t.ctx, "job panic recovered", "job", t.label, "panic", fmt.Sprint(p))
 					resCh <- d.failResult(t, ErrInternal, fmt.Sprintf("panic: %v", p))
 				}
 			}()
@@ -366,6 +467,7 @@ func (d *Daemon) runTask(t *task) {
 			d.deadlines.Inc()
 			t.res = d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("job exceeded deadline: %v", t.ctx.Err()))
 		}
+		t.solveMs = float64(time.Since(solveStart)) / float64(time.Millisecond)
 	}
 
 	span.End()
@@ -385,13 +487,48 @@ func (d *Daemon) runTask(t *task) {
 			stored := t.res
 			stored.ID = ""
 			stored.Cached = false
+			stored.Explain = nil
 			d.cache.Put(t.key, stored)
 		}
 	} else {
 		d.failed.Inc()
 	}
-	d.log.Info("job done", "job", t.label, "status", t.res.Status, "code", t.res.Code,
-		"mode", t.job.Mode, "net_key", t.netKey, "ms", ms, "degraded", t.res.Degraded)
+	d.finishJob(t)
+	d.log.InfoContext(t.ctx, "job done", "job", t.label, "status", t.res.Status, "code", t.res.Code,
+		"mode", t.job.Mode, "net_key", t.netKey, "ms", ms, "degraded", t.res.Degraded,
+		"outcome", t.explain.Outcome, "queue_wait_ms", t.waitMs, "solve_ms", t.solveMs)
+}
+
+// finishJob completes the explain report, retires it to the finished
+// ring, observes the per-outcome SLO latency windows and — when the
+// request asked — attaches the report to the result.
+func (d *Daemon) finishJob(t *task) {
+	e := t.explain
+	e.State = JobDone
+	e.Outcome = outcomeOf(t.res)
+	e.Code = t.res.Code
+	e.QueueWaitMs = t.waitMs
+	e.SolveMs = t.solveMs
+	e.TotalMs = float64(time.Since(t.enqueued)) / float64(time.Millisecond)
+	if t.res.Opt != nil {
+		e.Solve = solveExplain(t.res.Opt.Stats)
+		if t.res.Degraded {
+			e.Degradation = &DegradeExplain{
+				Reason:     t.res.DegradedReason,
+				CoarseEps:  t.res.Opt.CoarseEps,
+				ErrorBound: t.res.Opt.CoarseEps * float64(t.res.Opt.Stats.PruneCalls),
+			}
+		}
+	}
+	d.table.finish(e)
+	if t.want {
+		t.res.Explain = e
+	}
+	if lw, ok := d.lat[e.Outcome]; ok {
+		lw.queue.Observe(e.QueueWaitMs)
+		lw.solve.Observe(e.SolveMs)
+		lw.e2e.Observe(e.TotalMs)
+	}
 }
 
 // shouldShed reports whether the task's remaining deadline at dequeue
@@ -430,10 +567,18 @@ func (d *Daemon) exec(t *task) Result {
 	res := Result{ID: t.label, Status: StatusOK, NetKey: t.netKey}
 	rt := t.tr.RootAt(t.tr.Terminals()[0])
 
+	// Tag every trace event of this job with its request-scoped identity
+	// so a shared ring tracer stays separable per job.
+	var targs []trace.Arg
+	if d.cfg.Tracer != nil {
+		targs = []trace.Arg{trace.S("trace_id", t.traceID), trace.S("job", t.jid)}
+	}
+
 	if j.Mode == "ard" || j.Mode == "both" {
 		span := d.reg.StartSpan("svc/job/ard")
 		net := rctree.NewNet(rt, t.tech, rctree.Assignment{})
-		r := ard.Compute(net, ard.Options{IncludeSelf: j.Options.IncludeSelf})
+		r := ard.Compute(net, ard.Options{IncludeSelf: j.Options.IncludeSelf,
+			Trace: d.cfg.Tracer, TraceArgs: targs})
 		span.End()
 		res.ARD = &ARDResult{ARD: r.ARD, CritSrc: termName(t.tr, r.CritSrc), CritSink: termName(t.tr, r.CritSink)}
 	}
@@ -447,6 +592,8 @@ func (d *Daemon) exec(t *task) Result {
 			Parallel:    j.Options.Parallel,
 			WireWidths:  append([]float64(nil), j.Options.WireWidths...),
 			Obs:         recorder(d.reg),
+			Trace:       d.cfg.Tracer,
+			TraceArgs:   targs,
 		}
 		switch j.optimize() {
 		case "repeaters":
@@ -580,10 +727,42 @@ func recorder(reg *obs.Registry) obs.Recorder {
 	return reg
 }
 
+// StartDrain begins the graceful-shutdown handshake without stopping
+// anything: new submissions are rejected with shutting_down, /readyz
+// flips to 503, and /healthz stays 200 — exactly the window a load
+// balancer needs to move traffic before the listener goes away. Queued
+// and in-flight jobs keep running. Idempotent; Close implies it.
+func (d *Daemon) StartDrain() {
+	if d.draining.CompareAndSwap(false, true) {
+		d.drainGauge.Set(1)
+		d.log.Info("drain started: admission closed, /readyz failing, in-flight jobs continue")
+	}
+}
+
+// Draining reports whether StartDrain (or Close) has been called.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// Ready is the /readyz predicate: false (with a reason) while draining
+// or while the queue is saturated — both states where a load balancer
+// should prefer another backend even though the process is healthy.
+func (d *Daemon) Ready() (bool, string) {
+	if d.draining.Load() {
+		return false, "draining"
+	}
+	d.mu.Lock()
+	free := d.free
+	d.mu.Unlock()
+	if free == 0 {
+		return false, "queue_saturated"
+	}
+	return true, "ok"
+}
+
 // Close stops admission and drains: queued and in-flight jobs complete
 // (submitters are unblocked), workers exit, and Close returns when the
 // pool is idle or ctx expires.
 func (d *Daemon) Close(ctx context.Context) error {
+	d.StartDrain()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
