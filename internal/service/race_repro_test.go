@@ -1,0 +1,37 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"msrnet/internal/obs"
+)
+
+// TestExplainListRaceRepro hammers List while jobs finish.
+func TestExplainListRaceRepro(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 4, QueueDepth: 64, Reg: obs.New()})
+	net := testNetFile(t, 1, 6)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.table.List()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, serr := d.Submit(context.Background(), oneJobRequest(Job{ID: "r", Mode: "ard", Net: net})); serr != nil {
+			t.Fatalf("submit: %v", serr)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
