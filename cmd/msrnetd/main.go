@@ -18,19 +18,28 @@
 // /debug/pprof/* and /healthz next to /v1/jobs, so the daemon needs no
 // second observability port. SIGINT/SIGTERM trigger a graceful drain:
 // in-flight and queued jobs complete before exit.
+//
+// An always-on flight recorder samples the full observability surface
+// into a bounded ring (-recorder-interval) and writes self-contained
+// postmortem bundles (-postmortem-dir) on worker panics, SLO burn-rate
+// alerts (-slo), SIGQUIT, or POST /debug/dump; inspect bundles with
+// cmd/msrnetdebug. See DESIGN.md §11.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"msrnet/internal/cliflags"
 	"msrnet/internal/faultinject"
+	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/service"
 )
@@ -49,6 +58,10 @@ func main() {
 		shedMargin = flag.Duration("shed-margin", 0, "shed jobs at dequeue whose remaining deadline is below this margin (0 = disable shedding)")
 		faults     = flag.String("faults", "", "fault-injection spec for chaos testing, e.g. 'svc/worker:panic:0.1;svc/cache/get:error:0.5' (also via "+faultinject.EnvFaults+")")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed (also via "+faultinject.EnvSeed+")")
+		recEvery   = flag.Duration("recorder-interval", recorder.DefaultInterval, "flight-recorder sampling interval; the in-memory ring keeps the last "+fmt.Sprint(recorder.DefaultCapacity)+" samples")
+		pmDir      = flag.String("postmortem-dir", "", "write postmortem bundles into this directory on worker panics, SLO burns, SIGQUIT or POST /debug/dump (empty = ring-only recorder, no bundles)")
+		pmKeep     = flag.Int("postmortem-keep", recorder.DefaultMaxBundles, "bounded bundle retention: the oldest bundles beyond this count are deleted")
+		sloSpec    = flag.String("slo", "", "SLO burn-rate rules, semicolon-separated, e.g. 'e2e-slow:p99:e2e/ok:500ms:1m;err-fast:error_rate:0.01:1m'; a firing rule triggers a postmortem bundle")
 	)
 	obsFlags := cliflags.Register(flag.CommandLine,
 		cliflags.Caps{AlwaysRegistry: true, AlwaysTracer: true, TraceEvents: true})
@@ -78,6 +91,30 @@ func main() {
 		logger.Warn("fault injection ACTIVE — not a production configuration", "faults", inj.Active())
 	}
 
+	rules, err := recorder.ParseRules(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
+	// The flight recorder is always on: daemon snapshots carry Go
+	// runtime state, and the ring is live at GET /debug/recorder even
+	// when no -postmortem-dir is set (bundle triggers then fail).
+	run.Reg.EnableRuntime()
+	rec := recorder.New(recorder.Config{
+		Reg:        run.Reg,
+		Tracer:     run.Tracer,
+		Interval:   *recEvery,
+		Rules:      rules,
+		Dir:        *pmDir,
+		MaxBundles: *pmKeep,
+		Logger:     logger,
+		Info: map[string]any{
+			"binary": "msrnetd", "go": runtime.Version(),
+			"listen": *listen, "workers": *workers, "queue": *queue,
+			"job_timeout": jobTimeout.String(), "cache": *cacheSize,
+			"slo": *sloSpec, "faults_active": inj.Active(),
+		},
+	})
+
 	d := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -90,15 +127,29 @@ func main() {
 		Reg:             run.Reg,
 		Logger:          logger,
 		Tracer:          run.Tracer,
+		Recorder:        rec,
 	})
+	rec.Start()
 	srv, err := service.Serve(*listen, d, logger)
 	if err != nil {
 		fatal(err)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
+	// SIGQUIT forces a postmortem bundle and keeps serving; SIGINT and
+	// SIGTERM begin the graceful drain.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	var s os.Signal
+	for s = range sig {
+		if s != syscall.SIGQUIT {
+			break
+		}
+		if dir, err := rec.Trigger(recorder.ReasonSIGQUIT, ""); err != nil {
+			logger.Error("postmortem capture failed", "signal", s.String(), "err", err)
+		} else {
+			logger.Info("postmortem bundle written", "signal", s.String(), "bundle", dir)
+		}
+	}
 	logger.Info("shutting down", "signal", s.String(), "drain_grace", *drainGrace, "drain_timeout", *drain)
 
 	// Grace window: /readyz fails and admission is closed while the
@@ -114,9 +165,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
+		rec.Stop()
 		run.Close()
 		os.Exit(1)
 	}
+	rec.Stop()
 	if err := run.Close(); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,104 @@
+// Command msrnetdebug renders a postmortem bundle written by msrnetd's
+// flight recorder (schema msrnet-postmortem/v1) as a human-readable
+// incident report: what triggered the capture, a timeline of the
+// recorder ring around it, the biggest p99 latency movers, the jobs
+// that were in flight or recently finished, and — given the committed
+// bench baseline — how the DP shape of the crashed daemon's jobs
+// compares to the perf observatory's numbers.
+//
+// Usage:
+//
+//	msrnetdebug /var/lib/msrnet/postmortems/postmortem-...-worker_panic
+//	msrnetdebug -baseline BENCH_msrnet.json <bundle-dir>
+//	msrnetdebug -list /var/lib/msrnet/postmortems   # enumerate bundles
+//
+// The raw artifacts stay in the bundle for deeper digging: recorder.json
+// (the full ring), heap.pb.gz (go tool pprof), trace.json (Perfetto),
+// goroutines.txt. See DESIGN.md §11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"msrnet/internal/bench"
+	"msrnet/internal/cliflags"
+	"msrnet/internal/obs/recorder"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "compare the bundle's DP shape against this msrnet-bench/v1 report (e.g. the committed BENCH_msrnet.json)")
+		list     = flag.String("list", "", "list the bundles under this directory (newest last) instead of rendering one")
+	)
+	flag.Parse()
+
+	if *list != "" {
+		if err := listBundles(*list); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: msrnetdebug [-baseline BENCH_msrnet.json] <bundle-dir>")
+		fmt.Fprintln(os.Stderr, "       msrnetdebug -list <postmortem-dir>")
+		os.Exit(2)
+	}
+
+	b, err := recorder.LoadBundle(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var base *bench.Report
+	if *baseline != "" {
+		rep, err := bench.Load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = &rep
+	}
+	if err := recorder.WriteReport(os.Stdout, b, base); err != nil {
+		fatal(err)
+	}
+}
+
+// listBundles enumerates the postmortem bundles under dir with their
+// trigger, oldest first (the names embed a fixed-width timestamp, so
+// lexical order is chronological).
+func listBundles(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "postmortem-") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		fmt.Printf("no postmortem bundles under %s\n", dir)
+		return nil
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, err := recorder.LoadBundle(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Printf("%s  (unreadable: %v)\n", name, err)
+			continue
+		}
+		tr := b.Manifest.Trigger
+		fmt.Printf("%s  trigger=%s", name, tr.Reason)
+		if tr.Detail != "" {
+			fmt.Printf(" (%s)", tr.Detail)
+		}
+		fmt.Printf("  samples=%d\n", len(b.Ring))
+	}
+	return nil
+}
+
+func fatal(err error) { cliflags.Fatal("msrnetdebug", err) }

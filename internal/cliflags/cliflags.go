@@ -30,9 +30,9 @@ import (
 	"os"
 
 	"msrnet/internal/obs"
-	"msrnet/internal/validate"
 	"msrnet/internal/obs/export"
 	trc "msrnet/internal/obs/trace"
+	"msrnet/internal/validate"
 )
 
 // Caps selects which optional flags a command exposes. Every command

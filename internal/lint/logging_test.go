@@ -13,13 +13,24 @@ import (
 	"testing"
 )
 
+// exitAllowed lists the library packages allowed to call os.Exit:
+// cliflags.Fatal IS the documented process-exit path every cmd/ main
+// funnels through, so the call lives there by design.
+var exitAllowed = map[string]bool{
+	"internal/cliflags": true,
+}
+
 // TestNoAdHocLoggingInLibraries enforces the logging discipline the
 // request-scoped observability work depends on: every library package
 // (everything under internal/) must log through *slog.Logger — whose
 // context-aware methods attach trace_id/job_id — never via fmt's
 // stdout printers or the legacy global "log" package, which bypass the
-// handler chain and lose the request identity. Commands (cmd/) own
-// their stdout and are exempt; tests are exempt.
+// handler chain and lose the request identity. It also forbids os.Exit
+// in libraries (outside the exitAllowed exit path): a library that
+// exits the process skips deferred cleanup, drain handshakes and the
+// flight recorder's postmortem capture — return an error instead.
+// Commands (cmd/) own their stdout and exit status and are exempt;
+// tests are exempt.
 func TestNoAdHocLoggingInLibraries(t *testing.T) {
 	root := moduleRoot(t)
 	var violations []string
@@ -53,15 +64,24 @@ func TestNoAdHocLoggingInLibraries(t *testing.T) {
 				return true
 			}
 			pkg, ok := sel.X.(*ast.Ident)
-			if !ok || pkg.Name != "fmt" {
+			if !ok {
 				return true
 			}
-			switch sel.Sel.Name {
-			case "Print", "Printf", "Println":
-				pos := fset.Position(call.Pos())
-				violations = append(violations,
-					rel+":"+strconv.Itoa(pos.Line)+": fmt."+sel.Sel.Name+
-						" writes to stdout — log via slog (or fmt.Fprint* to an explicit writer)")
+			pos := fset.Position(call.Pos())
+			switch {
+			case pkg.Name == "fmt":
+				switch sel.Sel.Name {
+				case "Print", "Printf", "Println":
+					violations = append(violations,
+						rel+":"+strconv.Itoa(pos.Line)+": fmt."+sel.Sel.Name+
+							" writes to stdout — log via slog (or fmt.Fprint* to an explicit writer)")
+				}
+			case pkg.Name == "os" && sel.Sel.Name == "Exit":
+				if !exitAllowed[filepath.ToSlash(filepath.Dir(rel))] {
+					violations = append(violations,
+						rel+":"+strconv.Itoa(pos.Line)+": os.Exit in a library skips deferred cleanup"+
+							" and postmortem capture — return an error (cmd mains exit via cliflags.Fatal)")
+				}
 			}
 			return true
 		})

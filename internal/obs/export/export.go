@@ -89,7 +89,47 @@ func WritePrometheus(w io.Writer, s obs.Snapshot) error {
 			return err
 		}
 	}
+	if err := writeRuntime(w, s.Runtime); err != nil {
+		return err
+	}
 	return writeSpans(w, s.Spans)
+}
+
+// writeRuntime renders the Go runtime section (present only on
+// registries with EnableRuntime): scalar gauges plus the GC-pause and
+// scheduling-latency quantile triples as summaries.
+func writeRuntime(w io.Writer, rt *obs.RuntimeSnapshot) error {
+	if rt == nil {
+		return nil
+	}
+	for _, g := range []struct {
+		name string
+		v    int64
+	}{
+		{"runtime_gc_cycles", rt.GCCycles},
+		{"runtime_goroutines", rt.Goroutines},
+		{"runtime_heap_inuse_bytes", rt.HeapInuseBytes},
+		{"runtime_total_bytes", rt.TotalBytes},
+	} {
+		pn := namePrefix + g.name
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, g.v); err != nil {
+			return err
+		}
+	}
+	for _, q := range []struct {
+		name string
+		v    obs.RuntimeQuantiles
+	}{
+		{"runtime_gc_pause_ms", rt.GCPauseMs},
+		{"runtime_sched_latency_ms", rt.SchedLatencyMs},
+	} {
+		pn := namePrefix + q.name
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.9\"} %s\n%s{quantile=\"0.99\"} %s\n",
+			pn, pn, formatFloat(q.v.P50), pn, formatFloat(q.v.P90), pn, formatFloat(q.v.P99)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeQuantiles renders one sliding-window histogram as a Prometheus

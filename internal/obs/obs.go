@@ -55,6 +55,9 @@ type Registry struct {
 	hists    map[string]*Histogram
 	windows  map[string]*WindowHist
 	spans    spanNode
+
+	// runtimeOn makes snapshots carry a RuntimeSnapshot (EnableRuntime).
+	runtimeOn bool
 }
 
 // New returns an empty registry.

@@ -1,0 +1,237 @@
+package recorder
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rule is one SLO burn-rate condition the recorder evaluates on every
+// sampling tick. Rules come in two kinds:
+//
+//   - Quantile rules (Kind p50/p90/p99) watch one sliding-window latency
+//     series (Metric is the "<axis>/<class>" suffix of an
+//     svc/latency/... window, e.g. "e2e/ok") and fire when the quantile
+//     stays above Threshold (milliseconds) continuously for Window.
+//
+//   - Error-rate rules (Kind error_rate) fire when the fraction of
+//     failed jobs — delta(svc/jobs_failed) over delta(completed+failed)
+//     between the recorder samples spanning Window — exceeds Threshold.
+//     Pairing a tight threshold over a short window with a looser one
+//     over a long window gives the classic fast-burn/slow-burn alert
+//     pair.
+//
+// The textual spec (flag -slo, semicolon-separated) is
+//
+//	name:kind:metric:threshold:window     (quantile kinds)
+//	name:error_rate:threshold:window
+//
+// e.g. "e2e-slow:p99:e2e/ok:500ms:1m;err-fast:error_rate:0.01:1m".
+type Rule struct {
+	Name string `json:"name"`
+	// Kind is p50, p90, p99 or error_rate.
+	Kind string `json:"kind"`
+	// Metric is the latency window suffix ("<axis>/<class>") for
+	// quantile kinds; empty for error_rate.
+	Metric string `json:"metric,omitempty"`
+	// Threshold is milliseconds for quantile kinds, a [0,1] failure
+	// fraction for error_rate.
+	Threshold float64 `json:"threshold"`
+	// Window is how long the condition must hold (quantile kinds) or
+	// the trailing span the rate is computed over (error_rate).
+	Window time.Duration `json:"window"`
+}
+
+// String renders the rule back in spec form.
+func (r Rule) String() string {
+	if r.Kind == KindErrorRate {
+		return fmt.Sprintf("%s:%s:%g:%s", r.Name, r.Kind, r.Threshold, r.Window)
+	}
+	return fmt.Sprintf("%s:%s:%s:%gms:%s", r.Name, r.Kind, r.Metric, r.Threshold, r.Window)
+}
+
+// Rule kinds.
+const (
+	KindP50       = "p50"
+	KindP90       = "p90"
+	KindP99       = "p99"
+	KindErrorRate = "error_rate"
+)
+
+// ParseRules parses a semicolon-separated rule spec. An empty spec
+// yields no rules.
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) < 4 {
+		return Rule{}, fmt.Errorf("recorder: rule %q: want name:kind:[metric:]threshold:window", s)
+	}
+	r := Rule{Name: fields[0], Kind: fields[1]}
+	if r.Name == "" {
+		return Rule{}, fmt.Errorf("recorder: rule %q has an empty name", s)
+	}
+	var thr, win string
+	switch r.Kind {
+	case KindP50, KindP90, KindP99:
+		if len(fields) != 5 {
+			return Rule{}, fmt.Errorf("recorder: rule %q: %s wants name:%s:metric:threshold:window", s, r.Kind, r.Kind)
+		}
+		r.Metric = fields[2]
+		if strings.Count(r.Metric, "/") != 1 {
+			return Rule{}, fmt.Errorf("recorder: rule %q: metric %q is not <axis>/<class> (e.g. e2e/ok)", s, r.Metric)
+		}
+		thr, win = fields[3], fields[4]
+		d, err := time.ParseDuration(thr)
+		if err != nil || d < 0 {
+			return Rule{}, fmt.Errorf("recorder: rule %q: bad latency threshold %q (want a duration, e.g. 500ms)", s, thr)
+		}
+		r.Threshold = float64(d) / float64(time.Millisecond)
+	case KindErrorRate:
+		if len(fields) != 4 {
+			return Rule{}, fmt.Errorf("recorder: rule %q: error_rate wants name:error_rate:threshold:window", s)
+		}
+		thr, win = fields[2], fields[3]
+		f, err := strconv.ParseFloat(thr, 64)
+		if err != nil || f < 0 || f > 1 {
+			return Rule{}, fmt.Errorf("recorder: rule %q: bad rate threshold %q (want [0,1])", s, thr)
+		}
+		r.Threshold = f
+	default:
+		return Rule{}, fmt.Errorf("recorder: rule %q: unknown kind %q (want p50, p90, p99 or error_rate)", s, r.Kind)
+	}
+	d, err := time.ParseDuration(win)
+	if err != nil || d <= 0 {
+		return Rule{}, fmt.Errorf("recorder: rule %q: bad window %q", s, win)
+	}
+	r.Window = d
+	return r, nil
+}
+
+// RuleState is the live evaluation state of one rule, exposed at
+// GET /debug/recorder and recorded into postmortem manifests.
+type RuleState struct {
+	Rule Rule `json:"rule"`
+	// Value is the rule's input at the last tick: the watched quantile
+	// in milliseconds, or the windowed error rate.
+	Value float64 `json:"value"`
+	// Breaching reports the instantaneous condition at the last tick;
+	// Firing additionally requires the condition to have held for the
+	// rule's window (quantile kinds) or full window coverage
+	// (error_rate).
+	Breaching bool `json:"breaching"`
+	Firing    bool `json:"firing"`
+	// SinceUnixMs is when the current breach streak started (0 when not
+	// breaching).
+	SinceUnixMs int64 `json:"since_unix_ms,omitempty"`
+}
+
+// ruleEval carries the per-rule evaluation memory across ticks.
+type ruleEval struct {
+	rule        Rule
+	breachSince time.Time // zero when the last tick did not breach
+	firing      bool
+	state       RuleState
+}
+
+// evaluate updates the rule against the sample history (newest last)
+// and reports whether this tick is a rising edge (not-firing → firing).
+func (e *ruleEval) evaluate(now time.Time, ring []Sample) (rising bool) {
+	if len(ring) == 0 {
+		return false
+	}
+	cur := ring[len(ring)-1]
+	var value float64
+	var breach, firing bool
+	switch e.rule.Kind {
+	case KindErrorRate:
+		value, breach = errorRate(e.rule, now, ring)
+		// The rate is already windowed, so an instantaneous breach IS a
+		// firing condition.
+		firing = breach
+	default:
+		value = quantileValue(e.rule, cur)
+		breach = value > e.rule.Threshold
+		if breach {
+			if e.breachSince.IsZero() {
+				e.breachSince = now
+			}
+			firing = now.Sub(e.breachSince) >= e.rule.Window
+		}
+	}
+	if !breach {
+		e.breachSince = time.Time{}
+	}
+	rising = firing && !e.firing
+	e.firing = firing
+	e.state = RuleState{Rule: e.rule, Value: value, Breaching: breach, Firing: firing}
+	if !e.breachSince.IsZero() {
+		e.state.SinceUnixMs = e.breachSince.UnixMilli()
+	}
+	return rising
+}
+
+// quantileValue extracts the watched quantile from one sample.
+func quantileValue(r Rule, s Sample) float64 {
+	q, ok := s.Metrics.Quantiles["svc/latency/"+r.Metric]
+	if !ok {
+		return 0
+	}
+	switch r.Kind {
+	case KindP50:
+		return q.P50
+	case KindP90:
+		return q.P90
+	default:
+		return q.P99
+	}
+}
+
+// errorRate computes the failed-job fraction over the rule's trailing
+// window from the cumulative svc counters of the ring samples. The rate
+// only counts (and only breaches) once the ring covers the whole
+// window, so a freshly started recorder cannot false-fire off two
+// samples.
+func errorRate(r Rule, now time.Time, ring []Sample) (rate float64, breach bool) {
+	cur := ring[len(ring)-1]
+	cutoff := now.Add(-r.Window).UnixMilli()
+	// Oldest sample still inside the window; its counters are the base.
+	base := -1
+	for i := len(ring) - 1; i >= 0; i-- {
+		if ring[i].TimeUnixMs < cutoff {
+			break
+		}
+		base = i
+	}
+	if base < 0 || base == len(ring)-1 {
+		return 0, false
+	}
+	covered := base > 0 || // an older sample exists beyond the window edge
+		cur.TimeUnixMs-ring[base].TimeUnixMs >= int64(float64(r.Window.Milliseconds())*0.8)
+	failed := counterDelta(ring[base], cur, "svc/jobs_failed")
+	total := failed + counterDelta(ring[base], cur, "svc/jobs_completed")
+	if total <= 0 {
+		return 0, false
+	}
+	rate = float64(failed) / float64(total)
+	return rate, covered && rate > r.Threshold
+}
+
+func counterDelta(a, b Sample, name string) int64 {
+	return b.Metrics.Counters[name] - a.Metrics.Counters[name]
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeSnapshot is the Go runtime's health at one instant, read from
+// runtime/metrics: scheduler pressure (goroutine count, scheduling
+// latency), memory pressure (heap in-use, total mapped) and GC activity
+// (cycle count, pause quantiles). The daemon includes it in every
+// metrics snapshot (Registry.EnableRuntime) and the flight recorder
+// samples it into the postmortem ring, because an incident bundle
+// without GC/goroutine history cannot distinguish "the DP got slow"
+// from "the process was drowning".
+type RuntimeSnapshot struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int64 `json:"goroutines"`
+	// HeapInuseBytes is heap memory occupied by live objects plus the
+	// unused tails of in-use spans — the classic HeapInuse.
+	HeapInuseBytes int64 `json:"heap_inuse_bytes"`
+	// TotalBytes is all memory mapped by the runtime.
+	TotalBytes int64 `json:"total_bytes"`
+	// GCCycles counts completed GC cycles since process start.
+	GCCycles int64 `json:"gc_cycles"`
+	// GCPauseMs are stop-the-world pause quantiles (milliseconds) over
+	// the process lifetime.
+	GCPauseMs RuntimeQuantiles `json:"gc_pause_ms"`
+	// SchedLatencyMs are goroutine scheduling-latency quantiles
+	// (milliseconds, time spent runnable before running) over the
+	// process lifetime.
+	SchedLatencyMs RuntimeQuantiles `json:"sched_latency_ms"`
+}
+
+// RuntimeQuantiles is one p50/p90/p99 triple from a runtime histogram.
+type RuntimeQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// runtimeSamples names the runtime/metrics series ReadRuntime consumes.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/heap/unused:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntime reads the current runtime state. The read is a handful of
+// atomic loads inside the runtime — cheap enough for a per-second
+// sampling loop.
+func ReadRuntime() RuntimeSnapshot {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var rs RuntimeSnapshot
+	u := func(i int) int64 {
+		if samples[i].Value.Kind() != metrics.KindUint64 {
+			return 0
+		}
+		return int64(samples[i].Value.Uint64())
+	}
+	rs.Goroutines = u(0)
+	rs.HeapInuseBytes = u(1) + u(2)
+	rs.TotalBytes = u(3)
+	rs.GCCycles = u(4)
+	rs.GCPauseMs = histQuantilesMs(samples[5])
+	rs.SchedLatencyMs = histQuantilesMs(samples[6])
+	return rs
+}
+
+// histQuantilesMs computes p50/p90/p99 in milliseconds from one
+// runtime/metrics float64-histogram sample (bucket unit: seconds). A
+// missing or empty histogram yields zeros.
+func histQuantilesMs(s metrics.Sample) RuntimeQuantiles {
+	var q RuntimeQuantiles
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return q
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return q
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return q
+	}
+	q.P50 = runtimeHistQuantile(h, total, 0.50)
+	q.P90 = runtimeHistQuantile(h, total, 0.90)
+	q.P99 = runtimeHistQuantile(h, total, 0.99)
+	return q
+}
+
+// runtimeHistQuantile finds the q-quantile by nearest rank, returning
+// the bucket's midpoint in milliseconds. Buckets with infinite edges
+// fall back to their finite edge.
+func runtimeHistQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	rank := uint64(q*float64(total-1)) + 1
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			return 0
+		case math.IsInf(lo, -1):
+			return hi * 1e3
+		case math.IsInf(hi, 1):
+			return lo * 1e3
+		default:
+			return (lo + hi) / 2 * 1e3
+		}
+	}
+	return 0
+}
+
+// EnableRuntime makes every subsequent Snapshot of this registry carry
+// a RuntimeSnapshot (and therefore the Prometheus export carry
+// msrnet_runtime_* series). Off by default so library registries — and
+// the determinism-sensitive bench snapshots — stay purely
+// deterministic, app-level state.
+func (r *Registry) EnableRuntime() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runtimeOn = true
+	r.mu.Unlock()
+}

@@ -23,6 +23,11 @@ type Snapshot struct {
 	Histograms map[string]HistSnapshot     `json:"histograms,omitempty"`
 	Quantiles  map[string]QuantileSnapshot `json:"quantiles,omitempty"`
 	Spans      []SpanSnapshot              `json:"spans,omitempty"`
+	// Runtime carries the Go runtime's state (goroutines, heap, GC
+	// pause and scheduling-latency quantiles) when the registry has
+	// EnableRuntime set — daemons only; batch/bench registries stay
+	// deterministic.
+	Runtime *RuntimeSnapshot `json:"runtime,omitempty"`
 }
 
 // QuantileSnapshot is the serialized view of one sliding-window
@@ -110,6 +115,10 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	snap.Spans = snapshotSpans(&r.spans)
+	if r.runtimeOn {
+		rt := ReadRuntime()
+		snap.Runtime = &rt
+	}
 	return snap
 }
 
@@ -170,6 +179,17 @@ func (s Snapshot) Text() string {
 			fmt.Fprintf(&b, "  %-44s n=%d p50=%.3gms p90=%.3gms p99=%.3gms (%.0fs window)\n",
 				name, q.Count, q.P50, q.P90, q.P99, q.WindowSeconds)
 		}
+	}
+	if s.Runtime != nil {
+		rt := s.Runtime
+		b.WriteString("runtime:\n")
+		fmt.Fprintf(&b, "  %-44s %d\n", "goroutines", rt.Goroutines)
+		fmt.Fprintf(&b, "  %-44s %d\n", "heap_inuse_bytes", rt.HeapInuseBytes)
+		fmt.Fprintf(&b, "  %-44s %d\n", "gc_cycles", rt.GCCycles)
+		fmt.Fprintf(&b, "  %-44s p50=%.3gms p90=%.3gms p99=%.3gms\n",
+			"gc_pause", rt.GCPauseMs.P50, rt.GCPauseMs.P90, rt.GCPauseMs.P99)
+		fmt.Fprintf(&b, "  %-44s p50=%.3gms p90=%.3gms p99=%.3gms\n",
+			"sched_latency", rt.SchedLatencyMs.P50, rt.SchedLatencyMs.P90, rt.SchedLatencyMs.P99)
 	}
 	if len(s.Histograms) > 0 {
 		b.WriteString("histograms:\n")

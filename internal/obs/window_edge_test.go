@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWindowEmptyQuantiles: an empty window reports zeros, not NaNs or
+// stale values, for every field.
+func TestWindowEmptyQuantiles(t *testing.T) {
+	w, _ := newTestWindow(time.Minute, 5*time.Second)
+	s := w.Stats()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P90 != 0 || s.P99 != 0 {
+		t.Fatalf("empty window stats = %+v, want all zero", s)
+	}
+}
+
+// TestWindowSingleSample: with one observation, every quantile is that
+// observation (within bucket resolution) and Count/Sum are exact.
+func TestWindowSingleSample(t *testing.T) {
+	w, _ := newTestWindow(time.Minute, 5*time.Second)
+	w.Observe(3.0) // 3000 µs: inside the log-linear region
+	s := w.Stats()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Sum != 3.0 {
+		t.Fatalf("sum = %g, want 3.0", s.Sum)
+	}
+	const relBound = 1.0 / 16
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{{"p50", s.P50}, {"p90", s.P90}, {"p99", s.P99}} {
+		if rel := (q.v - 3.0) / 3.0; rel < -relBound || rel > relBound {
+			t.Errorf("%s = %g, want 3.0 ± %.0f%%", q.name, q.v, relBound*100)
+		}
+	}
+	if s.P50 != s.P90 || s.P90 != s.P99 {
+		t.Errorf("single-sample quantiles differ: p50=%g p90=%g p99=%g", s.P50, s.P90, s.P99)
+	}
+}
+
+// TestWindowZeroValueSample: a 0 ms observation (and negative inputs,
+// which clamp to 0) still counts and quantiles stay 0, exercising the
+// first bucket.
+func TestWindowZeroValueSample(t *testing.T) {
+	w, _ := newTestWindow(time.Minute, 5*time.Second)
+	w.Observe(0)
+	w.Observe(-1)
+	s := w.Stats()
+	if s.Count != 2 || s.P99 != 0 {
+		t.Fatalf("stats = %+v, want count 2 and zero quantiles", s)
+	}
+}
+
+// TestWindowSnapshotDeterminismAcrossRotation: rotation is lazy —
+// expired intervals are reset by the next Observe, not by Stats — so
+// repeated snapshots at one instant must agree exactly, including when
+// that instant sits just past an epoch boundary where stale intervals
+// are being skipped rather than rotated.
+func TestWindowSnapshotDeterminismAcrossRotation(t *testing.T) {
+	r := New()
+	w := r.Window("svc/latency/e2e/ok", 4*time.Second, time.Second)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w.now = clk.now
+
+	w.Observe(10)
+	clk.advance(time.Second)
+	w.Observe(20)
+	w.Observe(30)
+
+	// Cross an epoch boundary WITHOUT observing: the interval holding
+	// the first sample is about to leave the window, and no Observe has
+	// rotated any slot.
+	clk.advance(3 * time.Second)
+
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	q1, ok1 := s1.Quantiles["svc/latency/e2e/ok"]
+	q2, ok2 := s2.Quantiles["svc/latency/e2e/ok"]
+	if !ok1 || !ok2 {
+		t.Fatalf("window missing from snapshot: %v %v", ok1, ok2)
+	}
+	if q1 != q2 {
+		t.Fatalf("back-to-back snapshots disagree: %+v vs %+v", q1, q2)
+	}
+	// The epoch-0 sample (10 ms) expired; only the two epoch-1 samples
+	// remain in [window-interval, window].
+	if q1.Count != 2 {
+		t.Fatalf("count = %d after boundary, want 2 (the 10ms sample expired)", q1.Count)
+	}
+
+	// One more interval and the rest expires too: the window drains to
+	// empty deterministically.
+	clk.advance(2 * time.Second)
+	if s := w.Stats(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("stats after full expiry = %+v, want empty", s)
+	}
+
+	// A fresh observation after total expiry starts a clean interval:
+	// no stale counts leak from the pre-rotation buckets.
+	w.Observe(40)
+	s := w.Stats()
+	if s.Count != 1 || s.Sum != 40 {
+		t.Fatalf("post-expiry stats = %+v, want exactly the new sample", s)
+	}
+}
+
+// TestWindowSnapshotQuantileFields: the registry snapshot carries the
+// same merged view Stats reports — the two read paths cannot drift.
+func TestWindowSnapshotQuantileFields(t *testing.T) {
+	r := New()
+	w := r.Window("lat", time.Minute, 5*time.Second)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w.now = clk.now
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	direct := w.Stats()
+	snap, ok := r.Snapshot().Quantiles["lat"]
+	if !ok {
+		t.Fatal("window missing from snapshot")
+	}
+	got := WindowStats{Count: snap.Count, Sum: snap.Sum, P50: snap.P50, P90: snap.P90, P99: snap.P99}
+	if got != direct {
+		t.Fatalf("snapshot %+v != direct stats %+v", got, direct)
+	}
+	if want := w.Window().Seconds(); snap.WindowSeconds != want {
+		t.Fatalf("snapshot window = %gs, want %gs", snap.WindowSeconds, want)
+	}
+}

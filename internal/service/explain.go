@@ -27,11 +27,14 @@ const (
 	OutcomeDegraded = "degraded"
 	OutcomeShed     = "shed"
 	OutcomeError    = "error"
+	// OutcomeRejected marks jobs the admission path turned away before
+	// they ever queued: queue-saturation 429s and draining rejections.
+	OutcomeRejected = "rejected"
 )
 
 // outcomeClasses enumerates the classes so the daemon can pre-build
 // one latency window per class (no allocation on the job path).
-var outcomeClasses = []string{OutcomeOK, OutcomeDegraded, OutcomeShed, OutcomeError}
+var outcomeClasses = []string{OutcomeOK, OutcomeDegraded, OutcomeShed, OutcomeError, OutcomeRejected}
 
 // outcomeOf classifies a finished result.
 func outcomeOf(res Result) string {
@@ -165,14 +168,6 @@ func (t *jobTable) start(e *Explain) {
 	t.mu.Unlock()
 }
 
-// remove unregisters a job that never ran (batch rejected after
-// registration).
-func (t *jobTable) remove(id string) {
-	t.mu.Lock()
-	delete(t.active, id)
-	t.mu.Unlock()
-}
-
 // setRunning marks a queued job as dequeued.
 func (t *jobTable) setRunning(id string) {
 	t.mu.Lock()
@@ -182,17 +177,20 @@ func (t *jobTable) setRunning(id string) {
 	t.mu.Unlock()
 }
 
-// finish retires a live job: its completed report replaces the live
-// entry and joins the ring. Reports are immutable after finish.
-func (t *jobTable) finish(e *Explain) {
+// detach takes a live job out of the active table, returning sole
+// ownership of its report to the caller: once detached, no List/Get
+// reader can reach the pointer, so the finish path may fill the
+// completion fields without racing concurrent readers. Retire the
+// finished report with record.
+func (t *jobTable) detach(id string) {
 	t.mu.Lock()
-	delete(t.active, e.JobID)
-	t.push(e)
+	delete(t.active, id)
 	t.mu.Unlock()
 }
 
-// record adds a report that never queued (cache hits) straight to the
-// ring.
+// record adds a completed report to the finished ring — jobs that
+// never queued (cache hits) and detached jobs whose completion fields
+// are filled. Reports are immutable after record.
 func (t *jobTable) record(e *Explain) {
 	t.mu.Lock()
 	t.push(e)

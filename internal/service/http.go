@@ -6,9 +6,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"msrnet/internal/obs/export"
+	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
 )
 
@@ -23,6 +25,8 @@ const maxRequestBytes = 64 << 20
 //	GET  /debug/jobs       live + recent per-job explain reports
 //	GET  /debug/jobs/{id}  one report, by job id or trace id
 //	GET  /debug/trace      the shared ring tracer as Chrome trace JSON
+//	GET  /debug/recorder   flight-recorder ring + SLO rule state (?n=…)
+//	POST /debug/dump       force a postmortem bundle; returns its path
 //	GET  /metrics          Prometheus text exposition (includes svc/* series)
 //	GET  /debug/vars, /debug/pprof/*, /healthz   (internal/obs/export)
 //
@@ -35,6 +39,8 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/jobs", d.handleJobList)
 	mux.HandleFunc("GET /debug/jobs/{id}", d.handleJobGet)
 	mux.HandleFunc("GET /debug/trace", d.handleTrace)
+	mux.HandleFunc("GET /debug/recorder", d.handleRecorder)
+	mux.HandleFunc("POST /debug/dump", d.handleDump)
 	export.Register(mux, d.reg)
 	return mux
 }
@@ -116,6 +122,43 @@ func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleRecorder serves the live flight-recorder state: the sampled
+// ring (bounded by ?n=, newest-last) and each SLO rule's evaluation.
+func (d *Daemon) handleRecorder(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Recorder == nil {
+		writeError(w, http.StatusNotFound, ErrBadRequest, "flight recorder disabled (start the daemon with -postmortem-dir or -slo)")
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, ErrBadRequest, "bad n: want a non-negative integer")
+			return
+		}
+		n = parsed
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d.cfg.Recorder.State(n))
+}
+
+// handleDump forces a postmortem bundle (reason "manual"), bypassing
+// the automatic-trigger cooldown, and returns the bundle path.
+func (d *Daemon) handleDump(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Recorder == nil {
+		writeError(w, http.StatusNotFound, ErrBadRequest, "flight recorder disabled (start the daemon with -postmortem-dir)")
+		return
+	}
+	dir, err := d.cfg.Recorder.Trigger(recorder.ReasonManual, "POST /debug/dump from "+r.RemoteAddr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrInternal, "postmortem capture failed: "+err.Error())
+		return
+	}
+	d.log.InfoContext(r.Context(), "postmortem bundle written", "bundle", dir, "reason", recorder.ReasonManual)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"schema": recorder.BundleSchema, "bundle": dir})
+}
+
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeErrorBody(w, status, ErrorBody{Version: SchemaVersion, Code: code, Error: msg})
 }
@@ -178,6 +221,6 @@ func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
 		}
 	}()
 	logger.Info("msrnetd listening", "addr", ln.Addr().String(),
-		"endpoints", []string{"/v1/jobs", "/readyz", "/debug/jobs", "/debug/trace", "/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
+		"endpoints", []string{"/v1/jobs", "/readyz", "/debug/jobs", "/debug/trace", "/debug/recorder", "/debug/dump", "/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
 	return &HTTPServer{d: d, ln: ln, srv: srv}, nil
 }

@@ -17,6 +17,7 @@ import (
 	"msrnet/internal/faultinject"
 	"msrnet/internal/netio"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
@@ -77,6 +78,11 @@ type Config struct {
 	// obs.DefaultWindow / obs.DefaultInterval.
 	SLOWindow   time.Duration
 	SLOInterval time.Duration
+	// Recorder, when non-nil, is the always-on flight recorder: the
+	// daemon feeds it the live jobs view, fires an automatic postmortem
+	// on recovered worker panics, and serves it at POST /debug/dump and
+	// GET /debug/recorder. The caller owns Start/Stop.
+	Recorder *recorder.FlightRecorder
 }
 
 // DefaultCoarseEps is the dominance relaxation degraded runs use when
@@ -210,6 +216,12 @@ func New(cfg Config) *Daemon {
 			e2e:   reg.Window("svc/latency/e2e/"+class, win, iv),
 		}
 	}
+	// Postmortem bundles carry the live jobs view so an incident report
+	// can say what was in flight when the daemon died.
+	cfg.Recorder.SetJobs(func() any {
+		active, recent := d.table.List()
+		return jobListBody{Schema: ExplainSchema, Active: active, Recent: recent}
+	})
 	d.workers.Set(int64(cfg.Workers))
 	d.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -249,6 +261,7 @@ func decodeErr(label string, err error) *SubmitError {
 // queue_full — partial admission would make 429 retries recompute the
 // admitted half.
 func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitError) {
+	submitStart := time.Now()
 	sub := d.reg.StartSpan("svc/submit")
 	defer sub.End()
 	if err := req.Validate(); err != nil {
@@ -311,15 +324,29 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	decSpan.End()
 
 	// Register the batch for introspection (GET /debug/jobs) before the
-	// queue can hand it to a worker; a rejected batch is unregistered so
-	// it leaves no trace in the table.
+	// queue can hand it to a worker. A rejected batch (queue full,
+	// draining) still retires into the done-ring as outcome=rejected:
+	// a daemon shedding admission under saturation must show those jobs
+	// in /debug/jobs and in postmortem bundles, not silently drop them.
 	for _, t := range pending {
 		d.table.start(t.explain)
 	}
 	if err := d.enqueue(pending); err != nil {
+		ms := float64(time.Since(submitStart)) / float64(time.Millisecond)
 		for _, t := range pending {
 			t.cancel()
-			d.table.remove(t.jid)
+			e := t.explain
+			d.table.detach(e.JobID)
+			e.State = JobDone
+			e.Outcome = OutcomeRejected
+			e.Code = err.Code
+			e.TotalMs = ms
+			d.table.record(e)
+			if lw, ok := d.lat[OutcomeRejected]; ok {
+				lw.queue.Observe(0)
+				lw.solve.Observe(0)
+				lw.e2e.Observe(ms)
+			}
 		}
 		return nil, err
 	}
@@ -451,6 +478,16 @@ func (d *Daemon) runTask(t *task) {
 				if p := recover(); p != nil {
 					d.panics.Inc()
 					d.log.ErrorContext(t.ctx, "job panic recovered", "job", t.label, "panic", fmt.Sprint(p))
+					// A worker panic is a postmortem trigger: the recorder
+					// snapshots the last minutes of daemon state while the
+					// evidence is still hot (cooldown-debounced, so a panic
+					// storm writes one bundle, not hundreds).
+					if dir, err := d.cfg.Recorder.TriggerAuto(recorder.ReasonPanic,
+						fmt.Sprintf("job %s: %v", t.jid, p)); err != nil {
+						d.log.ErrorContext(t.ctx, "postmortem capture failed", "err", err)
+					} else if dir != "" {
+						d.log.ErrorContext(t.ctx, "postmortem bundle written", "bundle", dir)
+					}
 					resCh <- d.failResult(t, ErrInternal, fmt.Sprintf("panic: %v", p))
 				}
 			}()
@@ -501,9 +538,13 @@ func (d *Daemon) runTask(t *task) {
 
 // finishJob completes the explain report, retires it to the finished
 // ring, observes the per-outcome SLO latency windows and — when the
-// request asked — attaches the report to the result.
+// request asked — attaches the report to the result. The report is
+// detached from the live table BEFORE its completion fields are
+// written: a concurrent List/Get (debug handlers, the flight
+// recorder's jobs capture) must never observe a half-finished report.
 func (d *Daemon) finishJob(t *task) {
 	e := t.explain
+	d.table.detach(e.JobID)
 	e.State = JobDone
 	e.Outcome = outcomeOf(t.res)
 	e.Code = t.res.Code
@@ -520,7 +561,7 @@ func (d *Daemon) finishJob(t *task) {
 			}
 		}
 	}
-	d.table.finish(e)
+	d.table.record(e)
 	if t.want {
 		t.res.Explain = e
 	}
@@ -591,7 +632,7 @@ func (d *Daemon) exec(t *task) Result {
 			IncludeSelf: j.Options.IncludeSelf,
 			Parallel:    j.Options.Parallel,
 			WireWidths:  append([]float64(nil), j.Options.WireWidths...),
-			Obs:         recorder(d.reg),
+			Obs:         asRecorder(d.reg),
 			Trace:       d.cfg.Tracer,
 			TraceArgs:   targs,
 		}
@@ -718,9 +759,9 @@ func termName(tr *topo.Tree, id int) string {
 	return tr.Node(id).Term.Name
 }
 
-// recorder converts a possibly-nil *Registry into a Recorder without
+// asRecorder converts a possibly-nil *Registry into a Recorder without
 // the typed-nil interface trap.
-func recorder(reg *obs.Registry) obs.Recorder {
+func asRecorder(reg *obs.Registry) obs.Recorder {
 	if reg == nil {
 		return nil
 	}
