@@ -10,12 +10,16 @@
 //	benchreport                                  # quick suite -> BENCH_msrnet.json
 //	benchreport -suite full -repeats 5
 //	benchreport -baseline BENCH_msrnet.json -out /tmp/now.json
-//	benchreport -baseline BENCH_msrnet.json -threshold 0.25
+//	benchreport -baseline BENCH_msrnet.json -threshold 0.25 -waste-threshold 5
 //
 // Comparison is on the DP's deterministic work counters (solutions
 // created, prune calls, set sizes…), which are machine-independent, so
 // a committed baseline stays meaningful on any runner. Wall-clock
 // comparison is opt-in via -time-threshold, for same-machine A/B runs.
+// The MSRI workloads additionally carry waste counters (dead-candidate
+// share of PWL segment ops); the waste-budget gate fails the run when a
+// workload's waste ratio grows more than -waste-threshold per-mille
+// points past the baseline.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"msrnet/internal/bench"
 	"msrnet/internal/cliflags"
+	"msrnet/internal/solveprof"
 )
 
 func main() {
@@ -35,6 +40,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare against this committed report; exit 1 on regression")
 		threshold = flag.Float64("threshold", 0.25, "allowed fractional growth per work counter")
 		timeTol   = flag.Float64("time-threshold", 0, "allowed fractional wall-time growth (0 = don't compare time)")
+		wasteTol  = flag.Int64("waste-threshold", 5, "allowed waste-ratio growth in per-mille points (waste-budget gate; negative = don't gate)")
 	)
 	flag.Parse()
 
@@ -42,6 +48,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	var base *bench.Report
+	if *baseline != "" {
+		b, err := bench.Load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = &b
+	}
+
 	for _, wl := range rep.Workloads {
 		fmt.Printf("%-14s %10.4fs", wl.Name, wl.WallSeconds)
 		for _, key := range []string{"solutions_created", "prune_calls", "nodes"} {
@@ -49,23 +65,26 @@ func main() {
 				fmt.Printf("  %s=%d", key, v)
 			}
 		}
-		fmt.Println()
+		fmt.Printf("%s\n", wasteColumn(wl, base))
 	}
 	if err := rep.WriteFile(*out); err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)
 
-	if *baseline == "" {
+	if base == nil {
 		return
 	}
-	base, err := bench.Load(*baseline)
+	regs, err := bench.Compare(*base, rep, *threshold, *timeTol)
 	if err != nil {
 		fatal(err)
 	}
-	regs, err := bench.Compare(base, rep, *threshold, *timeTol)
-	if err != nil {
-		fatal(err)
+	if *wasteTol >= 0 {
+		wregs, err := bench.WasteRegressions(*base, rep, *wasteTol)
+		if err != nil {
+			fatal(err)
+		}
+		regs = append(regs, wregs...)
 	}
 	if len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s:\n", len(regs), *baseline)
@@ -74,7 +93,40 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("no regressions vs %s (counter threshold %.0f%%)\n", *baseline, *threshold*100)
+	fmt.Printf("no regressions vs %s (counter threshold %.0f%%, waste slack %d‰)\n",
+		*baseline, *threshold*100, *wasteTol)
+}
+
+// wasteColumn renders the waste-ratio column for MSRI workloads:
+// deaths/born and the wasted-ops share, with the delta against the
+// baseline when one is loaded.
+func wasteColumn(wl bench.Workload, base *bench.Report) string {
+	total, ok := wl.Counters["total_seg_ops"]
+	if !ok {
+		return ""
+	}
+	dropRatio := solveprof.PerMille(wl.Counters["dropped"], wl.Counters["solutions_created"])
+	wasteRatio := wl.Counters["waste_per_mille"]
+	col := fmt.Sprintf("  dropped/created=%d.%d%%  wasted_ops=%d.%d%% (%d/%d)",
+		dropRatio/10, dropRatio%10, wasteRatio/10, wasteRatio%10,
+		wl.Counters["wasted_seg_ops"], total)
+	if base != nil {
+		for _, bw := range base.Workloads {
+			if bw.Name != wl.Name {
+				continue
+			}
+			if b, ok := bw.Counters["waste_per_mille"]; ok {
+				d := wasteRatio - b
+				sign := "+"
+				if d < 0 {
+					sign, d = "-", -d
+				}
+				col += fmt.Sprintf("  Δwaste=%s%d.%dpp", sign, d/10, d%10)
+			}
+			break
+		}
+	}
+	return col
 }
 
 func fatal(err error) { cliflags.Fatal("benchreport", err) }

@@ -8,6 +8,7 @@
 //	experiments -fig 11 -svgdir out/ # Fig. 11 panels, with SVG renderings
 //	experiments -all -listen :9090   # live /metrics + /debug/pprof while it runs
 //	experiments -all -trace-events t.json  # Perfetto-loadable study timeline
+//	experiments -all -solveprof p.json     # merged candidate-lifecycle waste profile
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
@@ -24,6 +26,7 @@ import (
 	"msrnet/internal/obs"
 	trc "msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
+	"msrnet/internal/solveprof"
 	"msrnet/internal/svgplot"
 )
 
@@ -40,10 +43,14 @@ func main() {
 		combined = flag.Bool("combined", false, "run the joint sizing+repeater study")
 		svgdir   = flag.String("svgdir", "", "directory for Fig. 11 SVG output")
 		csvdir   = flag.String("csvdir", "", "directory for CSV dumps of the tables")
+		profOut  = flag.String("solveprof", "", "write the session's merged msrnet-solveprof/v1 candidate-lifecycle profile to this file")
 	)
 	obsFlags := cliflags.Register(flag.CommandLine, cliflags.Caps{TraceEvents: true, Listen: true})
 	flag.Parse()
 	tech := buslib.Default()
+	if *profOut != "" {
+		experiments.EnableProfiling()
+	}
 
 	run, err := obsFlags.Start()
 	if err != nil {
@@ -199,6 +206,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *profOut != "" {
+		p := solveprof.FromProfile(experiments.CollectProfile(), "experiments", studyLabel())
+		if p == nil {
+			fatal(fmt.Errorf("no solves were profiled"))
+		}
+		if err := p.WriteFile(*profOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("solveprof: %d runs merged, %d born, %d died, waste ratio %d‰ -> %s\n",
+			p.Runs, p.Totals.Born, p.Totals.Deaths, p.Waste.SegOpsPerMille, *profOut)
+	}
+}
+
+// studyLabel names the profiled session after the flags that selected
+// the studies, so diffs between sessions are self-describing.
+func studyLabel() string {
+	var parts []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "table", "fig", "asym", "all", "spacing", "combined", "nets", "seed":
+			parts = append(parts, fmt.Sprintf("%s=%s", f.Name, f.Value))
+		}
+	})
+	return strings.Join(parts, ",")
 }
 
 // startStudy opens the same study phase in both sinks — a registry span

@@ -14,6 +14,7 @@
 //	msri -net net10.json -metrics m.json       # JSON metrics snapshot (spans + histograms)
 //	msri -net net10.json -trace                # phase-span report on stderr
 //	msri -net net10.json -trace-events t.json  # Perfetto-loadable per-node DP timeline
+//	msri -net net10.json -solveprof p.json     # candidate-lifecycle waste profile (see msrnetprof)
 //	msri -net net10.json -listen :9090         # live /metrics, /debug/vars, /debug/pprof
 //	msri -net net10.json -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -32,6 +33,7 @@ import (
 	"msrnet/internal/netio"
 	"msrnet/internal/rctree"
 	"msrnet/internal/report"
+	"msrnet/internal/solveprof"
 	"msrnet/internal/spef"
 	"msrnet/internal/svgplot"
 	"msrnet/internal/topo"
@@ -51,6 +53,7 @@ func main() {
 		widths   = flag.String("widths", "", "comma-separated wire width options (enables wire sizing)")
 		pruner   = flag.String("pruner", "divide", "divide | naive (MFS implementation)")
 		stats    = flag.Bool("stats", false, "print dynamic-programming statistics")
+		profOut  = flag.String("solveprof", "", "write a msrnet-solveprof/v1 candidate-lifecycle profile to this file (analyze with msrnetprof)")
 		parallel = flag.Bool("parallel", false, "evaluate independent subtrees of this one net concurrently (intra-net parallelism; composes with, and is independent of, msrnetd's worker-pool parallelism across jobs)")
 		rep      = flag.Bool("report", false, "print a before/after summary and placement report for the chosen solution")
 	)
@@ -101,6 +104,7 @@ func main() {
 		fatal(fmt.Errorf("unknown pruner %q", *pruner))
 	}
 	opt.Parallel = *parallel
+	opt.Profile = *profOut != ""
 	if *widths != "" {
 		for _, tok := range strings.Split(*widths, ",") {
 			w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -130,6 +134,14 @@ func main() {
 	if *stats {
 		fmt.Printf("stats: %d solutions created, max set %d, max PWL segments %d, %d prunes, %d dropped\n",
 			res.Stats.SolutionsCreated, res.Stats.MaxSetSize, res.Stats.MaxSegs, res.Stats.PruneCalls, res.Stats.Dropped)
+	}
+	if *profOut != "" {
+		p := solveprof.FromResult(res, "msri", *netPath)
+		if err := p.WriteFile(*profOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("solveprof: %d born, %d died, waste ratio %d‰ -> %s\n",
+			p.Totals.Born, p.Totals.Deaths, p.Waste.SegOpsPerMille, *profOut)
 	}
 
 	best, err := res.Suite.MinARD()

@@ -1,0 +1,131 @@
+// Command msrnetprof is the differential analyzer for
+// msrnet-solveprof/v1 artifacts: it renders where the MSRI solver
+// wastes work (which candidate classes die, at which topology nodes,
+// after how many survived prunes, at what PWL-segment cost), diffs two
+// profiles, and checks a profile against the committed bench baseline.
+//
+// Usage:
+//
+//	msrnetprof prof.json                      # render one profile
+//	msrnetprof old.json new.json              # diff two profiles
+//	msrnetprof -bench msri/12pin              # profile a committed bench workload in-process
+//	msrnetprof -bench msri/12pin -out p.json  # ... and write the artifact
+//	msrnetprof old.json -bench msri/12pin     # diff a saved profile against a fresh run
+//	msrnetprof -baseline BENCH_msrnet.json -bench msri/12pin
+//	                                          # check the waste ratio against the bench baseline
+//
+// The rendered "predictive-pruning upper bound" is the share of work
+// charged to candidates that die: a perfect predictive pruner (Li &
+// Shi's O(bn²) bookkeeping, ROADMAP open item 1) could remove at most
+// that much of the solver's PWL/allocation work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"msrnet/internal/bench"
+	"msrnet/internal/cliflags"
+	"msrnet/internal/solveprof"
+)
+
+func main() {
+	var (
+		benchWL  = flag.String("bench", "", "profile this committed bench workload (msri/<N>pin) in-process")
+		out      = flag.String("out", "", "write the -bench profile artifact to this file")
+		baseline = flag.String("baseline", "", "compare the profile's waste ratio against this committed bench report")
+		top      = flag.Int("top", 10, "number of top wasted sites / movers to show")
+	)
+	flag.Parse()
+
+	profiles, err := loadInputs(flag.Args(), *benchWL)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if *benchWL == "" {
+			fatal(fmt.Errorf("-out requires -bench (saved profiles are already on disk)"))
+		}
+		if err := profiles[len(profiles)-1].WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	switch len(profiles) {
+	case 1:
+		solveprof.Render(os.Stdout, profiles[0], *top)
+	case 2:
+		solveprof.Compute(profiles[0], profiles[1]).Render(os.Stdout, *top)
+	default:
+		fatal(fmt.Errorf("need one profile (render) or two (diff); got %d — see -h", len(profiles)))
+	}
+
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, profiles[len(profiles)-1]); err != nil {
+			fmt.Fprintln(os.Stderr, "msrnetprof:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadInputs resolves positional artifact paths plus the optional
+// in-process bench profile (which, when present, acts as the "new"
+// side).
+func loadInputs(paths []string, benchWL string) ([]*solveprof.Profile, error) {
+	var out []*solveprof.Profile
+	for _, path := range paths {
+		p, err := solveprof.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if benchWL != "" {
+		res, err := bench.ProfileMSRI(benchWL)
+		if err != nil {
+			return nil, err
+		}
+		p := solveprof.FromResult(res, "bench", benchWL)
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// checkBaseline compares the profile's waste ratio against the
+// committed bench counters for the same workload — the CLI face of the
+// CI waste-budget gate.
+func checkBaseline(path string, p *solveprof.Profile) error {
+	rep, err := bench.Load(path)
+	if err != nil {
+		return err
+	}
+	for _, wl := range rep.Workloads {
+		if wl.Name != p.Workload {
+			continue
+		}
+		base, ok := wl.Counters["waste_per_mille"]
+		if !ok {
+			return fmt.Errorf("baseline %s has no waste counters for %s (regenerate it)", path, wl.Name)
+		}
+		cur := p.Waste.SegOpsPerMille
+		d := cur - base
+		sign := "+"
+		if d < 0 {
+			sign, d = "-", -d
+		}
+		fmt.Printf("\nbaseline %s: waste ratio %d.%d%% vs committed %d.%d%% (%s%d.%dpp)\n",
+			wl.Name, cur/10, cur%10, base/10, base%10, sign, d/10, d%10)
+		if cur > base {
+			return fmt.Errorf("waste ratio regressed vs baseline: %d‰ > %d‰", cur, base)
+		}
+		return nil
+	}
+	return fmt.Errorf("baseline %s has no workload %q", path, p.Workload)
+}
+
+func fatal(err error) { cliflags.Fatal("msrnetprof", err) }

@@ -26,6 +26,7 @@ import (
 	"msrnet/internal/netgen"
 	"msrnet/internal/obs"
 	"msrnet/internal/rctree"
+	"msrnet/internal/solveprof"
 )
 
 // Schema identifies the report layout for downstream tooling.
@@ -102,29 +103,62 @@ func ardWorkload(pins int, seed int64, iters int) workload {
 	}
 }
 
+// msriParams maps each committed MSRI workload to its netgen seed —
+// the single source of truth shared by the suites and ProfileMSRI.
+var msriParams = map[int]int64{10: 1, 12: 3, 16: 7, 20: 1, 32: 7}
+
+// MSRIWorkloadName returns the canonical workload name for a pin count.
+func MSRIWorkloadName(pins int) string { return fmt.Sprintf("msri/%dpin", pins) }
+
+// msriRun executes one committed MSRI workload with lifecycle profiling
+// on. Profiling is pure observation (asserted by the core tests), so
+// the Stats counters are identical to an unprofiled run — the committed
+// baseline stays valid.
+func msriRun(pins int, rec obs.Recorder) (*core.Result, error) {
+	seed, ok := msriParams[pins]
+	if !ok {
+		return nil, fmt.Errorf("bench: no committed msri workload for %d pins", pins)
+	}
+	tr, err := netgen.Generate(seed, netgen.Defaults(pins))
+	if err != nil {
+		return nil, err
+	}
+	rt := tr.RootAt(tr.Terminals()[0])
+	return core.Optimize(rt, buslib.Default(), core.Options{Repeaters: true, Obs: rec, Profile: true})
+}
+
+// ProfileMSRI runs one committed MSRI workload ("msri/12pin" form) and
+// returns its result with the lifecycle profile attached — the entry
+// point cmd/msrnetprof uses to profile a bench workload in place.
+func ProfileMSRI(name string) (*core.Result, error) {
+	var pins int
+	if _, err := fmt.Sscanf(name, "msri/%dpin", &pins); err != nil {
+		return nil, fmt.Errorf("bench: workload %q is not an msri workload (want msri/<N>pin)", name)
+	}
+	return msriRun(pins, nil)
+}
+
 // msriWorkload measures one optimal repeater-insertion run (§IV DP).
 // The Stats counters are the DP's work profile: any algorithmic
 // regression — weaker pruning, set blow-up, PWL segment growth — moves
-// them, on every machine identically.
-func msriWorkload(pins int, seed int64) workload {
+// them, on every machine identically. The lifecycle profile adds the
+// waste counters the CI waste gate baselines: total/wasted PWL segment
+// ops and the integer waste ratio.
+func msriWorkload(pins int) workload {
 	return workload{
-		name: fmt.Sprintf("msri/%dpin", pins),
+		name: MSRIWorkloadName(pins),
 		run: func(reg *obs.Registry) (map[string]int64, error) {
-			tr, err := netgen.Generate(seed, netgen.Defaults(pins))
-			if err != nil {
-				return nil, err
-			}
-			rt := tr.RootAt(tr.Terminals()[0])
 			var rec obs.Recorder
 			if reg != nil {
 				rec = reg
 			}
 			sp := reg.StartSpan("msri/optimize")
-			res, err := core.Optimize(rt, buslib.Default(), core.Options{Repeaters: true, Obs: rec})
+			res, err := msriRun(pins, rec)
 			if err != nil {
 				return nil, err
 			}
 			sp.End()
+			p := res.Profile
 			return map[string]int64{
 				"solutions_created": int64(res.Stats.SolutionsCreated),
 				"max_set_size":      int64(res.Stats.MaxSetSize),
@@ -132,6 +166,9 @@ func msriWorkload(pins int, seed int64) workload {
 				"prune_calls":       int64(res.Stats.PruneCalls),
 				"dropped":           int64(res.Stats.Dropped),
 				"suite_points":      int64(len(res.Suite)),
+				"total_seg_ops":     p.TotalSegOps,
+				"wasted_seg_ops":    p.WastedSegOps,
+				"waste_per_mille":   solveprof.PerMille(p.WastedSegOps, p.TotalSegOps),
 			}, nil
 		},
 	}
@@ -145,16 +182,19 @@ func suiteWorkloads(suite string) ([]workload, error) {
 	case "", "quick":
 		return []workload{
 			ardWorkload(16, 7, 256),
-			msriWorkload(10, 1),
-			msriWorkload(12, 3),
+			msriWorkload(10),
+			msriWorkload(12),
+			msriWorkload(20),
 		}, nil
 	case "full":
 		return []workload{
 			ardWorkload(16, 7, 256),
 			ardWorkload(24, 11, 256),
-			msriWorkload(10, 1),
-			msriWorkload(12, 3),
-			msriWorkload(16, 7),
+			msriWorkload(10),
+			msriWorkload(12),
+			msriWorkload(16),
+			msriWorkload(20),
+			msriWorkload(32),
 		}, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown suite %q (want quick or full)", suite)
@@ -295,6 +335,48 @@ func Compare(base, cur Report, counterTol, timeTol float64) ([]Regression, error
 			regs = append(regs, Regression{
 				Workload: bw.Name, Metric: "wall_seconds",
 				Base: bw.WallSeconds, Current: cw.WallSeconds,
+			})
+		}
+	}
+	return regs, nil
+}
+
+// WasteRegressions is the CI waste-budget gate: for every baselined
+// workload carrying a waste_per_mille counter, the current ratio may
+// not exceed the baseline by more than slackPerMille (an absolute
+// deadband in per-mille points, so a 46.1% → 46.3% wobble passes at
+// slack 5 while a structural regression fails). This is deliberately
+// tighter than the generic Compare tolerance: the waste ratio is a
+// ratio of two deterministic counters, so any genuine movement is a
+// solver change, not measurement noise.
+func WasteRegressions(base, cur Report, slackPerMille int64) ([]Regression, error) {
+	if base.Schema != Schema {
+		return nil, fmt.Errorf("bench: baseline schema %q, want %q", base.Schema, Schema)
+	}
+	curByName := make(map[string]Workload, len(cur.Workloads))
+	for _, wl := range cur.Workloads {
+		curByName[wl.Name] = wl
+	}
+	var regs []Regression
+	for _, bw := range base.Workloads {
+		b, ok := bw.Counters["waste_per_mille"]
+		if !ok {
+			continue
+		}
+		cw, found := curByName[bw.Name]
+		if !found {
+			regs = append(regs, Regression{Workload: bw.Name, Metric: "(missing workload)"})
+			continue
+		}
+		c, ok := cw.Counters["waste_per_mille"]
+		if !ok {
+			regs = append(regs, Regression{Workload: bw.Name, Metric: "waste_per_mille", Base: float64(b)})
+			continue
+		}
+		if c > b+slackPerMille {
+			regs = append(regs, Regression{
+				Workload: bw.Name, Metric: "waste_per_mille",
+				Base: float64(b), Current: float64(c),
 			})
 		}
 	}

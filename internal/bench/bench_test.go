@@ -18,7 +18,7 @@ func TestRunQuickSuite(t *testing.T) {
 	if rep.Schema != Schema {
 		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
 	}
-	want := map[string]bool{"ard/16pin": false, "msri/10pin": false, "msri/12pin": false}
+	want := map[string]bool{"ard/16pin": false, "msri/10pin": false, "msri/12pin": false, "msri/20pin": false}
 	for _, wl := range rep.Workloads {
 		if _, ok := want[wl.Name]; !ok {
 			t.Errorf("unexpected workload %q", wl.Name)
@@ -61,6 +61,68 @@ func TestRunQuickSuite(t *testing.T) {
 	}
 	if len(regs) != 0 {
 		t.Errorf("self-comparison found regressions: %v", regs)
+	}
+}
+
+// TestWasteGate exercises the waste-budget comparison on synthetic
+// reports: absolute per-mille deadband, missing-counter and
+// missing-workload handling.
+func TestWasteGate(t *testing.T) {
+	base := Report{Schema: Schema, Suite: "quick", Workloads: []Workload{
+		{Name: "msri/12pin", Counters: map[string]int64{"waste_per_mille": 460}},
+		{Name: "msri/10pin", Counters: map[string]int64{"waste_per_mille": 200}},
+		{Name: "ard/16pin", Counters: map[string]int64{"nodes": 60}},
+	}}
+	cur := Report{Schema: Schema, Suite: "quick", Workloads: []Workload{
+		{Name: "msri/12pin", Counters: map[string]int64{"waste_per_mille": 464}}, // within slack
+		{Name: "msri/10pin", Counters: map[string]int64{"waste_per_mille": 210}}, // past slack
+		{Name: "ard/16pin", Counters: map[string]int64{"nodes": 60}},
+	}}
+	regs, err := WasteRegressions(base, cur, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Workload != "msri/10pin" || regs[0].Metric != "waste_per_mille" {
+		t.Fatalf("regs = %v, want one msri/10pin waste regression", regs)
+	}
+	// Improvement passes.
+	cur.Workloads[1].Counters["waste_per_mille"] = 150
+	if regs, _ := WasteRegressions(base, cur, 5); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+	// A workload that silently loses its waste counter must fail.
+	delete(cur.Workloads[0].Counters, "waste_per_mille")
+	if regs, _ := WasteRegressions(base, cur, 5); len(regs) != 1 {
+		t.Errorf("missing counter not flagged: %v", regs)
+	}
+	// As must a dropped workload.
+	cur.Workloads = cur.Workloads[2:]
+	if regs, _ := WasteRegressions(base, cur, 5); len(regs) != 2 {
+		t.Errorf("missing workloads not flagged: %v", regs)
+	}
+}
+
+// TestProfileMSRI: the msrnetprof entry point profiles a committed
+// workload and its profile reconciles with the run stats.
+func TestProfileMSRI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the MSRI DP; skipped with -short")
+	}
+	res, err := ProfileMSRI("msri/12pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("no lifecycle profile attached")
+	}
+	if got := res.Profile.TotalDeaths(); got != res.Stats.Dropped {
+		t.Errorf("profile deaths %d != Stats.Dropped %d", got, res.Stats.Dropped)
+	}
+	if _, err := ProfileMSRI("ard/16pin"); err == nil {
+		t.Error("non-msri workload accepted")
+	}
+	if _, err := ProfileMSRI("msri/11pin"); err == nil {
+		t.Error("uncommitted pin count accepted")
 	}
 }
 

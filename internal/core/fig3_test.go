@@ -41,9 +41,9 @@ func TestFig3WorkedExample(t *testing.T) {
 	rt := tr.RootAt(root)
 
 	d := &dp{rt: rt, tech: tech, opt: Options{}}
-	su := d.augment(d.leafSolutions(u), euv)
-	sw := d.augment(d.leafSolutions(w), ewv)
-	joined := d.joinSets(su, sw)
+	su := d.augment(d.leafSolutions(u), euv, v)
+	sw := d.augment(d.leafSolutions(w), ewv, v)
+	joined := d.joinSets(su, sw, v)
 	if len(joined) != 1 {
 		t.Fatalf("expected a single joined solution, got %d", len(joined))
 	}
@@ -64,9 +64,9 @@ func TestFig3WorkedExample(t *testing.T) {
 	termU.AAT, termW.AAT = 6.0, 1.0
 	tr.SetTerminal(u, termU)
 	tr.SetTerminal(w, termW)
-	su = d.augment(d.leafSolutions(u), euv)
-	sw = d.augment(d.leafSolutions(w), ewv)
-	sol = d.joinSets(su, sw)[0]
+	su = d.augment(d.leafSolutions(u), euv, v)
+	sw = d.augment(d.leafSolutions(w), ewv, v)
+	sol = d.joinSets(su, sw, v)[0]
 	segs = sol.A.Segments()
 	if len(segs) != 2 {
 		t.Fatalf("switched A(c_E) has %d segments, want 2: %v", len(segs), sol.A)

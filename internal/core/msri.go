@@ -107,6 +107,16 @@ type Options struct {
 	// job seq), so many jobs sharing one ring tracer stay separable in
 	// a Perfetto view. Ignored without Trace.
 	TraceArgs []trace.Arg
+	// Profile enables candidate-lifecycle profiling: every solution is
+	// stamped with its birth site, deaths are attributed to a cause, and
+	// the wasted construction work is aggregated into Result.Profile
+	// (the raw material of the msrnet-solveprof/v1 artifact). With a
+	// Trace also installed, each set-forming step additionally emits a
+	// "dp/wavefront" instant carrying the live set size. Profiling never
+	// changes the computation — suites and Stats are identical with it
+	// on or off — and costs nothing when false (one nil check per hook,
+	// no allocations).
+	Profile bool
 }
 
 // Stats reports work done by the dynamic program. All counters are
@@ -138,6 +148,9 @@ type PruneSiteStats struct {
 type Result struct {
 	Suite Suite
 	Stats Stats
+	// Profile is the candidate-lifecycle profile; nil unless
+	// Options.Profile was set.
+	Profile *LifecycleProfile
 }
 
 // Optimize runs the MSRI dynamic program (Fig. 5) on the rooted topology
@@ -172,6 +185,9 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 	if opt.Parallel {
 		d.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	}
+	if opt.Profile {
+		d.lp = newLifeProf()
+	}
 	if opt.Obs != nil {
 		kind := opt.Pruner.String()
 		d.ins = instr{
@@ -196,12 +212,18 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 	if err := d.getErr(); err != nil {
 		return nil, err
 	}
-	final := d.augment(childSet, rt.ParentEdge[c])
+	final := d.augment(childSet, rt.ParentEdge[c], rt.Root)
 	suite := d.rootSolutions(final)
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("core: no feasible solution (all domains pruned)")
 	}
-	return &Result{Suite: suite, Stats: d.stats}, nil
+	if d.lp != nil {
+		d.lp.final(rt.Root, len(final))
+		for _, rs := range suite {
+			d.lp.survive(rs.sol)
+		}
+	}
+	return &Result{Suite: suite, Stats: d.stats, Profile: d.lp.profile()}, nil
 }
 
 // solve computes the pruned solution set for the subtree rooted at v.
@@ -215,12 +237,12 @@ func Optimize(rt *topo.Rooted, tech buslib.Tech, opt Options) (*Result, error) {
 func (d *dp) solve(v int) []*Solution {
 	if d.tr == nil {
 		out := d.solveNode(v)
-		d.noteNode(len(out))
+		d.noteNode(v, len(out))
 		return out
 	}
 	rg := d.tr.Begin(nodeEventName(d.rt.Tree.Node(v).Kind), "core")
 	out := d.solveNode(v)
-	d.noteNode(len(out))
+	d.noteNode(v, len(out))
 	rg.End(d.targs(trace.I("node", v), trace.I("set", len(out)), trace.I("segs", maxSegsOf(out)))...)
 	return out
 }
@@ -234,11 +256,12 @@ func (d *dp) targs(args ...trace.Arg) []trace.Arg {
 
 // noteNode records one completed subtree solve and its final set size
 // — the per-node candidate-count profile the explain reports surface.
-func (d *dp) noteNode(setSize int) {
+func (d *dp) noteNode(v, setSize int) {
 	d.mu.Lock()
 	d.stats.NodesVisited++
 	d.stats.SetSizeSum += setSize
 	d.mu.Unlock()
+	d.lp.final(v, setSize)
 }
 
 // nodeEventName maps a topology node kind to its trace slice name.
@@ -303,13 +326,13 @@ func (d *dp) solveNode(v int) []*Solution {
 					defer func() { <-d.sem }()
 				default:
 				}
-				lifted[i] = d.augment(d.solve(c), d.rt.ParentEdge[c])
+				lifted[i] = d.augment(d.solve(c), d.rt.ParentEdge[c], v)
 			}(i, c)
 		}
 		wg.Wait()
 	} else {
 		for i, c := range children {
-			lifted[i] = d.augment(d.solve(c), d.rt.ParentEdge[c])
+			lifted[i] = d.augment(d.solve(c), d.rt.ParentEdge[c], v)
 		}
 	}
 	if d.getErr() != nil {
@@ -317,10 +340,10 @@ func (d *dp) solveNode(v int) []*Solution {
 	}
 	cur := lifted[0]
 	for i := 1; i < len(lifted); i++ {
-		cur = d.prune(d.joinSets(cur, lifted[i]), "join")
+		cur = d.prune(d.joinSets(cur, lifted[i], v), "join", v)
 	}
 	if nd.Kind == topo.Insertion && d.opt.Repeaters {
-		cur = d.prune(d.repeaterSolutions(cur, v), "repeater")
+		cur = d.prune(d.repeaterSolutions(cur, v), "repeater", v)
 	}
 	return cur
 }
@@ -335,6 +358,7 @@ type dp struct {
 	ins  instr
 	tr   *trace.Tracer
 	tags []trace.Arg // identity args appended to every trace event
+	lp   *lifeProf   // candidate-lifecycle collector; nil unless Options.Profile
 
 	mu    sync.Mutex
 	stats Stats
@@ -408,21 +432,49 @@ func (d *dp) note(sols []*Solution) {
 // noteSetSize records a finished per-node solution set that did not pass
 // through prune (already-pruned sets survive Augment unchanged, and a
 // plain leaf is a one-element set), keeping MaxSetSize consistent across
-// every construction path.
-func (d *dp) noteSetSize(n int) {
+// every construction path. v is the node the set belongs to, for the
+// profiling wavefront; the update sites of MaxSetSize (here and in
+// prune) are exactly the emitters of dp/wavefront instants, so the
+// traced wavefront maxima reconcile with Stats.MaxSetSize.
+func (d *dp) noteSetSize(v, n int) {
 	d.mu.Lock()
 	if n > d.stats.MaxSetSize {
 		d.stats.MaxSetSize = n
 	}
 	d.mu.Unlock()
 	d.ins.maxSet.SetMax(int64(n))
+	if d.lp != nil && d.tr != nil {
+		d.tr.Instant("dp/wavefront", "core", d.targs(trace.I("node", v), trace.I("set", n))...)
+	}
+}
+
+// born stamps a freshly constructed candidate batch with its birth
+// site. One nil check when profiling is off.
+func (d *dp) born(sols []*Solution, class string, node int) {
+	if d.lp == nil {
+		return
+	}
+	d.lp.born(sols, class, node, waveKind(d.rt.Tree.Node(node).Kind))
+}
+
+// waveKind names a node kind for the wavefront summary.
+func waveKind(k topo.Kind) string {
+	switch k {
+	case topo.Terminal:
+		return "leaf"
+	case topo.Insertion:
+		return "insertion"
+	default:
+		return "steiner"
+	}
 }
 
 // prune runs the configured MFS pruner over sols. The site labels the
 // dominance rule's call point ("drivers", "wire_widths", "join",
 // "repeater") for the Stats.PruneSites breakdown and the dp/prune
-// trace slice.
-func (d *dp) prune(sols []*Solution, site string) []*Solution {
+// trace slice; v is the topology node being pruned, for the profiling
+// wavefront.
+func (d *dp) prune(sols []*Solution, site string, v int) []*Solution {
 	if d.aborted() {
 		return nil
 	}
@@ -430,14 +482,21 @@ func (d *dp) prune(sols []*Solution, site string) []*Solution {
 	var out []*Solution
 	switch d.opt.Pruner {
 	case PruneNaive:
-		out = pruneNaive(sols, d.opt.CoarseEps)
+		out = pruneNaive(sols, d.opt.CoarseEps, d.lp)
 		sortSolutions(out)
 	case PruneOff:
 		out = sols
 	default:
-		out = pruneDivide(sols, d.opt.CoarseEps)
+		out = pruneDivide(sols, d.opt.CoarseEps, d.lp)
 	}
 	drops := len(sols) - len(out)
+	if d.lp != nil {
+		d.lp.survivedPrune(out)
+		d.lp.died(v, drops)
+		if d.tr != nil {
+			d.tr.Instant("dp/wavefront", "core", d.targs(trace.I("node", v), trace.I("set", len(out)))...)
+		}
+	}
 	d.mu.Lock()
 	d.stats.PruneCalls++
 	d.stats.Dropped += drops
@@ -495,7 +554,8 @@ func (d *dp) leafSolutions(v int) []*Solution {
 	if !d.opt.SizeDrivers || !term.IsSource {
 		out := []*Solution{mk(0, term.Rout, term.DriverIntrinsic, nil)}
 		d.note(out)
-		d.noteSetSize(len(out))
+		d.born(out, ClassDrivers, v)
+		d.noteSetSize(v, len(out))
 		return out
 	}
 	out := make([]*Solution, 0, len(d.tech.Drivers))
@@ -503,14 +563,17 @@ func (d *dp) leafSolutions(v int) []*Solution {
 		out = append(out, mk(drv.Cost, drv.Rout, drv.Intrinsic, &drvRec{node: v, driver: drv}))
 	}
 	d.note(out)
-	return d.prune(out, "drivers")
+	d.born(out, ClassDrivers, v)
+	return d.prune(out, "drivers", v)
 }
 
 // augment implements Augment (Fig. 10): extend every solution of a
 // subtree across the wire to its parent. With the wire-sizing extension a
 // solution is produced per width option. Dominance is preserved by the
-// width-1 transform, so no pruning is needed in the plain case.
-func (d *dp) augment(sols []*Solution, eid int) []*Solution {
+// width-1 transform, so no pruning is needed in the plain case. v is
+// the parent-side node the lifted set belongs to (the birth site of
+// the new candidates).
+func (d *dp) augment(sols []*Solution, eid, v int) []*Solution {
 	length := d.rt.Tree.Edge(eid).Length
 	widths := d.opt.WireWidths
 	if len(widths) == 0 {
@@ -544,16 +607,18 @@ func (d *dp) augment(sols []*Solution, eid int) []*Solution {
 	}
 	d.note(out)
 	if len(widths) > 1 {
-		return d.prune(out, "wire_widths")
+		d.born(out, ClassWireWidths, v)
+		return d.prune(out, "wire_widths", v)
 	}
-	d.noteSetSize(len(out))
+	d.born(out, ClassWire, v)
+	d.noteSetSize(v, len(out))
 	return out
 }
 
 // joinSets implements JoinSets (Fig. 7): combine the solution sets of two
-// branches meeting at a common (Steiner) node. Each pairing sees the
+// branches meeting at a common (Steiner) node v. Each pairing sees the
 // sibling's capacitance as additional external load.
-func (d *dp) joinSets(s1, s2 []*Solution) []*Solution {
+func (d *dp) joinSets(s1, s2 []*Solution, v int) []*Solution {
 	out := make([]*Solution, 0, len(s1)*len(s2))
 	for _, a := range s1 {
 		for _, b := range s2 {
@@ -590,6 +655,10 @@ func (d *dp) joinSets(s1, s2 []*Solution) []*Solution {
 		}
 	}
 	d.note(out)
+	d.born(out, ClassJoin, v)
+	if d.lp != nil {
+		d.lp.joins(int64(len(s1)) * int64(len(s2)))
+	}
 	return out
 }
 
@@ -648,6 +717,9 @@ func (d *dp) repeaterSolutions(sols []*Solution, v int) []*Solution {
 		}
 	}
 	d.note(out)
+	// Only the repeater-capped candidates are new births; out[:len(sols)]
+	// passes the already-stamped unbuffered set through to the prune.
+	d.born(out[len(sols):], ClassRepeater, v)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"msrnet/internal/ard"
@@ -486,11 +487,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 		tr := testnet.RandTree(r, cfg)
 		tech := testnet.RandTech(r, 2, 0)
 		rt := tr.RootAt(testnet.RootTerminal(tr))
-		serial, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+		serial, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Profile: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Parallel: true})
+		par, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Parallel: true, Profile: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -503,10 +504,16 @@ func TestParallelMatchesSerial(t *testing.T) {
 					serial.Suite[i].Cost, serial.Suite[i].ARD, par.Suite[i].Cost, par.Suite[i].ARD)
 			}
 		}
-		// Aggregate stats match too (ordering-independent counters).
-		if serial.Stats.SolutionsCreated != par.Stats.SolutionsCreated ||
-			serial.Stats.PruneCalls != par.Stats.PruneCalls {
+		// The full stats — including the per-site PruneSites breakdown —
+		// must merge identically regardless of goroutine interleaving.
+		if !reflect.DeepEqual(serial.Stats, par.Stats) {
 			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, serial.Stats, par.Stats)
+		}
+		// And so must the candidate-lifecycle profile: every aggregation
+		// is an order-independent sum.
+		if !reflect.DeepEqual(serial.Profile, par.Profile) {
+			t.Fatalf("trial %d: lifecycle profiles differ:\nserial: %+v\npar:    %+v",
+				trial, serial.Profile, par.Profile)
 		}
 	}
 }

@@ -67,6 +67,12 @@ type Solution struct {
 	place        *placedRec
 	drv          *drvRec
 	width        *widthRec
+
+	// lc is the candidate-lifecycle stamp (birth site, survival depth,
+	// construction work). Nil unless Options.Profile; the pruners'
+	// shrunk-domain copies share it, since a copy is the same logical
+	// candidate.
+	lc *lifeRec
 }
 
 type placedRec struct {
@@ -189,8 +195,9 @@ func scalarLeq(a, b, tol float64) bool {
 // pruneNaive computes the minimal functional subset of sols by pairwise
 // comparison (O(k²) pairs). Solutions whose domain becomes empty are
 // removed. The input slice is not modified; surviving solutions may carry
-// reduced domains.
-func pruneNaive(sols []*Solution, eps float64) []*Solution {
+// reduced domains. lp, when non-nil, receives one death attribution per
+// candidate at the subtraction that empties its domain.
+func pruneNaive(sols []*Solution, eps float64, lp *lifeProf) []*Solution {
 	work := make([]*Solution, len(sols))
 	copy(work, sols)
 	sortSolutions(work)
@@ -208,6 +215,13 @@ func pruneNaive(sols []*Solution, eps float64) []*Solution {
 			}
 			cp := *work[j]
 			cp.Dom = work[j].Dom.Subtract(reg)
+			if lp != nil {
+				if cp.Dom.IsEmpty() {
+					lp.kill(work[i], work[j], eps)
+				} else if cp.lc != nil {
+					cp.lc.domCut = true
+				}
+			}
 			work[j] = &cp
 		}
 	}
@@ -225,11 +239,11 @@ func pruneNaive(sols []*Solution, eps float64) []*Solution {
 // half against the other. Suboptimal solutions discarded deep in the
 // recursion never participate in higher-level comparisons, which is the
 // source of the speedup in practice.
-func pruneDivide(sols []*Solution, eps float64) []*Solution {
+func pruneDivide(sols []*Solution, eps float64, lp *lifeProf) []*Solution {
 	work := make([]*Solution, len(sols))
 	copy(work, sols)
 	sortSolutions(work)
-	out := mfsRec(work, eps)
+	out := mfsRec(work, eps, lp)
 	final := out[:0]
 	for _, s := range out {
 		if !s.Dom.IsEmpty() {
@@ -240,26 +254,26 @@ func pruneDivide(sols []*Solution, eps float64) []*Solution {
 	return final
 }
 
-func mfsRec(sols []*Solution, eps float64) []*Solution {
+func mfsRec(sols []*Solution, eps float64, lp *lifeProf) []*Solution {
 	if len(sols) <= 1 {
 		return sols
 	}
 	if len(sols) <= 4 {
-		return pruneNaive(sols, eps)
+		return pruneNaive(sols, eps, lp)
 	}
 	mid := len(sols) / 2
-	left := mfsRec(sols[:mid], eps)
-	right := mfsRec(sols[mid:], eps)
+	left := mfsRec(sols[:mid], eps, lp)
+	right := mfsRec(sols[mid:], eps, lp)
 	// Cross-prune: right against left, then left against the surviving
 	// right.
-	right = pruneAgainst(right, left, eps)
-	left = pruneAgainst(left, right, eps)
+	right = pruneAgainst(right, left, eps, lp)
+	left = pruneAgainst(left, right, eps, lp)
 	return append(left, right...)
 }
 
 // pruneAgainst shrinks the domains of targets using the members of
 // pruners, returning the surviving targets.
-func pruneAgainst(targets, prunners []*Solution, eps float64) []*Solution {
+func pruneAgainst(targets, prunners []*Solution, eps float64, lp *lifeProf) []*Solution {
 	out := make([]*Solution, 0, len(targets))
 	for _, t := range targets {
 		cur := t
@@ -274,6 +288,13 @@ func pruneAgainst(targets, prunners []*Solution, eps float64) []*Solution {
 			nd := cur.Dom.Subtract(reg)
 			cp := *cur
 			cp.Dom = nd
+			if lp != nil {
+				if nd.IsEmpty() {
+					lp.kill(s, cur, eps)
+				} else if cp.lc != nil {
+					cp.lc.domCut = true
+				}
+			}
 			cur = &cp
 		}
 		if !cur.Dom.IsEmpty() {

@@ -112,6 +112,66 @@ func TestOptimizeTraceParallelRace(t *testing.T) {
 	}
 }
 
+// TestWavefrontReconcilesWithMaxSetSize: with Profile and Trace both
+// on, the "dp/wavefront" instants sample the per-node set size at
+// exactly the sites that feed Stats.MaxSetSize, so the max over the
+// timeline equals the stat exactly — the reconciliation the solveprof
+// wavefront summary depends on.
+func TestWavefrontReconcilesWithMaxSetSize(t *testing.T) {
+	tr, err := netgen.Generate(3, netgen.Defaults(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tr.RootAt(tr.Terminals()[0])
+	tcr := trace.New(0)
+	res, err := Optimize(rt, buslib.Default(), Options{Repeaters: true, Profile: true, Trace: tcr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSet, events := int64(0), 0
+	for _, ev := range tcr.Events() {
+		if ev.Name != "dp/wavefront" {
+			continue
+		}
+		if ev.Phase != 'i' {
+			t.Fatalf("wavefront event not an instant: %+v", ev)
+		}
+		events++
+		var set int64 = -1
+		var node int64 = -1
+		for i := 0; i < int(ev.NArgs); i++ {
+			switch ev.Args[i].Key {
+			case "set":
+				set = ev.Args[i].Val
+			case "node":
+				node = ev.Args[i].Val
+			}
+		}
+		if set < 0 || node < 0 {
+			t.Fatalf("wavefront event missing node/set args: %+v", ev)
+		}
+		if set > maxSet {
+			maxSet = set
+		}
+	}
+	if events == 0 {
+		t.Fatal("profiled traced run emitted no dp/wavefront instants")
+	}
+	if maxSet != int64(res.Stats.MaxSetSize) {
+		t.Errorf("wavefront max set %d != Stats.MaxSetSize %d", maxSet, res.Stats.MaxSetSize)
+	}
+	// Without Profile the wavefront channel stays silent.
+	tcr2 := trace.New(0)
+	if _, err := Optimize(rt, buslib.Default(), Options{Repeaters: true, Trace: tcr2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tcr2.Events() {
+		if ev.Name == "dp/wavefront" {
+			t.Fatal("dp/wavefront emitted without Options.Profile")
+		}
+	}
+}
+
 // TestInstrumentationZeroAllocWhenOff is the nil-Recorder fast-path
 // guard (PR-1 invariant, re-stated over the tracer): with Options.Obs
 // and Options.Trace both nil, the per-node instrumentation sites —
@@ -126,7 +186,7 @@ func TestInstrumentationZeroAllocWhenOff(t *testing.T) {
 	}}
 	if n := testing.AllocsPerRun(1000, func() {
 		d.note(sols)
-		d.noteSetSize(len(sols))
+		d.noteSetSize(1, len(sols))
 		rg := d.tr.Begin(nodeEventName(topo.Terminal), "core")
 		rg.End(trace.I("node", 1), trace.I("set", 1), trace.I("segs", 1))
 		d.ins.maxSet.SetMax(3)
@@ -148,7 +208,7 @@ func BenchmarkInstrumentationOff(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d.note(sols)
-		d.noteSetSize(len(sols))
+		d.noteSetSize(1, len(sols))
 		rg := d.tr.Begin(nodeEventName(topo.Terminal), "core")
 		rg.End(trace.I("node", i), trace.I("set", 1), trace.I("segs", 1))
 	}

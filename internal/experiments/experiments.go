@@ -120,7 +120,7 @@ func RunTopology(tr *topo.Tree, tech buslib.Tech, seed int64, pins int) (NetResu
 	baseSpan.End()
 
 	szSpan := reg.StartSpan("net/sizing")
-	sz, err := core.Optimize(rt, tech, core.Options{SizeDrivers: true, Obs: reg})
+	sz, err := optimize(rt, tech, core.Options{SizeDrivers: true, Obs: reg})
 	if err != nil {
 		return res, fmt.Errorf("sizing: %w", err)
 	}
@@ -128,7 +128,7 @@ func RunTopology(tr *topo.Tree, tech buslib.Tech, seed int64, pins int) (NetResu
 	res.SizingSuite = sz.Suite
 
 	repSpan := reg.StartSpan("net/repeaters")
-	rep, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Obs: reg})
+	rep, err := optimize(rt, tech, core.Options{Repeaters: true, Obs: reg})
 	if err != nil {
 		return res, fmt.Errorf("repeaters: %w", err)
 	}
@@ -383,7 +383,7 @@ func Fig11(seed int64, tech buslib.Tech, wantReps []int) (*Fig11Result, error) {
 	out.Solutions = append(out.Solutions,
 		describe("unoptimized", 0, baseRes.ARD, rctree.Assignment{}, 0))
 
-	opt, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+	opt, err := optimize(rt, tech, core.Options{Repeaters: true})
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +448,7 @@ func Asymmetric(pins, nets int, seed0 int64, tech buslib.Tech, fracs []float64) 
 			rt := tr.RootAt(tr.Terminals()[0])
 			base := rctree.NewNet(rt, tech, rctree.Assignment{})
 			baseARD := ard.Compute(base, ard.Options{}).ARD
-			res, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+			res, err := optimize(rt, tech, core.Options{Repeaters: true})
 			if err != nil {
 				return nil, err
 			}

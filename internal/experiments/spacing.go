@@ -42,7 +42,7 @@ func SpacingStudy(pins, nets int, seed0 int64, tech buslib.Tech, spacings []floa
 			baseARD := ard.Compute(base, ard.Options{}).ARD
 			reg := obs.New()
 			sp := reg.StartSpan("net/repeaters")
-			res, err := core.Optimize(rt, tech, core.Options{Repeaters: true, Obs: reg})
+			res, err := optimize(rt, tech, core.Options{Repeaters: true, Obs: reg})
 			if err != nil {
 				return nil, err
 			}
@@ -130,15 +130,15 @@ func Combined(pins, nets int, seed0 int64, tech buslib.Tech) (CombinedRow, error
 		rt := tr.RootAt(tr.Terminals()[0])
 		base := rctree.NewNet(rt, tech, rctree.Assignment{})
 		baseARD := ard.Compute(base, ard.Options{}).ARD
-		ds, err := core.Optimize(rt, tech, core.Options{SizeDrivers: true})
+		ds, err := optimize(rt, tech, core.Options{SizeDrivers: true})
 		if err != nil {
 			return row, err
 		}
-		ri, err := core.Optimize(rt, tech, core.Options{Repeaters: true})
+		ri, err := optimize(rt, tech, core.Options{Repeaters: true})
 		if err != nil {
 			return row, err
 		}
-		both, err := core.Optimize(rt, tech, core.Options{Repeaters: true, SizeDrivers: true})
+		both, err := optimize(rt, tech, core.Options{Repeaters: true, SizeDrivers: true})
 		if err != nil {
 			return row, err
 		}

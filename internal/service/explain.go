@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"msrnet/internal/core"
+	"msrnet/internal/solveprof"
 )
 
 // ExplainSchema identifies the JSON layout of a per-job explain report,
@@ -84,6 +85,12 @@ type Explain struct {
 
 	Solve       *SolveExplain   `json:"solve,omitempty"`
 	Degradation *DegradeExplain `json:"degradation,omitempty"`
+
+	// Profile is the msrnet-solveprof/v1 candidate-lifecycle waste
+	// profile, present only when the request asked (?profile=1). It
+	// rides on the explain report so the same artifact reaches the
+	// result, GET /debug/jobs/{id} and postmortem bundles.
+	Profile *solveprof.Profile `json:"profile,omitempty"`
 }
 
 // SolveExplain is the dynamic-program shape of the job: candidate

@@ -3,7 +3,6 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -194,12 +193,24 @@ func TestReadyzDrainAndSaturation(t *testing.T) {
 		defer srv.Close()
 
 		// One job occupies the worker, the next fills the single queue
-		// slot.
+		// slot. Wait for the first to actually start before submitting
+		// the second: if both were queued at once, the second would be
+		// rejected (queue_full counts queued-not-running jobs) and the
+		// queue would drain without ever reading as saturated.
 		net := testNetFile(t, 5, 6)
-		for i := 0; i < 2; i++ {
-			go d.Submit(context.Background(), oneJobRequest(Job{ID: fmt.Sprintf("s%d", i), Mode: "msri", Net: net,
-				Options: JobOptions{Spec: float64(i + 1)}}))
-		}
+		go d.Submit(context.Background(), oneJobRequest(Job{ID: "s0", Mode: "msri", Net: net,
+			Options: JobOptions{Spec: 1}}))
+		waitFor(t, func() bool {
+			active, _ := d.table.List()
+			for _, e := range active {
+				if e.State == JobRunning {
+					return true
+				}
+			}
+			return false
+		})
+		go d.Submit(context.Background(), oneJobRequest(Job{ID: "s1", Mode: "msri", Net: net,
+			Options: JobOptions{Spec: 2}}))
 		waitFor(t, func() bool {
 			ok, reason := d.Ready()
 			return !ok && reason == "queue_saturated"

@@ -20,7 +20,7 @@ const maxRequestBytes = 64 << 20
 
 // Handler returns the daemon's full HTTP surface on one mux:
 //
-//	POST /v1/jobs          msrnet-job/v1 batch optimization (?explain=1)
+//	POST /v1/jobs          msrnet-job/v1 batch optimization (?explain=1, ?profile=1)
 //	GET  /readyz           readiness: 503 while draining or saturated
 //	GET  /debug/jobs       live + recent per-job explain reports
 //	GET  /debug/jobs/{id}  one report, by job id or trace id
@@ -59,6 +59,9 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("explain") == "1" {
 		req.Explain = true
+	}
+	if r.URL.Query().Get("profile") == "1" {
+		req.Profile = true
 	}
 	resp, serr := d.Submit(r.Context(), &req)
 	if serr != nil {

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"msrnet/internal/obs"
+	"msrnet/internal/obs/reqctx"
+	"msrnet/internal/solveprof"
+)
+
+// TestProfileOnResult: Request.Profile yields a validated
+// msrnet-solveprof/v1 artifact on the explain report (profile implies
+// explain), reconciled against the job's own solve stats.
+func TestProfileOnResult(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 2, Reg: obs.New()})
+	net := testNetFile(t, 4, 10)
+
+	req := oneJobRequest(Job{ID: "prof-1", Mode: "msri", Net: net})
+	req.Profile = true // note: Explain deliberately unset
+	resp, serr := d.Submit(context.Background(), req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	r := resp.Results[0]
+	if r.Status != StatusOK {
+		t.Fatalf("result: %+v", r)
+	}
+	e := r.Explain
+	if e == nil {
+		t.Fatal("Profile must imply an explain report on the result")
+	}
+	p := e.Profile
+	if p == nil {
+		t.Fatal("Explain.Profile missing with Request.Profile set")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("profile does not validate: %v", err)
+	}
+	if p.Source != "msrnetd" || p.Workload != e.JobID {
+		t.Errorf("profile identity: source=%q workload=%q, want msrnetd/%s", p.Source, p.Workload, e.JobID)
+	}
+	if e.Solve == nil {
+		t.Fatal("solve shape missing")
+	}
+	if p.Totals.Deaths != e.Solve.Dropped {
+		t.Errorf("profile deaths %d != solve dropped %d", p.Totals.Deaths, e.Solve.Dropped)
+	}
+	if r.Opt == nil || p.Totals.Survived != len(r.Opt.Suite) {
+		t.Errorf("profile survivors %d != suite points %d", p.Totals.Survived, len(r.Opt.Suite))
+	}
+	if p.Stats == nil || p.Stats.Dropped != e.Solve.Dropped {
+		t.Errorf("profile stats echo: %+v", p.Stats)
+	}
+
+	// The same job without the flag gets neither profile nor explain.
+	resp2, serr := d.Submit(context.Background(), oneJobRequest(Job{ID: "prof-2", Mode: "msri", Net: net}))
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if resp2.Results[0].Explain != nil {
+		t.Error("explain leaked onto an unasking request")
+	}
+}
+
+// TestProfileBypassesCache: a profiled request recomputes even when the
+// result is cached (a cached result has no lifecycle to attribute), and
+// the profile never enters the cache.
+func TestProfileBypassesCache(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1, CacheSize: 8, Reg: obs.New()})
+	net := testNetFile(t, 5, 8)
+	job := Job{ID: "warm", Mode: "msri", Net: net}
+
+	// Warm the cache.
+	if _, serr := d.Submit(context.Background(), oneJobRequest(job)); serr != nil {
+		t.Fatal(serr)
+	}
+
+	req := oneJobRequest(Job{ID: "profiled", Mode: "msri", Net: net})
+	req.Profile = true
+	resp, serr := d.Submit(context.Background(), req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	r := resp.Results[0]
+	if r.Cached {
+		t.Fatal("profiled request served from cache")
+	}
+	if r.Explain == nil || r.Explain.Profile == nil {
+		t.Fatalf("profiled recompute lost its profile: %+v", r.Explain)
+	}
+
+	// A later plain request hits the cache and carries no decoration.
+	req3 := oneJobRequest(Job{ID: "plain", Mode: "msri", Net: net})
+	req3.Explain = true
+	resp3, serr := d.Submit(context.Background(), req3)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	r3 := resp3.Results[0]
+	if !r3.Cached {
+		t.Fatalf("expected a cache hit after the profiled recompute: %+v", r3)
+	}
+	if r3.Explain == nil || r3.Explain.Profile != nil {
+		t.Errorf("cache-hit explain must not carry a profile: %+v", r3.Explain)
+	}
+}
+
+// TestProfileOverHTTP: ?profile=1 decorates the wire result, and the
+// same artifact is retrievable from GET /debug/jobs/{id}.
+func TestProfileOverHTTP(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 2, Reg: obs.New()})
+	srv := httptest.NewServer(reqctx.Middleware(d.Handler()))
+	defer srv.Close()
+
+	body, _ := json.Marshal(oneJobRequest(Job{ID: "http-prof", Mode: "msri", Net: testNetFile(t, 6, 8)}))
+	hresp, err := http.Post(srv.URL+"/v1/jobs?profile=1", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	e := resp.Results[0].Explain
+	if e == nil || e.Profile == nil {
+		t.Fatalf("?profile=1 did not produce a profile: %+v", e)
+	}
+	if e.Profile.Schema != solveprof.Schema {
+		t.Errorf("schema = %q, want %q", e.Profile.Schema, solveprof.Schema)
+	}
+	if err := e.Profile.Validate(); err != nil {
+		t.Errorf("wire profile invalid: %v", err)
+	}
+
+	var byJob Explain
+	getJSON(t, srv.URL+"/debug/jobs/"+e.JobID, &byJob)
+	if byJob.Profile == nil {
+		t.Fatal("/debug/jobs/{id} lost the profile")
+	}
+	if byJob.Profile.Totals.Deaths != e.Profile.Totals.Deaths {
+		t.Errorf("debug profile deaths %d != wire profile deaths %d",
+			byJob.Profile.Totals.Deaths, e.Profile.Totals.Deaths)
+	}
+}

@@ -27,6 +27,13 @@ type Request struct {
 	// per-request decoration: they carry trace-scoped identity and are
 	// never part of the cache key or the cached value.
 	Explain bool `json:"explain,omitempty"`
+	// Profile additionally asks for the msrnet-solveprof/v1
+	// candidate-lifecycle waste profile on every optimize result (also
+	// ?profile=1). Profile implies Explain: the profile rides on the
+	// explain report. A profiled request always recomputes — a cached
+	// result has no lifecycle to attribute — and, like the explain, the
+	// profile is stripped before the result enters the cache.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // Job is one net plus what to compute on it.

@@ -21,6 +21,7 @@ import (
 	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
+	"msrnet/internal/solveprof"
 	"msrnet/internal/topo"
 	"msrnet/internal/validate"
 )
@@ -156,6 +157,8 @@ type task struct {
 	seq     int64
 	explain *Explain
 	want    bool // request asked for the explain on the result
+	profile bool // request asked for the lifecycle profile (implies want)
+	prof    *solveprof.Profile
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -299,7 +302,11 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		d.submitted.Inc()
 		seq := d.seq.Add(1)
 		jid := fmt.Sprintf("j%d", seq)
-		if res, ok := d.cacheGet(ctx, key); ok {
+		// A profiled request bypasses the cache (not even a lookup, so
+		// hit/miss counters and LRU order stay honest): the lifecycle
+		// profile exists only on a fresh solve, and serving a cached
+		// result would silently return a report without one.
+		if res, ok := d.lookupUnlessProfiled(ctx, key, req.Profile); ok {
 			res.ID = j.label(i)
 			res.Cached = true
 			e := d.newExplain(jid, seq, j, i, traceID, netKey)
@@ -315,7 +322,8 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 			continue
 		}
 		t := &task{job: j, idx: i, label: j.label(i), netKey: netKey, key: key, tr: tr, tech: tech,
-			traceID: traceID, jid: jid, seq: seq, want: req.Explain, done: make(chan struct{})}
+			traceID: traceID, jid: jid, seq: seq, want: req.Explain || req.Profile,
+			profile: req.Profile, done: make(chan struct{})}
 		t.explain = d.newExplain(jid, seq, j, i, traceID, netKey)
 		t.ctx, t.cancel = d.jobContext(reqctx.WithJobID(ctx, jid))
 		pending = append(pending, t)
@@ -396,6 +404,15 @@ func (d *Daemon) jobContext(ctx context.Context) (context.Context, context.Cance
 // cacheGet looks up key under the svc/cache/get injection point: an
 // injected fault degrades to a miss (the job recomputes) rather than
 // failing the request.
+// lookupUnlessProfiled consults the result cache, except for profiled
+// requests, which always recompute.
+func (d *Daemon) lookupUnlessProfiled(ctx context.Context, key string, profiled bool) (Result, bool) {
+	if profiled {
+		return Result{}, false
+	}
+	return d.cacheGet(ctx, key)
+}
+
 func (d *Daemon) cacheGet(ctx context.Context, key string) (Result, bool) {
 	if err := d.cfg.Faults.Fire(ctx, "svc/cache/get"); err != nil {
 		d.log.Warn("cache get fault", "err", err)
@@ -553,6 +570,7 @@ func (d *Daemon) finishJob(t *task) {
 	e.TotalMs = float64(time.Since(t.enqueued)) / float64(time.Millisecond)
 	if t.res.Opt != nil {
 		e.Solve = solveExplain(t.res.Opt.Stats)
+		e.Profile = t.prof
 		if t.res.Degraded {
 			e.Degradation = &DegradeExplain{
 				Reason:     t.res.DegradedReason,
@@ -635,6 +653,7 @@ func (d *Daemon) exec(t *task) Result {
 			Obs:         asRecorder(d.reg),
 			Trace:       d.cfg.Tracer,
 			TraceArgs:   targs,
+			Profile:     t.profile,
 		}
 		switch j.optimize() {
 		case "repeaters":
@@ -656,6 +675,13 @@ func (d *Daemon) exec(t *task) Result {
 				return d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("optimize: %v", err))
 			}
 			return d.failResult(t, ErrBadRequest, fmt.Sprintf("optimize: %v", err))
+		}
+		if t.profile {
+			// Convert on the worker, off the finishJob path; finishJob
+			// attaches it to the explain report. Under degradation the
+			// profile describes the run that produced the answer (the
+			// coarse retry), matching the stats it ships with.
+			t.prof = solveprof.FromResult(out, "msrnetd", t.jid)
 		}
 		chosen, err := out.Suite.MinARD()
 		if err != nil {
