@@ -1,0 +1,159 @@
+// Command msrnetctl is the fleet-aware msrnetd client: it discovers a
+// cluster's membership from any seed peer, routes each job of a
+// msrnet-job/v1 batch to the job's home peer on the fleet's
+// consistent-hash ring (where the shard cache hits in zero hops), fails
+// over around dead peers, and merges the results back into request
+// order. Against a single clusterless daemon it degrades to a plain
+// retrying client. See DESIGN.md §13 and the README's "Running a
+// 3-node fleet" walkthrough.
+//
+// Usage:
+//
+//	msrnetctl -peers http://h1:8383,http://h2:8383 -in batch.json
+//	msrnetctl -peers http://h1:8383 -members        # print the membership
+//	msrnetctl -peers http://h1:8383 -version        # peer build identity
+//	cat batch.json | msrnetctl -peers http://h1:8383 -in - -explain
+//
+// The request file is a msrnet-job/v1 body (same as POST /v1/jobs);
+// the response JSON goes to stdout. Exit status is 0 only when every
+// job succeeded.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"msrnet/internal/client"
+	"msrnet/internal/cliflags"
+	"msrnet/internal/service"
+)
+
+func main() {
+	var (
+		peers    = flag.String("peers", "", "comma-separated fleet seed base URLs (any live member; required)")
+		in       = flag.String("in", "", "msrnet-job/v1 request file (\"-\" = stdin)")
+		members  = flag.Bool("members", false, "print the discovered membership (one base URL per line) and exit")
+		version  = flag.Bool("version", false, "print the first seed's /version build identity and exit")
+		explain  = flag.Bool("explain", false, "ask for per-job msrnet-explain/v1 reports on the results")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline for the whole batch, discovery and failover included")
+		attempts = flag.Int("attempts", 0, "per-peer HTTP attempts per submission (0 = client default)")
+		rounds   = flag.Int("rounds", -1, "job-level retry rounds per peer (-1 = client default, 0 = none)")
+	)
+	flag.Parse()
+
+	var seeds []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			seeds = append(seeds, p)
+		}
+	}
+	if len(seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: msrnetctl -peers http://host:8383[,...] [-in batch.json | -members | -version]")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *version {
+		if err := printVersion(ctx, seeds[0]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	opt := client.Options{MaxAttempts: *attempts}
+	if *rounds >= 0 {
+		opt.JobRounds = *rounds
+		if *rounds == 0 {
+			opt.JobRounds = -1 // Options normalizes 0 to the default; -1 clamps to none
+		}
+	}
+	c := client.NewCluster(seeds, opt)
+
+	if *members {
+		if err := c.Discover(ctx); err != nil {
+			fatal(err)
+		}
+		for _, m := range c.Members() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "msrnetctl: -in is required to submit a batch (or use -members / -version)")
+		os.Exit(2)
+	}
+	req, err := readRequest(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		req.Explain = true
+	}
+	resp, err := c.Run(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		fatal(err)
+	}
+	for _, r := range resp.Results {
+		if r.Status != service.StatusOK {
+			os.Exit(1)
+		}
+	}
+}
+
+// readRequest loads the msrnet-job/v1 body from path ("-" = stdin).
+func readRequest(path string) (*service.Request, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var req service.Request
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("msrnetctl: decode %s: %w", path, err)
+	}
+	return &req, nil
+}
+
+// printVersion fetches and pretty-prints one peer's build identity.
+func printVersion(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(peer, "/")+"/version", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("msrnetctl: %s/version: HTTP %d", peer, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
+func fatal(err error) { cliflags.Fatal("msrnetctl", err) }

@@ -34,10 +34,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"msrnet/internal/cliflags"
+	"msrnet/internal/cluster"
 	"msrnet/internal/faultinject"
 	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
@@ -59,6 +61,10 @@ func main() {
 		faults     = flag.String("faults", "", "fault-injection spec for chaos testing, e.g. 'svc/worker:panic:0.1;svc/cache/get:error:0.5' (also via "+faultinject.EnvFaults+")")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed (also via "+faultinject.EnvSeed+")")
 		recEvery   = flag.Duration("recorder-interval", recorder.DefaultInterval, "flight-recorder sampling interval; the in-memory ring keeps the last "+fmt.Sprint(recorder.DefaultCapacity)+" samples")
+		clAddr     = flag.String("cluster-addr", "", "advertised base URL of THIS daemon (e.g. http://10.0.0.1:8383); enables fleet clustering — gossip membership, the cluster-wide shard cache and work-stealing (DESIGN.md §13)")
+		clPeers    = flag.String("cluster-peers", "", "comma-separated base URLs of seed peers to join through (any live member works)")
+		clEvery    = flag.Duration("cluster-interval", time.Second, "gossip round period")
+		clHops     = flag.Int("cluster-forward-hops", 0, "work-stealing forward-chain cap (0 = default 2)")
 		pmDir      = flag.String("postmortem-dir", "", "write postmortem bundles into this directory on worker panics, SLO burns, SIGQUIT or POST /debug/dump (empty = ring-only recorder, no bundles)")
 		pmKeep     = flag.Int("postmortem-keep", recorder.DefaultMaxBundles, "bounded bundle retention: the oldest bundles beyond this count are deleted")
 		sloSpec    = flag.String("slo", "", "SLO burn-rate rules, semicolon-separated, e.g. 'e2e-slow:p99:e2e/ok:500ms:1m;err-fast:error_rate:0.01:1m'; a firing rule triggers a postmortem bundle")
@@ -115,6 +121,29 @@ func main() {
 		},
 	})
 
+	// A daemon with an advertised address joins the fleet: peer identity
+	// IS the advertised base URL, so every member (and every client)
+	// derives the same consistent-hash ring with no coordination.
+	var node *cluster.Node
+	if *clAddr != "" {
+		self := strings.TrimRight(*clAddr, "/")
+		var seeds []cluster.Peer
+		for _, p := range strings.Split(*clPeers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" && p != self {
+				seeds = append(seeds, cluster.Peer{ID: cluster.ID(p), Addr: p})
+			}
+		}
+		node = cluster.NewNode(cluster.Config{
+			Self:      cluster.Peer{ID: cluster.ID(self), Addr: self},
+			Seeds:     seeds,
+			Params:    cluster.Params{Interval: *clEvery},
+			Transport: &cluster.HTTPTransport{},
+			Reg:       run.Reg,
+			Logger:    logger,
+		})
+		logger.Info("cluster enabled", "self", self, "seeds", len(seeds), "interval", clEvery.String())
+	}
+
 	d := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -128,8 +157,13 @@ func main() {
 		Logger:          logger,
 		Tracer:          run.Tracer,
 		Recorder:        rec,
+		Cluster:         node,
+		ForwardHops:     *clHops,
 	})
 	rec.Start()
+	if node != nil {
+		node.Start()
+	}
 	srv, err := service.Serve(*listen, d, logger)
 	if err != nil {
 		fatal(err)
@@ -163,7 +197,14 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	// Gossip keeps running through the drain (peers must see the
+	// Ready=false heartbeats to stop stealing work to us); the loop
+	// stops only once the listener is gone.
+	err = srv.Shutdown(ctx)
+	if node != nil {
+		node.Stop()
+	}
+	if err != nil {
 		logger.Error("shutdown", "err", err)
 		rec.Stop()
 		run.Close()

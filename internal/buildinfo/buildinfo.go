@@ -1,0 +1,71 @@
+// Package buildinfo reads the binary's embedded build metadata
+// (runtime/debug.ReadBuildInfo) into one stable JSON shape, served at
+// GET /version and stamped into postmortem bundle manifests — so an
+// incident report or a fleet inventory can say exactly which build
+// answered.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Schema identifies the JSON layout of Info.
+const Schema = "msrnet-build/v1"
+
+// Info is the build identity of the running binary.
+type Info struct {
+	Schema string `json:"schema"`
+	// Main is the main module's path (module identity, e.g. "msrnet").
+	Main string `json:"main,omitempty"`
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string `json:"version,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision/RevisionTime/Modified are the VCS stamp when the build
+	// had one (vcs.revision, vcs.time, vcs.modified settings).
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the binary's build identity. The lookup runs once; the
+// result never changes within a process.
+func Get() Info {
+	once.Do(func() {
+		cached = read(debug.ReadBuildInfo())
+	})
+	return cached
+}
+
+// read converts a debug.BuildInfo (possibly absent — binaries built
+// without module support) into the stable shape.
+func read(bi *debug.BuildInfo, ok bool) Info {
+	info := Info{Schema: Schema, GoVersion: runtime.Version()}
+	if !ok || bi == nil {
+		return info
+	}
+	info.Main = bi.Main.Path
+	info.Version = bi.Main.Version
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.RevisionTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}

@@ -1,0 +1,49 @@
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+func TestGetIsStableAndStamped(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("Get is not stable: %+v vs %+v", a, b)
+	}
+	if a.Schema != Schema {
+		t.Fatalf("schema %q, want %q", a.Schema, Schema)
+	}
+	if a.GoVersion == "" {
+		t.Fatal("GoVersion must always be stamped")
+	}
+}
+
+func TestReadParsesVCSSettings(t *testing.T) {
+	bi := &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Path: "msrnet", Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "abc123"},
+			{Key: "vcs.time", Value: "2026-01-02T03:04:05Z"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	info := read(bi, true)
+	if info.Main != "msrnet" || info.Version != "v1.2.3" || info.GoVersion != "go1.22.0" {
+		t.Fatalf("module identity not carried: %+v", info)
+	}
+	if info.Revision != "abc123" || info.RevisionTime != "2026-01-02T03:04:05Z" || !info.Modified {
+		t.Fatalf("vcs stamp not parsed: %+v", info)
+	}
+}
+
+func TestReadWithoutBuildInfoFallsBack(t *testing.T) {
+	info := read(nil, false)
+	if info.Schema != Schema {
+		t.Fatalf("schema %q, want %q", info.Schema, Schema)
+	}
+	if info.GoVersion != runtime.Version() {
+		t.Fatalf("GoVersion %q, want runtime fallback %q", info.GoVersion, runtime.Version())
+	}
+}

@@ -1,8 +1,10 @@
 // Package client is the Go client for msrnetd's msrnet-job/v1 surface,
 // with the retry discipline the daemon's failure taxonomy is designed
 // for. Submit retries whole HTTP submissions on transport errors, 429
-// (honoring Retry-After) and 5xx with capped exponential backoff and
-// seeded jitter; Run additionally resubmits individual jobs whose
+// and 5xx — honoring the server's Retry-After hint on both 429 (queue
+// full) and 503 (a draining peer mid rolling-restart sends one) — with
+// capped exponential backoff and seeded jitter between the rest; Run
+// additionally resubmits individual jobs whose
 // results came back failed-but-Retryable (deadline_exceeded, shed_load,
 // internal, …) — safe because jobs are idempotent, keyed by the
 // content hash of the net. Deterministic client-caused failures
@@ -128,8 +130,8 @@ type submitStats struct {
 }
 
 // Submit posts req, retrying transport errors, 429 and 5xx with capped
-// exponential backoff and jitter (honoring Retry-After on 429) up to
-// MaxAttempts. The submission carries an X-Msrnet-Trace-Id header —
+// exponential backoff and jitter (honoring Retry-After on 429 and 503)
+// up to MaxAttempts. The submission carries an X-Msrnet-Trace-Id header —
 // the context's trace ID when present (reqctx.WithTraceID), freshly
 // generated otherwise — and every retry decision is logged with it. A
 // 200 may still carry per-job failures — see Run for job-level retries.
@@ -280,8 +282,9 @@ func (c *Client) post(ctx context.Context, payload []byte, traceID string, round
 }
 
 // backoff computes the delay before the attempt-th retry: the server's
-// Retry-After when the last failure carried one, else capped
-// exponential with jitter in [½d, d).
+// Retry-After when the last failure carried one (msrnetd sends it on
+// 429 queue-full and on 503 while draining), else capped exponential
+// with jitter in [½d, d).
 func (c *Client) backoff(attempt int, last error) time.Duration {
 	if ae, ok := last.(*APIError); ok && ae.retryAfter > 0 {
 		return ae.retryAfter
@@ -307,16 +310,24 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// parseRetryAfter handles the delta-seconds form; the HTTP-date form
-// is not worth supporting for a same-module daemon that only sends
-// integers.
+// parseRetryAfter handles both RFC 9110 forms: delta-seconds (what
+// msrnetd itself sends) and HTTP-date (what a proxy or load balancer in
+// front of a fleet may rewrite it to). A date in the past, like a
+// negative delta, means "retry now" and maps to 0.
 func parseRetryAfter(s string) time.Duration {
 	if s == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(s)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(s); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

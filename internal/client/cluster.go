@@ -1,0 +1,313 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"msrnet/internal/cluster"
+	"msrnet/internal/netio"
+	"msrnet/internal/service"
+)
+
+// ClusterClient talks to a msrnetd fleet. It discovers the membership
+// from any seed peer (GET /cluster/members), builds the same
+// consistent-hash ring the daemons route by, and sends every job
+// straight to its home peer — so shard-cache hits need zero forwarding
+// hops. A dead peer is routed around: its jobs fail over to the ring
+// successors and the membership is re-discovered. Safe for concurrent
+// use.
+type ClusterClient struct {
+	seeds []string
+	opt   Options
+	httpc *http.Client
+	log   *slog.Logger
+
+	mu      sync.Mutex
+	ring    *cluster.Ring
+	addrs   map[cluster.ID]string
+	order   []cluster.ID // members sorted by ID, for deterministic fallback order
+	clients map[string]*Client
+}
+
+// NewCluster builds a fleet client from one or more seed base URLs
+// (any live member will do — discovery learns the rest). Options tune
+// the per-peer retry discipline, exactly as for New.
+func NewCluster(seeds []string, opt Options) *ClusterClient {
+	httpc := opt.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	log := opt.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	c := &ClusterClient{
+		opt:     opt,
+		httpc:   httpc,
+		log:     log,
+		addrs:   map[cluster.ID]string{},
+		clients: map[string]*Client{},
+	}
+	for _, s := range seeds {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+			c.seeds = append(c.seeds, s)
+		}
+	}
+	return c
+}
+
+// Discover refreshes the membership from the first seed (then first
+// known member) that answers, and rebuilds the routing ring with the
+// fleet's own virtual-node count — the client and every daemon must
+// derive identical rings or routing loses its single-hop property.
+func (c *ClusterClient) Discover(ctx context.Context) error {
+	var last error
+	for _, addr := range c.candidatesForDiscovery() {
+		state, err := c.fetchMembers(ctx, addr)
+		if err != nil {
+			last = err
+			continue
+		}
+		c.adopt(state)
+		return nil
+	}
+	if last == nil {
+		last = fmt.Errorf("client: no seed peers configured")
+	}
+	return fmt.Errorf("client: cluster discovery failed: %w", last)
+}
+
+// candidatesForDiscovery lists addresses to try: configured seeds
+// first, then previously discovered members not already listed.
+func (c *ClusterClient) candidatesForDiscovery() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.seeds...)
+	seen := map[string]bool{}
+	for _, s := range out {
+		seen[s] = true
+	}
+	for _, id := range c.order {
+		if a := c.addrs[id]; a != "" && !seen[a] {
+			out = append(out, a)
+			seen[a] = true
+		}
+	}
+	return out
+}
+
+func (c *ClusterClient) fetchMembers(ctx context.Context, addr string) (*cluster.StateBody, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/cluster/members", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/cluster/members: HTTP %d", addr, resp.StatusCode)
+	}
+	var state cluster.StateBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&state); err != nil {
+		return nil, fmt.Errorf("%s/cluster/members: decode: %w", addr, err)
+	}
+	if state.Schema != cluster.Schema {
+		return nil, fmt.Errorf("%s/cluster/members: schema %q, want %q", addr, state.Schema, cluster.Schema)
+	}
+	if len(state.Members) == 0 {
+		return nil, fmt.Errorf("%s/cluster/members: empty membership", addr)
+	}
+	return &state, nil
+}
+
+func (c *ClusterClient) adopt(state *cluster.StateBody) {
+	ids := make([]cluster.ID, 0, len(state.Members))
+	addrs := make(map[cluster.ID]string, len(state.Members))
+	for _, m := range state.Members {
+		ids = append(ids, m.ID)
+		addrs[m.ID] = strings.TrimRight(m.Addr, "/")
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.mu.Lock()
+	c.ring = cluster.NewRing(ids, state.Vnodes)
+	c.addrs = addrs
+	c.order = ids
+	c.mu.Unlock()
+	c.log.Debug("cluster membership adopted", "members", len(ids), "vnodes", state.Vnodes)
+}
+
+// Members returns the discovered peer base URLs, sorted by cluster ID.
+func (c *ClusterClient) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.addrs[id])
+	}
+	return out
+}
+
+// client returns (building once) the single-daemon client for addr.
+func (c *ClusterClient) client(addr string) *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.clients[addr]; ok {
+		return cl
+	}
+	cl := New(addr, c.opt)
+	c.clients[addr] = cl
+	return cl
+}
+
+// group is the slice of one batch routed to one home peer.
+type group struct {
+	owner cluster.ID
+	idx   []int
+}
+
+// Run routes req's jobs to their home peers by the canonical content
+// hash of each net — the same ring position the daemons shard their
+// caches by — runs each per-peer sub-batch with the full single-daemon
+// retry discipline, and merges the results back into request order. A
+// peer that fails its sub-batch (even after retries) triggers failover:
+// the membership is re-discovered and the sub-batch replays on the next
+// live candidate, so one dead daemon costs latency, not answers.
+func (c *ClusterClient) Run(ctx context.Context, req *service.Request) (*service.Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if c.needDiscovery() {
+		if err := c.Discover(ctx); err != nil {
+			return nil, err
+		}
+	}
+	groups := c.route(req)
+	results := make([]service.Result, len(req.Jobs))
+	for _, g := range groups {
+		sub := &service.Request{Version: req.Version, Jobs: make([]service.Job, len(g.idx)),
+			Explain: req.Explain, Profile: req.Profile}
+		for k, i := range g.idx {
+			sub.Jobs[k] = req.Jobs[i]
+			if sub.Jobs[k].ID == "" {
+				// Pin the batch-index label so a sub-batch result carries
+				// the name the caller used.
+				sub.Jobs[k].ID = fmt.Sprintf("#%d", i)
+			}
+		}
+		resp, err := c.runGroup(ctx, g, sub)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range g.idx {
+			results[i] = resp.Results[k]
+		}
+	}
+	return &service.Response{Version: service.SchemaVersion, Results: results}, nil
+}
+
+func (c *ClusterClient) needDiscovery() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring == nil || len(c.order) == 0
+}
+
+// route partitions the batch by home peer. Jobs whose net cannot be
+// hashed (the daemon will reject them with a structured 400) ride with
+// the first group so the error surfaces in-band.
+func (c *ClusterClient) route(req *service.Request) []group {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	byOwner := map[cluster.ID]*group{}
+	var order []cluster.ID
+	for i := range req.Jobs {
+		owner := cluster.ID("")
+		if key, err := netio.ContentHash(req.Jobs[i].Net); err == nil {
+			if id, ok := ring.Owner(key); ok {
+				owner = id
+			}
+		}
+		g, ok := byOwner[owner]
+		if !ok {
+			g = &group{owner: owner}
+			byOwner[owner] = g
+			order = append(order, owner)
+		}
+		g.idx = append(g.idx, i)
+	}
+	out := make([]group, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byOwner[id])
+	}
+	return out
+}
+
+// failoverRounds bounds how many times one sub-batch may replay across
+// candidates (re-discovering between rounds) before Run gives up.
+const failoverRounds = 2
+
+// runGroup tries the group's home peer, then — on failure — the ring
+// successors and every other live member, re-discovering the membership
+// between rounds so a dead peer drops out of the candidate list.
+func (c *ClusterClient) runGroup(ctx context.Context, g group, sub *service.Request) (*service.Response, error) {
+	var last error
+	for round := 0; round <= failoverRounds; round++ {
+		if round > 0 {
+			if err := c.Discover(ctx); err != nil {
+				last = err
+				break
+			}
+		}
+		for _, addr := range c.candidatesFor(g.owner) {
+			resp, err := c.client(addr).Run(ctx, sub)
+			if err == nil {
+				if len(resp.Results) != len(sub.Jobs) {
+					return nil, fmt.Errorf("client: peer %s returned %d results for %d jobs",
+						addr, len(resp.Results), len(sub.Jobs))
+				}
+				return resp, nil
+			}
+			last = err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), last)
+			}
+			if ae, ok := err.(*APIError); ok && !ae.Temporary() {
+				// Deterministic rejection (bad request): no peer will
+				// answer differently.
+				return nil, err
+			}
+			c.log.WarnContext(ctx, "peer failed; failing over", "peer", addr, "err", err)
+		}
+	}
+	return nil, fmt.Errorf("client: all fleet peers failed for sub-batch: %w", last)
+}
+
+// candidatesFor orders the peers to try for a group: the home peer
+// first (that is where the shard cache hits), then every other member
+// in ID order — deterministic, so retries and tests are reproducible.
+func (c *ClusterClient) candidatesFor(owner cluster.ID) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	seen := map[string]bool{}
+	add := func(id cluster.ID) {
+		if a := c.addrs[id]; a != "" && !seen[a] {
+			out = append(out, a)
+			seen[a] = true
+		}
+	}
+	add(owner)
+	for _, id := range c.order {
+		add(id)
+	}
+	return out
+}

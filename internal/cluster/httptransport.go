@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"msrnet/internal/obs/reqctx"
+)
+
+// HTTPTransport is the production Transport: gossip and shard-cache
+// traffic hit the peer's /cluster/* endpoints (served by Handler on
+// msrnetd's ordinary listener), forwards hit its /v1/jobs.
+type HTTPTransport struct {
+	// Client issues the requests; a 5s-timeout client when nil. Per-
+	// operation deadlines (gossip exchange, shard-cache hop) are
+	// tighter and come from the caller's context.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) http() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return defaultHTTPClient
+}
+
+var defaultHTTPClient = &http.Client{Timeout: 5 * time.Second}
+
+func (t *HTTPTransport) Gossip(ctx context.Context, from, to Peer, msg GossipMsg) (View, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode gossip: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, to.Addr+"/cluster/gossip", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: gossip %s: HTTP %d", to.ID, resp.StatusCode)
+	}
+	var v View
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("cluster: decode gossip reply: %w", err)
+	}
+	return v, nil
+}
+
+func (t *HTTPTransport) CacheGet(ctx context.Context, from, to Peer, key string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		to.Addr+"/cluster/cache?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := t.http().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		val, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheValueBytes+1))
+		if err != nil {
+			return nil, false, err
+		}
+		return val, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("cluster: cache get from %s: HTTP %d", to.ID, resp.StatusCode)
+	}
+}
+
+func (t *HTTPTransport) CachePut(ctx context.Context, from, to Peer, key string, val []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		to.Addr+"/cluster/cache?key="+url.QueryEscape(key), bytes.NewReader(val))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("cluster: cache put to %s: HTTP %d", to.ID, resp.StatusCode)
+	}
+	return nil
+}
+
+func (t *HTTPTransport) Submit(ctx context.Context, from, to Peer, body []byte, meta ForwardMeta) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, to.Addr+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwardHops, strconv.Itoa(meta.Hops))
+	req.Header.Set(HeaderForwardFrom, string(meta.From))
+	if meta.TraceID != "" {
+		req.Header.Set(reqctx.HeaderTraceID, meta.TraceID)
+	}
+	resp, err := t.http().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return out, resp.StatusCode, nil
+}
+
+// maxCacheValueBytes bounds one shard-cache value (a serialized
+// Result); a full Pareto suite over a large net fits comfortably.
+const maxCacheValueBytes = 16 << 20
+
+// maxGossipBytes bounds an inbound gossip message.
+const maxGossipBytes = 1 << 20
+
+// Handler serves the node's cluster surface, mounted by the daemon
+// under /cluster/ on its ordinary listener:
+//
+//	POST /cluster/gossip   push/pull view exchange (GossipMsg in, View out)
+//	GET  /cluster/members  msrnet-cluster/v1 membership + ring parameters
+//	GET  /cluster/cache    shard-cache get  (?key=..., 404 on miss)
+//	PUT  /cluster/cache    shard-cache put  (?key=..., body = value)
+func Handler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/gossip", func(w http.ResponseWriter, r *http.Request) {
+		var msg GossipMsg
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxGossipBytes)).Decode(&msg); err != nil {
+			http.Error(w, "bad gossip message: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.HandleGossip(msg))
+	})
+	mux.HandleFunc("GET /cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.State())
+	})
+	mux.HandleFunc("GET /cluster/cache", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		l := n.localHandler()
+		if key == "" || l == nil {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		val, ok := l.CacheGet(key)
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(val)
+	})
+	mux.HandleFunc("PUT /cluster/cache", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		l := n.localHandler()
+		if key == "" || l == nil {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		val, err := io.ReadAll(io.LimitReader(r.Body, maxCacheValueBytes))
+		if err != nil {
+			http.Error(w, "read value: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		l.CachePut(key, val)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// MemTransport is the in-process Transport: it routes every operation
+// to the registered target Node's handlers directly, with no sockets,
+// timers or real concurrency of its own — which is what makes
+// multi-node gossip, shard-cache and forwarding behaviour exactly
+// reproducible in tests. Kill and Partition simulate peer death and
+// network splits.
+type MemTransport struct {
+	mu    sync.Mutex
+	nodes map[ID]*Node
+	down  map[ID]bool
+	cut   map[[2]ID]bool
+}
+
+// NewMemTransport builds an empty in-memory network.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{nodes: map[ID]*Node{}, down: map[ID]bool{}, cut: map[[2]ID]bool{}}
+}
+
+// Add registers a node as reachable.
+func (t *MemTransport) Add(n *Node) {
+	t.mu.Lock()
+	t.nodes[n.Self().ID] = n
+	delete(t.down, n.Self().ID)
+	t.mu.Unlock()
+}
+
+// Kill makes a node unreachable (process death); Revive undoes it.
+func (t *MemTransport) Kill(id ID) {
+	t.mu.Lock()
+	t.down[id] = true
+	t.mu.Unlock()
+}
+
+// Revive restores a killed node.
+func (t *MemTransport) Revive(id ID) {
+	t.mu.Lock()
+	delete(t.down, id)
+	t.mu.Unlock()
+}
+
+// Partition cuts the link between a and b in both directions; Heal
+// restores it.
+func (t *MemTransport) Partition(a, b ID) {
+	t.mu.Lock()
+	t.cut[link(a, b)] = true
+	t.mu.Unlock()
+}
+
+// Heal restores the link between a and b.
+func (t *MemTransport) Heal(a, b ID) {
+	t.mu.Lock()
+	delete(t.cut, link(a, b))
+	t.mu.Unlock()
+}
+
+func link(a, b ID) [2]ID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ID{a, b}
+}
+
+// reach resolves the target node, honoring kills and partitions.
+func (t *MemTransport) reach(from, to ID) (*Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down[to] {
+		return nil, fmt.Errorf("cluster: peer %s is down", to)
+	}
+	if t.cut[link(from, to)] {
+		return nil, fmt.Errorf("cluster: link %s-%s is partitioned", from, to)
+	}
+	n, ok := t.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %s", to)
+	}
+	return n, nil
+}
+
+func (t *MemTransport) Gossip(ctx context.Context, from, to Peer, msg GossipMsg) (View, error) {
+	n, err := t.reach(from.ID, to.ID)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleGossip(msg), nil
+}
+
+func (t *MemTransport) CacheGet(ctx context.Context, from, to Peer, key string) ([]byte, bool, error) {
+	n, err := t.reach(from.ID, to.ID)
+	if err != nil {
+		return nil, false, err
+	}
+	l := n.localHandler()
+	if l == nil {
+		return nil, false, fmt.Errorf("cluster: peer %s has no local handler", to.ID)
+	}
+	val, ok := l.CacheGet(key)
+	return val, ok, nil
+}
+
+func (t *MemTransport) CachePut(ctx context.Context, from, to Peer, key string, val []byte) error {
+	n, err := t.reach(from.ID, to.ID)
+	if err != nil {
+		return err
+	}
+	l := n.localHandler()
+	if l == nil {
+		return fmt.Errorf("cluster: peer %s has no local handler", to.ID)
+	}
+	l.CachePut(key, val)
+	return nil
+}
+
+func (t *MemTransport) Submit(ctx context.Context, from, to Peer, body []byte, meta ForwardMeta) ([]byte, int, error) {
+	n, err := t.reach(from.ID, to.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	l := n.localHandler()
+	if l == nil {
+		return nil, 0, fmt.Errorf("cluster: peer %s has no local handler", to.ID)
+	}
+	resp, status := l.Submit(ctx, body, meta)
+	return resp, status, nil
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Members and keys
+// hash onto a 64-bit circle; a key is owned by the first member point
+// clockwise from the key's hash. With V virtual points per member,
+// adding or removing one member moves only ~1/N of the key space, so a
+// peer death reshuffles a sliver of the shard cache, not all of it.
+//
+// The hash is the first 8 bytes of SHA-256 — deliberately not a seeded
+// or per-process hash, because every node (and every cluster-aware
+// client) must derive the identical ring from the same member list, on
+// any platform, in any process.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	h  uint64
+	id ID
+}
+
+// NewRing builds the ring over the given members with vnodes virtual
+// points each. Duplicate and empty IDs are ignored.
+func NewRing(ids []ID, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := map[ID]bool{}
+	r := &Ring{}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.n++
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: hash64(string(id) + "#" + strconv.Itoa(v)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// hash64 maps s onto the ring circle.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members reports the distinct member count.
+func (r *Ring) Members() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Owner returns the member owning key; ok is false on an empty ring.
+func (r *Ring) Owner(key string) (ID, bool) {
+	if r == nil || len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.at(key)].id, true
+}
+
+// Successors returns up to k distinct members strictly after key's
+// owner in clockwise order — the failover candidates when the owner is
+// unreachable.
+func (r *Ring) Successors(key string, k int) []ID {
+	if r == nil || len(r.points) == 0 || k <= 0 {
+		return nil
+	}
+	i := r.at(key)
+	owner := r.points[i].id
+	seen := map[ID]bool{owner: true}
+	var out []ID
+	for step := 1; step < len(r.points) && len(out) < k; step++ {
+		id := r.points[(i+step)%len(r.points)].id
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// at locates the first ring point clockwise from key's hash.
+func (r *Ring) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

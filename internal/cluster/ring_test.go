@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []ID {
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(fmt.Sprintf("n%d", i))
+	}
+	return ids
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256:%064d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	a := NewRing(ringIDs(5), 64)
+	// Same members in a different order (and with duplicates) must give
+	// the identical ring — clients and every daemon build it separately.
+	shuffled := []ID{"n3", "n1", "n4", "n1", "n0", "n2", ""}
+	b := NewRing(shuffled, 64)
+	if a.Members() != 5 || b.Members() != 5 {
+		t.Fatalf("member counts: %d, %d", a.Members(), b.Members())
+	}
+	for _, k := range keys(200) {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("owner disagreement for %s: %s vs %s", k, ao, bo)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	var nilRing *Ring
+	if _, ok := nilRing.Owner("k"); ok {
+		t.Fatal("nil ring claimed an owner")
+	}
+	if _, ok := NewRing(nil, 8).Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	solo := NewRing([]ID{"only"}, 8)
+	if id, ok := solo.Owner("k"); !ok || id != "only" {
+		t.Fatalf("single-member ring: %q, %v", id, ok)
+	}
+	if s := solo.Successors("k", 3); len(s) != 0 {
+		t.Fatalf("single-member ring has successors: %v", s)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(ringIDs(4), 64)
+	counts := map[ID]int{}
+	const n = 4000
+	for _, k := range keys(n) {
+		id, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[id]++
+	}
+	for id, c := range counts {
+		// With 64 vnodes the split is not perfect, but no member should
+		// own more than twice or less than half its fair share.
+		if c < n/8 || c > n/2 {
+			t.Fatalf("imbalanced ring: %s owns %d of %d", id, c, n)
+		}
+	}
+}
+
+func TestRingMinimalReshuffleOnMemberLoss(t *testing.T) {
+	full := NewRing(ringIDs(4), 64)
+	without := NewRing([]ID{"n0", "n1", "n2"}, 64)
+	moved := 0
+	const n = 2000
+	for _, k := range keys(n) {
+		was, _ := full.Owner(k)
+		now, _ := without.Owner(k)
+		if was != "n3" && was != now {
+			t.Fatalf("key %s moved from surviving owner %s to %s", k, was, now)
+		}
+		if was == "n3" {
+			moved++
+		}
+	}
+	// Consistent hashing: only the dead member's ~1/4 share moves.
+	if moved < n/8 || moved > n/2 {
+		t.Fatalf("unexpected moved share: %d of %d", moved, n)
+	}
+}
+
+func TestRingSuccessorsDistinctAndExcludeOwner(t *testing.T) {
+	r := NewRing(ringIDs(5), 64)
+	for _, k := range keys(50) {
+		owner, _ := r.Owner(k)
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors, got %v", succ)
+		}
+		seen := map[ID]bool{owner: true}
+		for _, id := range succ {
+			if seen[id] {
+				t.Fatalf("successor list repeats or includes owner: owner=%s succ=%v", owner, succ)
+			}
+			seen[id] = true
+		}
+	}
+}

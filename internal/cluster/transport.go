@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Forward headers: a forwarded (work-stolen) submission carries its
+// hop count and origin so the receiving daemon can cap forwarding
+// chains and stamp provenance on explain reports. The trace ID rides
+// the standard X-Msrnet-Trace-Id header (internal/obs/reqctx).
+const (
+	HeaderForwardHops = "X-Msrnet-Forward-Hops"
+	HeaderForwardFrom = "X-Msrnet-Forwarded-From"
+)
+
+// ForwardMeta is the provenance of a forwarded submission.
+type ForwardMeta struct {
+	// Hops counts forwards so far; a daemon refuses to forward past the
+	// configured cap, so a saturated fleet degrades to 429, not to a
+	// request orbiting forever.
+	Hops int
+	// From is the forwarding peer.
+	From ID
+	// TraceID propagates the request's correlation ID across the hop.
+	TraceID string
+}
+
+// Transport carries the four cluster operations between peers. The
+// in-memory implementation makes multi-node behaviour deterministic in
+// tests; the HTTP implementation rides msrnetd's listener (gossip and
+// cache under /cluster/*, forwards on the ordinary /v1/jobs).
+type Transport interface {
+	// Gossip performs one push/pull exchange: deliver msg to peer and
+	// return the peer's view.
+	Gossip(ctx context.Context, from, to Peer, msg GossipMsg) (View, error)
+	// CacheGet fetches the shard-cache value for key from peer; ok is
+	// false on a clean miss.
+	CacheGet(ctx context.Context, from, to Peer, key string) (val []byte, ok bool, err error)
+	// CachePut stores the shard-cache value for key on peer.
+	CachePut(ctx context.Context, from, to Peer, key string, val []byte) error
+	// Submit posts a msrnet-job/v1 request body to peer with forward
+	// provenance, returning the response body and HTTP status.
+	Submit(ctx context.Context, from, to Peer, body []byte, meta ForwardMeta) (resp []byte, status int, err error)
+}
+
+// Local is the daemon-side handler a Node dispatches inbound cluster
+// traffic to; internal/service implements it over the job queue and
+// the LRU result cache.
+type Local interface {
+	// CacheGet returns the locally cached serialized Result for key.
+	CacheGet(key string) ([]byte, bool)
+	// CachePut stores a serialized Result under key.
+	CachePut(key string, val []byte)
+	// Submit runs a forwarded msrnet-job/v1 request body and returns
+	// the response body plus its HTTP status.
+	Submit(ctx context.Context, body []byte, meta ForwardMeta) ([]byte, int)
+	// Status reports readiness (the /readyz verdict) and queue load.
+	Status() (ready bool, load int64)
+}
+
+// remoteTimeout bounds single-hop shard-cache operations: the cache is
+// an optimization, so a slow or dead owner must cost milliseconds, not
+// the job deadline.
+const remoteTimeout = 2 * time.Second
+
+// CacheGet fetches key from peer's shard cache (single hop), counting
+// hits/misses/errors under cluster/*. A transport error degrades to a
+// miss: the caller solves locally.
+func (n *Node) CacheGet(ctx context.Context, peer Peer, key string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, remoteTimeout)
+	defer cancel()
+	val, ok, err := n.tr.CacheGet(ctx, n.cfg.Self, peer, key)
+	if err != nil {
+		n.remoteErrs.Inc()
+		return nil, false
+	}
+	if !ok {
+		n.remoteMisses.Inc()
+		return nil, false
+	}
+	n.remoteHits.Inc()
+	return val, true
+}
+
+// CachePut stores key on peer's shard cache (single hop). It reports
+// whether the put landed so the caller can fall back to its local
+// cache when the owner is down.
+func (n *Node) CachePut(ctx context.Context, peer Peer, key string, val []byte) bool {
+	ctx, cancel := context.WithTimeout(ctx, remoteTimeout)
+	defer cancel()
+	if err := n.tr.CachePut(ctx, n.cfg.Self, peer, key, val); err != nil {
+		n.remotePutErrs.Inc()
+		return false
+	}
+	n.remotePuts.Inc()
+	return true
+}
+
+// Forward posts a job request to peer with forward provenance.
+func (n *Node) Forward(ctx context.Context, peer Peer, body []byte, meta ForwardMeta) ([]byte, int, error) {
+	resp, status, err := n.tr.Submit(ctx, n.cfg.Self, peer, body, meta)
+	if err != nil || status < 200 || status >= 300 {
+		n.forwardErrs.Inc()
+		return resp, status, err
+	}
+	n.forwards.Inc()
+	return resp, status, nil
+}
+
+// localHandler exposes the installed Local to transports delivering
+// inbound traffic (the in-memory transport calls it directly; the HTTP
+// handler goes through the same accessor).
+func (n *Node) localHandler() Local {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.local
+}

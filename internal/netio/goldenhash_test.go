@@ -1,0 +1,150 @@
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"msrnet/internal/buslib"
+	"msrnet/internal/netgen"
+)
+
+// goldenHashFile pins the ContentHash of a fixed net corpus. The hash
+// is the fleet-wide routing and cache key: every daemon shards by it
+// and every cluster client routes by it, so a hash that drifts across
+// releases silently splits the shard cache and breaks the single-hop
+// property. This test turns any such drift into a diff against a
+// committed golden file.
+const goldenHashFile = "testdata/golden_hashes.json"
+
+// updateGoldenEnv regenerates the golden file when set — only for a
+// DELIBERATE format-version bump, which is a coordinated fleet upgrade.
+const updateGoldenEnv = "MSRNET_UPDATE_GOLDEN"
+
+// goldenCorpus builds the fixed corpus: generated nets across seeds
+// and sizes. netgen is fully seeded, so the corpus is identical on
+// every platform and run.
+func goldenCorpus(t *testing.T) map[string]NetFile {
+	t.Helper()
+	corpus := map[string]NetFile{}
+	for _, pins := range []int{4, 9, 17} {
+		for seed := int64(1); seed <= 4; seed++ {
+			tr, err := netgen.Generate(seed, netgen.Defaults(pins))
+			if err != nil {
+				t.Fatalf("generate seed=%d pins=%d: %v", seed, pins, err)
+			}
+			name := fmt.Sprintf("gen-seed%d-pins%d", seed, pins)
+			corpus[name] = Encode(name, tr, buslib.Default())
+		}
+	}
+	return corpus
+}
+
+// TestContentHashGoldenCorpus locks ContentHash to the committed
+// golden values, and asserts the invariances the cache key promises:
+// edge order and edge direction do not matter, a JSON round trip does
+// not matter, and the canonical bytes are a fixpoint.
+func TestContentHashGoldenCorpus(t *testing.T) {
+	corpus := goldenCorpus(t)
+	got := map[string]string{}
+	for name, f := range corpus {
+		h, err := ContentHash(f)
+		if err != nil {
+			t.Fatalf("%s: hash: %v", name, err)
+		}
+		got[name] = h
+	}
+
+	if os.Getenv(updateGoldenEnv) != "" {
+		names := make([]string, 0, len(got))
+		for name := range got {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ordered := make(map[string]string, len(got))
+		for _, name := range names {
+			ordered[name] = got[name]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenHashFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenHashFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden hashes rewritten: %s (%d entries)", goldenHashFile, len(ordered))
+		return
+	}
+
+	data, err := os.ReadFile(goldenHashFile)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with %s=1 go test): %v", updateGoldenEnv, err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("decoding golden file: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("corpus has %d nets, golden file has %d", len(got), len(want))
+	}
+	for name, h := range got {
+		if w, ok := want[name]; !ok {
+			t.Errorf("%s: missing from golden file", name)
+		} else if h != w {
+			t.Errorf("%s: ContentHash drifted — cache keys and fleet routing would split\n  got:  %s\n  want: %s", name, h, w)
+		}
+	}
+
+	for name, f := range corpus {
+		assertHashInvariances(t, name, f, got[name])
+	}
+}
+
+// assertHashInvariances perturbs a net in ways ContentHash documents
+// as irrelevant and asserts the hash holds.
+func assertHashInvariances(t *testing.T, name string, f NetFile, want string) {
+	t.Helper()
+
+	// Edge direction and edge order are canonicalized away.
+	rng := rand.New(rand.NewSource(int64(len(name))))
+	perm := f
+	perm.Edges = append([]EdgeJSON(nil), f.Edges...)
+	for i := range perm.Edges {
+		if rng.Intn(2) == 0 {
+			perm.Edges[i].A, perm.Edges[i].B = perm.Edges[i].B, perm.Edges[i].A
+		}
+	}
+	rng.Shuffle(len(perm.Edges), func(i, j int) {
+		perm.Edges[i], perm.Edges[j] = perm.Edges[j], perm.Edges[i]
+	})
+	if h, err := ContentHash(perm); err != nil || h != want {
+		t.Errorf("%s: hash changed under edge permutation: %s (err %v)", name, h, err)
+	}
+
+	// A JSON round trip (what every daemon and client does in transit)
+	// must not move the hash.
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", name, err)
+	}
+	var back NetFile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("%s: unmarshal: %v", name, err)
+	}
+	if h, err := ContentHash(back); err != nil || h != want {
+		t.Errorf("%s: hash changed across JSON round trip: %s (err %v)", name, h, err)
+	}
+
+	// The canonical form is a fixpoint: hashing the canonicalized net
+	// yields the same address.
+	if h, err := ContentHash(Canonicalize(f)); err != nil || h != want {
+		t.Errorf("%s: hash changed after canonicalize: %s (err %v)", name, h, err)
+	}
+}

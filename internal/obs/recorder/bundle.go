@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"msrnet/internal/buildinfo"
 	"msrnet/internal/obs"
 )
 
@@ -31,6 +32,7 @@ const (
 	fileGoroutines = "goroutines.txt"
 	fileHeap       = "heap.pb.gz"
 	fileJobs       = "jobs.json"
+	fileCluster    = "cluster.json"
 )
 
 // Manifest is the bundle's index: what triggered the capture, when,
@@ -41,6 +43,10 @@ type Manifest struct {
 	// Info is the daemon's config/build identification, verbatim from
 	// Config.Info.
 	Info any `json:"info,omitempty"`
+	// Build is the binary's embedded build identity (msrnet-build/v1):
+	// module version, toolchain and VCS stamp — the same body GET
+	// /version serves, so a bundle pins exactly which build died.
+	Build buildinfo.Info `json:"build"`
 	// Rules is the SLO rule state at capture time.
 	Rules []RuleState `json:"rules,omitempty"`
 	Files []string    `json:"files"`
@@ -65,6 +71,7 @@ func (f *FlightRecorder) writeBundle(now time.Time, seq int64, reason, detail st
 		Schema:  BundleSchema,
 		Trigger: TriggerInfo{Reason: reason, Detail: detail, TimeUnixMs: now.UnixMilli(), Seq: seq},
 		Info:    f.cfg.Info,
+		Build:   buildinfo.Get(),
 		Rules:   f.RuleStates(),
 	}
 	keep := func(name string, err error) error {
@@ -94,10 +101,15 @@ func (f *FlightRecorder) writeBundle(now time.Time, seq int64, reason, detail st
 		return "", err
 	}
 	f.mu.Lock()
-	jobs := f.jobs
+	jobs, clusterFn := f.jobs, f.cluster
 	f.mu.Unlock()
 	if jobs != nil {
 		if err := keep(fileJobs, writeJSONFile(filepath.Join(dir, fileJobs), jobs())); err != nil {
+			return "", err
+		}
+	}
+	if clusterFn != nil {
+		if err := keep(fileCluster, writeJSONFile(filepath.Join(dir, fileCluster), clusterFn())); err != nil {
 			return "", err
 		}
 	}
@@ -200,6 +212,9 @@ type Bundle struct {
 	GoroutineCount int
 	HasTrace       bool
 	HasHeap        bool
+	// HasCluster reports a cluster.json peer view in the bundle
+	// (clustered daemons only).
+	HasCluster bool
 }
 
 // JobsDump mirrors the jobs.json payload: the explain-table view the
@@ -277,6 +292,7 @@ func LoadBundle(dir string) (*Bundle, error) {
 	}
 	b.HasTrace = fileExists(filepath.Join(dir, fileTrace))
 	b.HasHeap = fileExists(filepath.Join(dir, fileHeap))
+	b.HasCluster = fileExists(filepath.Join(dir, fileCluster))
 	return b, nil
 }
 

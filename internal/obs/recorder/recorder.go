@@ -105,6 +105,7 @@ type FlightRecorder struct {
 	next    int
 	evals   []*ruleEval
 	jobs    func() any
+	cluster func() any
 	seq     int64
 	lastAut time.Time // last automatic bundle write, for the cooldown
 	ticks   int64
@@ -165,6 +166,20 @@ func (f *FlightRecorder) SetJobs(fn func() any) {
 	}
 	f.mu.Lock()
 	f.jobs = fn
+	f.mu.Unlock()
+}
+
+// SetCluster installs the fleet-membership source: a function returning
+// a JSON-serializable peer view (msrnet-cluster/v1), written into
+// bundles as cluster.json so an incident report can say what the fleet
+// looked like at capture. Safe to call before or after Start; nil
+// clears it.
+func (f *FlightRecorder) SetCluster(fn func() any) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.cluster = fn
 	f.mu.Unlock()
 }
 

@@ -31,11 +31,15 @@ const (
 	// OutcomeRejected marks jobs the admission path turned away before
 	// they ever queued: queue-saturation 429s and draining rejections.
 	OutcomeRejected = "rejected"
+	// OutcomeForwarded marks jobs this daemon could not admit and handed
+	// to a fleet peer by work-stealing; the peer's own report (with
+	// forwarded_from set) carries the solve.
+	OutcomeForwarded = "forwarded"
 )
 
 // outcomeClasses enumerates the classes so the daemon can pre-build
 // one latency window per class (no allocation on the job path).
-var outcomeClasses = []string{OutcomeOK, OutcomeDegraded, OutcomeShed, OutcomeError, OutcomeRejected}
+var outcomeClasses = []string{OutcomeOK, OutcomeDegraded, OutcomeShed, OutcomeError, OutcomeRejected, OutcomeForwarded}
 
 // outcomeOf classifies a finished result.
 func outcomeOf(res Result) string {
@@ -76,6 +80,14 @@ type Explain struct {
 	Code    string `json:"code,omitempty"`
 	// Cached marks a result served from the LRU without queueing.
 	Cached bool `json:"cached,omitempty"`
+	// ServedBy is the fleet member that served this job's bytes: the
+	// answering daemon's cluster ID, the shard owner's on a remote cache
+	// hit, or the stealing peer's when this daemon forwarded the batch
+	// (outcome=forwarded). Empty on clusterless daemons.
+	ServedBy string `json:"served_by,omitempty"`
+	// ForwardedFrom is the peer that handed this job over by
+	// work-stealing, set on the executing daemon's report.
+	ForwardedFrom string `json:"forwarded_from,omitempty"`
 
 	// Where the time went: queue wait vs. solve vs. end-to-end (their
 	// difference is scheduling and encode overhead).

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"time"
 
+	"msrnet/internal/buildinfo"
+	"msrnet/internal/cluster"
 	"msrnet/internal/obs/export"
 	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
@@ -27,8 +29,10 @@ const maxRequestBytes = 64 << 20
 //	GET  /debug/trace      the shared ring tracer as Chrome trace JSON
 //	GET  /debug/recorder   flight-recorder ring + SLO rule state (?n=…)
 //	POST /debug/dump       force a postmortem bundle; returns its path
+//	GET  /version          msrnet-build/v1 build identity of the binary
 //	GET  /metrics          Prometheus text exposition (includes svc/* series)
 //	GET  /debug/vars, /debug/pprof/*, /healthz   (internal/obs/export)
+//	/cluster/*             gossip, membership, shard cache (clustered daemons)
 //
 // /healthz (liveness) keeps answering 200 throughout a drain; only
 // /readyz flips.
@@ -36,11 +40,15 @@ func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", d.handleJobs)
 	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /version", handleVersion)
 	mux.HandleFunc("GET /debug/jobs", d.handleJobList)
 	mux.HandleFunc("GET /debug/jobs/{id}", d.handleJobGet)
 	mux.HandleFunc("GET /debug/trace", d.handleTrace)
 	mux.HandleFunc("GET /debug/recorder", d.handleRecorder)
 	mux.HandleFunc("POST /debug/dump", d.handleDump)
+	if d.cfg.Cluster != nil {
+		mux.Handle("/cluster/", cluster.Handler(d.cfg.Cluster))
+	}
 	export.Register(mux, d.reg)
 	return mux
 }
@@ -63,9 +71,26 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("profile") == "1" {
 		req.Profile = true
 	}
-	resp, serr := d.Submit(r.Context(), &req)
+	ctx := r.Context()
+	// A work-stolen submission arrives with its forward provenance on
+	// the X-Msrnet-Forward-* headers: the hop count caps re-forwarding
+	// and the origin shows up as forwarded_from on explain reports.
+	if h := r.Header.Get(cluster.HeaderForwardHops); h != "" {
+		hops, err := strconv.Atoi(h)
+		if err != nil || hops < 0 {
+			writeError(w, http.StatusBadRequest, ErrBadRequest, "bad "+cluster.HeaderForwardHops+": want a non-negative integer")
+			return
+		}
+		ctx = withForwardMeta(ctx, cluster.ForwardMeta{
+			Hops: hops, From: cluster.ID(r.Header.Get(cluster.HeaderForwardFrom)),
+		})
+	}
+	resp, serr := d.Submit(ctx, &req)
 	if serr != nil {
-		if serr.Status == http.StatusTooManyRequests {
+		// Both backpressure rejections are retryable with a hint: 429
+		// (queue full) and 503 (draining — a rolling restart, so another
+		// peer or the same one post-restart will take the retry).
+		if serr.Status == http.StatusTooManyRequests || serr.Status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
 		writeErrorBody(w, serr.Status, ErrorBody{
@@ -77,6 +102,12 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		d.log.WarnContext(r.Context(), "response write failed", "err", err)
 	}
+}
+
+// handleVersion serves the binary's msrnet-build/v1 identity.
+func handleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(buildinfo.Get())
 }
 
 func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -207,12 +238,20 @@ func (s *HTTPServer) Shutdown(ctx context.Context) error {
 // reqctx.Handler. The server runs on its own goroutine; the caller
 // owns the Shutdown.
 func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
-	if logger == nil {
-		logger = slog.Default()
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	return ServeListener(ln, d, logger), nil
+}
+
+// ServeListener is Serve on an already-bound listener. A clustered
+// daemon advertises its base URL as its fleet identity, so callers
+// that need the address before the daemon exists (tests, or a future
+// systemd socket activation) bind first and hand the listener over.
+func ServeListener(ln net.Listener, d *Daemon, logger *slog.Logger) *HTTPServer {
+	if logger == nil {
+		logger = slog.Default()
 	}
 	srv := &http.Server{
 		Handler:           reqctx.Middleware(export.LogRequests(logger, d.Handler())),
@@ -225,5 +264,5 @@ func Serve(addr string, d *Daemon, logger *slog.Logger) (*HTTPServer, error) {
 	}()
 	logger.Info("msrnetd listening", "addr", ln.Addr().String(),
 		"endpoints", []string{"/v1/jobs", "/readyz", "/debug/jobs", "/debug/trace", "/debug/recorder", "/debug/dump", "/metrics", "/debug/vars", "/debug/pprof/", "/healthz"})
-	return &HTTPServer{d: d, ln: ln, srv: srv}, nil
+	return &HTTPServer{d: d, ln: ln, srv: srv}
 }

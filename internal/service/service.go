@@ -13,6 +13,7 @@ import (
 
 	"msrnet/internal/ard"
 	"msrnet/internal/buslib"
+	"msrnet/internal/cluster"
 	"msrnet/internal/core"
 	"msrnet/internal/faultinject"
 	"msrnet/internal/netio"
@@ -84,6 +85,17 @@ type Config struct {
 	// on recovered worker panics, and serves it at POST /debug/dump and
 	// GET /debug/recorder. The caller owns Start/Stop.
 	Recorder *recorder.FlightRecorder
+	// Cluster, when non-nil, joins the daemon to a msrnetd fleet
+	// (DESIGN.md §13): the LRU becomes this daemon's shard of the
+	// cluster cache, saturated batches forward to the least-loaded
+	// peer, and /cluster/* is mounted on the HTTP surface. The daemon
+	// installs itself as the node's Local handler; the caller owns
+	// Start/Stop of the gossip loop.
+	Cluster *cluster.Node
+	// ForwardHops caps work-stealing forward chains (default 2). A
+	// batch arriving with this many hops is rejected, not re-forwarded,
+	// so a fleet-wide saturation degrades to 429 instead of orbiting.
+	ForwardHops int
 }
 
 // DefaultCoarseEps is the dominance relaxation degraded runs use when
@@ -119,7 +131,7 @@ type Daemon struct {
 
 	submitted, completed, failed *obs.Counter
 	rejected, deadlines, panics  *obs.Counter
-	degraded, shed               *obs.Counter
+	degraded, shed, forwarded    *obs.Counter
 	queueDepth, workers          *obs.Gauge
 	drainGauge                   *obs.Gauge
 	queueWait, jobDur            *obs.Histogram
@@ -198,6 +210,7 @@ func New(cfg Config) *Daemon {
 		panics:     reg.Counter("svc/panics_recovered"),
 		degraded:   reg.Counter("svc/jobs_degraded"),
 		shed:       reg.Counter("svc/jobs_shed"),
+		forwarded:  reg.Counter("svc/jobs_forwarded"),
 		queueDepth: reg.Gauge("svc/queue_depth"),
 		workers:    reg.Gauge("svc/workers"),
 		drainGauge: reg.Gauge("svc/draining"),
@@ -225,6 +238,14 @@ func New(cfg Config) *Daemon {
 		active, recent := d.table.List()
 		return jobListBody{Schema: ExplainSchema, Active: active, Recent: recent}
 	})
+	if cfg.Cluster != nil {
+		// Inbound cluster traffic (shard-cache gets/puts, forwarded
+		// batches, health probes for gossip) dispatches to this daemon.
+		cfg.Cluster.SetLocal(clusterLocal{d: d})
+		// Postmortem bundles carry the peer view, so an incident report
+		// can say what the fleet looked like when the daemon died.
+		cfg.Recorder.SetCluster(func() any { return cfg.Cluster.State() })
+	}
 	d.workers.Set(int64(cfg.Workers))
 	d.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -274,6 +295,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	// Decode every net up front: a malformed net is the client's fault
 	// and must be a structured 400, not a queued failure.
 	traceID := reqctx.TraceID(ctx)
+	fmeta := forwardMetaFrom(ctx)
 	results := make([]Result, len(req.Jobs))
 	var pending []*task
 	decSpan := d.reg.StartSpan("svc/submit/decode")
@@ -306,13 +328,24 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		// hit/miss counters and LRU order stay honest): the lifecycle
 		// profile exists only on a fresh solve, and serving a cached
 		// result would silently return a report without one.
-		if res, ok := d.lookupUnlessProfiled(ctx, key, req.Profile); ok {
+		res, hit := d.lookupUnlessProfiled(ctx, key, req.Profile)
+		var shardOwner cluster.ID
+		if !hit && !req.Profile {
+			// Local miss: ask the net's home peer for its shard (single
+			// hop; errors and down owners degrade to a miss).
+			res, shardOwner, hit = d.shardLookup(ctx, netKey, key)
+		}
+		if hit {
 			res.ID = j.label(i)
 			res.Cached = true
 			e := d.newExplain(jid, seq, j, i, traceID, netKey)
 			e.State = JobDone
 			e.Outcome = OutcomeOK
 			e.Cached = true
+			d.stampCluster(e, fmeta)
+			if shardOwner != "" {
+				e.ServedBy = string(shardOwner)
+			}
 			d.table.record(e)
 			if req.Explain {
 				res.Explain = e
@@ -325,6 +358,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 			traceID: traceID, jid: jid, seq: seq, want: req.Explain || req.Profile,
 			profile: req.Profile, done: make(chan struct{})}
 		t.explain = d.newExplain(jid, seq, j, i, traceID, netKey)
+		d.stampCluster(t.explain, fmeta)
 		t.ctx, t.cancel = d.jobContext(reqctx.WithJobID(ctx, jid))
 		pending = append(pending, t)
 		results[i] = Result{} // filled after completion
@@ -340,6 +374,16 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		d.table.start(t.explain)
 	}
 	if err := d.enqueue(pending); err != nil {
+		// A saturated or draining queue is a work-stealing trigger: hand
+		// the batch to the least-loaded ready peer before rejecting.
+		if resp, ok := d.tryForward(ctx, req, pending, results, err); ok {
+			return resp, nil
+		}
+		// Only a batch actually bounced back to the client counts as
+		// rejected — a stolen batch above is delivered work, not loss.
+		if err.Code == ErrQueueFull {
+			d.rejected.Add(int64(len(pending)))
+		}
 		ms := float64(time.Since(submitStart)) / float64(time.Millisecond)
 		for _, t := range pending {
 			t.cancel()
@@ -435,7 +479,6 @@ func (d *Daemon) enqueue(ts []*task) *SubmitError {
 		return submitErr(http.StatusServiceUnavailable, ErrShuttingDown, "daemon is draining")
 	}
 	if len(ts) > d.free {
-		d.rejected.Add(int64(len(ts)))
 		return submitErr(http.StatusTooManyRequests, ErrQueueFull,
 			"queue full: %d jobs submitted, %d slots free (depth %d); retry later",
 			len(ts), d.free, d.cfg.QueueDepth)
@@ -543,6 +586,10 @@ func (d *Daemon) runTask(t *task) {
 			stored.Cached = false
 			stored.Explain = nil
 			d.cache.Put(t.key, stored)
+			// Replicate to the net's home peer so any fleet member's next
+			// submission of this net hits in one hop. The local copy above
+			// is the fallback when the owner is down.
+			d.shardStore(t.ctx, t.netKey, t.key, stored)
 		}
 	} else {
 		d.failed.Inc()

@@ -1,0 +1,42 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"msrnet/internal/buildinfo"
+	"msrnet/internal/obs"
+)
+
+// TestVersionEndpoint: GET /version serves the binary's embedded build
+// identity (msrnet-build/v1) — what a fleet inventory polls to confirm
+// every member runs the same build.
+func TestVersionEndpoint(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1, Reg: obs.New()})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /version: HTTP %d", resp.StatusCode)
+	}
+	var info buildinfo.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Schema != buildinfo.Schema {
+		t.Fatalf("schema %q, want %q", info.Schema, buildinfo.Schema)
+	}
+	if info.GoVersion == "" {
+		t.Fatal("version body missing the toolchain stamp")
+	}
+	if info != buildinfo.Get() {
+		t.Fatalf("served identity %+v differs from the process identity %+v", info, buildinfo.Get())
+	}
+}
