@@ -12,6 +12,8 @@
 //	msrnetctl -peers http://h1:8383,http://h2:8383 -in batch.json
 //	msrnetctl -peers http://h1:8383 -members        # print the membership
 //	msrnetctl -peers http://h1:8383 -version        # peer build identity
+//	msrnetctl -peers http://h1:8383 -api-key K -in batch.json   # multi-tenant daemon
+//	msrnetctl -peers http://h1:8383 -api-key K -jobs            # fetch crash-recovered results
 //	cat batch.json | msrnetctl -peers http://h1:8383 -in - -explain
 //
 // The request file is a msrnet-job/v1 body (same as POST /v1/jobs);
@@ -32,8 +34,13 @@ import (
 
 	"msrnet/internal/client"
 	"msrnet/internal/cliflags"
+	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/service"
 )
+
+// envAPIKey supplies the tenant credential when -api-key is not given,
+// keeping the key out of shell history and process listings.
+const envAPIKey = "MSRNET_API_KEY"
 
 func main() {
 	var (
@@ -45,6 +52,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline for the whole batch, discovery and failover included")
 		attempts = flag.Int("attempts", 0, "per-peer HTTP attempts per submission (0 = client default)")
 		rounds   = flag.Int("rounds", -1, "job-level retry rounds per peer (-1 = client default, 0 = none)")
+		apiKey   = flag.String("api-key", "", "tenant API key for a multi-tenant daemon (X-Msrnet-Api-Key; also via "+envAPIKey+")")
+		jobs     = flag.Bool("jobs", false, "list this tenant's crash-recovered jobs from the first seed's GET /v1/recovered and exit (done results are acked on fetch; add -keep to peek)")
+		keep     = flag.Bool("keep", false, "with -jobs: peek without acking, so the results stay fetchable")
 	)
 	flag.Parse()
 
@@ -61,14 +71,25 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	key := *apiKey
+	if key == "" {
+		key = os.Getenv(envAPIKey)
+	}
+
 	if *version {
 		if err := printVersion(ctx, seeds[0]); err != nil {
 			fatal(err)
 		}
 		return
 	}
+	if *jobs {
+		if err := printRecovered(ctx, seeds[0], key, *keep); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
-	opt := client.Options{MaxAttempts: *attempts}
+	opt := client.Options{MaxAttempts: *attempts, APIKey: key}
 	if *rounds >= 0 {
 		opt.JobRounds = *rounds
 		if *rounds == 0 {
@@ -131,6 +152,40 @@ func readRequest(path string) (*service.Request, error) {
 		return nil, fmt.Errorf("msrnetctl: decode %s: %w", path, err)
 	}
 	return &req, nil
+}
+
+// printRecovered fetches the tenant's crash-recovered jobs from one
+// peer's GET /v1/recovered and pretty-prints the msrnet-recovered/v1
+// body. Unless keep is set, the daemon acknowledges the done results
+// it hands over, so this call IS the delivery.
+func printRecovered(ctx context.Context, peer, key string, keep bool) error {
+	url := strings.TrimRight(peer, "/") + "/v1/recovered"
+	if keep {
+		url += "?keep=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if key != "" {
+		req.Header.Set(reqctx.HeaderAPIKey, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("msrnetctl: %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var pretty json.RawMessage = body
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pretty)
 }
 
 // printVersion fetches and pretty-prints one peer's build identity.

@@ -41,6 +41,7 @@ import (
 	"msrnet/internal/cliflags"
 	"msrnet/internal/cluster"
 	"msrnet/internal/faultinject"
+	"msrnet/internal/jobstore"
 	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/service"
@@ -68,6 +69,9 @@ func main() {
 		pmDir      = flag.String("postmortem-dir", "", "write postmortem bundles into this directory on worker panics, SLO burns, SIGQUIT or POST /debug/dump (empty = ring-only recorder, no bundles)")
 		pmKeep     = flag.Int("postmortem-keep", recorder.DefaultMaxBundles, "bounded bundle retention: the oldest bundles beyond this count are deleted")
 		sloSpec    = flag.String("slo", "", "SLO burn-rate rules, semicolon-separated, e.g. 'e2e-slow:p99:e2e/ok:500ms:1m;err-fast:error_rate:0.01:1m'; a firing rule triggers a postmortem bundle")
+		walDir     = flag.String("wal-dir", "", "write-ahead job log directory: accepted jobs and results are persisted and replayed on restart, so a crash or kill -9 loses nothing (empty = no durability, as before)")
+		walSegment = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 8 MiB)")
+		tenantsCfg = flag.String("tenants", "", "msrnet-tenants/v1 config file: enables API-key auth, per-tenant quotas (queue slots, nets/sec, per-tenant Retry-After on 429) and weighted fair-share dispatch (DESIGN.md §14)")
 	)
 	obsFlags := cliflags.Register(flag.CommandLine,
 		cliflags.Caps{AlwaysRegistry: true, AlwaysTracer: true, TraceEvents: true})
@@ -144,6 +148,32 @@ func main() {
 		logger.Info("cluster enabled", "self", self, "seeds", len(seeds), "interval", clEvery.String())
 	}
 
+	var tenants []service.TenantConfig
+	if *tenantsCfg != "" {
+		tenants, err = service.LoadTenants(*tenantsCfg)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("multi-tenant admission enabled", "tenants", len(tenants), "config", *tenantsCfg)
+	}
+
+	// The WAL opens (and replays) before the daemon exists so no request
+	// can race recovery; replayed jobs re-enter the queue right after
+	// New, before the listener binds.
+	var store *jobstore.Store
+	var replay *jobstore.Replay
+	if *walDir != "" {
+		store, replay, err = jobstore.Open(jobstore.Options{
+			Dir: *walDir, SegmentBytes: *walSegment,
+			Faults: inj, Reg: run.Reg, Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("job WAL open", "dir", *walDir, "replayed", len(replay.Entries),
+			"torn", replay.Torn, "torn_tail", replay.TornTail)
+	}
+
 	d := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -159,7 +189,15 @@ func main() {
 		Recorder:        rec,
 		Cluster:         node,
 		ForwardHops:     *clHops,
+		Tenants:         tenants,
+		Store:           store,
 	})
+	if store != nil {
+		requeued, restored := d.Recover(replay)
+		if requeued+restored > 0 {
+			logger.Info("crash recovery", "requeued", requeued, "restored", restored)
+		}
+	}
 	rec.Start()
 	if node != nil {
 		node.Start()
@@ -203,6 +241,12 @@ func main() {
 	err = srv.Shutdown(ctx)
 	if node != nil {
 		node.Stop()
+	}
+	// The WAL closes after the drain: the final fsync covers every
+	// result the drain completed, and anything un-acked replays next
+	// start.
+	if cerr := store.Close(); cerr != nil {
+		logger.Error("wal close", "err", cerr)
 	}
 	if err != nil {
 		logger.Error("shutdown", "err", err)

@@ -48,6 +48,12 @@ type Options struct {
 	Seed int64
 	// Logger receives one line per retry; silent when nil.
 	Logger *slog.Logger
+	// APIKey authenticates against a multi-tenant daemon: it travels as
+	// the X-Msrnet-Api-Key header on every submission. Empty is fine
+	// against a daemon with tenancy disabled; against one with -tenants
+	// set, requests without a key come back 401 (never retried — a bad
+	// credential is deterministic).
+	APIKey string
 }
 
 // Client talks to one msrnetd. Safe for concurrent use.
@@ -256,6 +262,9 @@ func (c *Client) post(ctx context.Context, payload []byte, traceID string, round
 		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	if c.opt.APIKey != "" {
+		hr.Header.Set(reqctx.HeaderAPIKey, c.opt.APIKey)
+	}
 	if traceID != "" {
 		hr.Header.Set(reqctx.HeaderTraceID, traceID)
 	}

@@ -113,6 +113,14 @@ func (c *ClusterClient) fetchMembers(ctx context.Context, addr string) (*cluster
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// A clusterless msrnetd has no /cluster/members route. Degrade to
+		// a one-member "fleet" of this seed, so msrnetctl works the same
+		// against a single daemon as against a gossiping fleet.
+		return &cluster.StateBody{Schema: cluster.Schema, Vnodes: 1,
+			Members: []cluster.Info{{Peer: cluster.Peer{ID: cluster.ID(addr), Addr: addr}, Ready: true}},
+		}, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%s/cluster/members: HTTP %d", addr, resp.StatusCode)
 	}

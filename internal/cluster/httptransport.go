@@ -112,6 +112,9 @@ func (t *HTTPTransport) Submit(ctx context.Context, from, to Peer, body []byte, 
 	if meta.TraceID != "" {
 		req.Header.Set(reqctx.HeaderTraceID, meta.TraceID)
 	}
+	if meta.APIKey != "" {
+		req.Header.Set(reqctx.HeaderAPIKey, meta.APIKey)
+	}
 	resp, err := t.http().Do(req)
 	if err != nil {
 		return nil, 0, err

@@ -24,6 +24,10 @@ type ForwardMeta struct {
 	From ID
 	// TraceID propagates the request's correlation ID across the hop.
 	TraceID string
+	// APIKey propagates the submitting tenant's API key across the hop
+	// (the X-Msrnet-Api-Key header), so the executing peer bills the
+	// work to the same tenant the origin admitted.
+	APIKey string
 }
 
 // Transport carries the four cluster operations between peers. The

@@ -9,7 +9,7 @@
 //
 //	point:mode[:probability][:duration]
 //
-// where mode is "error", "panic" or "latency". The probability
+// where mode is "error", "panic", "latency" or "shortwrite". The probability
 // defaults to 1; latency requires a trailing Go duration. Multiple
 // faults may target the same point — all are evaluated, in spec order:
 //
@@ -40,6 +40,13 @@ const (
 	ModeError   = "error"
 	ModeLatency = "latency"
 	ModePanic   = "panic"
+	// ModeShortWrite is a storage-flavoured error: Fire returns an error
+	// wrapping both ErrInjected and ErrShortWrite, and the code under
+	// test is expected to leave a torn artifact behind (internal/jobstore
+	// writes half a WAL frame before failing, simulating a crash
+	// mid-write). Points that do not special-case it treat it as a plain
+	// injected error.
+	ModeShortWrite = "shortwrite"
 )
 
 // Env variables read by FromEnv.
@@ -51,6 +58,11 @@ const (
 // ErrInjected is the sentinel wrapped by every injected error; test
 // with errors.Is.
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrShortWrite is additionally wrapped by shortwrite-mode faults, so
+// storage layers can distinguish "fail cleanly" from "fail leaving a
+// torn record behind" (errors.Is against both sentinels holds).
+var ErrShortWrite = errors.New("faultinject: injected short write")
 
 // fault is one parsed spec entry.
 type fault struct {
@@ -152,7 +164,7 @@ func parseFault(s string) (*fault, error) {
 	}
 	rest := fields[2:]
 	switch f.mode {
-	case ModeError, ModePanic:
+	case ModeError, ModePanic, ModeShortWrite:
 		if len(rest) > 1 {
 			return nil, fmt.Errorf("faultinject: %q: %s takes at most a probability", s, f.mode)
 		}
@@ -178,7 +190,7 @@ func parseFault(s string) (*fault, error) {
 		}
 		f.delay = d
 	default:
-		return nil, fmt.Errorf("faultinject: %q: unknown mode %q (want error, latency or panic)", s, f.mode)
+		return nil, fmt.Errorf("faultinject: %q: unknown mode %q (want error, latency, panic or shortwrite)", s, f.mode)
 	}
 	return f, nil
 }
@@ -236,6 +248,9 @@ func (in *Injector) Fire(ctx context.Context, point string) error {
 		case ModeError:
 			in.injErr.Inc()
 			return fmt.Errorf("%w at %s", ErrInjected, point)
+		case ModeShortWrite:
+			in.injErr.Inc()
+			return fmt.Errorf("%w: %w at %s", ErrInjected, ErrShortWrite, point)
 		case ModePanic:
 			in.injPanic.Inc()
 			panic(fmt.Sprintf("faultinject: injected panic at %s", point))

@@ -1,0 +1,662 @@
+// Package jobstore is the durability layer of the serving stack: an
+// append-only write-ahead log of accepted jobs, their results and
+// their delivery acknowledgements, replayed by msrnetd on startup so a
+// drain, crash or SIGKILL between admission and response loses no
+// accepted work (DESIGN.md §14).
+//
+// The log is a sequence of segment files (wal-<n>.log) of
+// length-prefixed, CRC-framed records:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// where the payload is one msrnet-wal/v1 JSON record. Appends are
+// durable on return: each Append waits for an fsync, but syncs are
+// group-committed — one fsync retires every append that landed while
+// the previous sync was in flight, so a busy daemon pays ~one fsync
+// per batch, not per record.
+//
+// Replay tolerates exactly the corruption a crash can produce: a torn
+// record at the tail of the last segment (the write the crash
+// interrupted) is truncated away with a warning instead of failing
+// startup, and a corrupt record mid-log skips forward to the next
+// segment rather than aborting. Fault-injection points wal/append,
+// wal/fsync and wal/replay (error and shortwrite modes) exercise all
+// of it deterministically.
+//
+// Segments rotate at Options.SegmentBytes; Open compacts the log by
+// rewriting only live entries (accepted jobs not yet terminally
+// resolved AND acknowledged) into a fresh segment, so the log's size
+// tracks the daemon's unfinished work, not its lifetime throughput.
+package jobstore
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"msrnet/internal/faultinject"
+	"msrnet/internal/obs"
+)
+
+// Schema identifies the WAL record layout, versioned like every other
+// on-disk artifact of the repository.
+const Schema = "msrnet-wal/v1"
+
+// Record types.
+const (
+	// TypeAccepted marks a job the daemon admitted: once this record is
+	// durable, a crash cannot lose the job — replay re-queues it.
+	TypeAccepted = "accepted"
+	// TypeResult marks a completed solve for an accepted job. Degraded
+	// results carry Degraded=true; replay re-queues those for an exact
+	// re-solve instead of serving the ε-relaxed answer forever.
+	TypeResult = "result"
+	// TypeAck marks the job's outcome as delivered to the client;
+	// acknowledged entries are dropped at the next compaction.
+	TypeAck = "ack"
+)
+
+// Fault-injection point names (see internal/faultinject).
+const (
+	PointAppend = "wal/append"
+	PointFsync  = "wal/fsync"
+	PointReplay = "wal/replay"
+)
+
+// Record is one WAL entry. Job and Result payloads cross this package
+// as raw JSON so the store does not depend on the serving schema.
+type Record struct {
+	Schema string `json:"schema"`
+	Type   string `json:"type"`
+	// Seq is the store-wide append sequence, monotonic across restarts.
+	Seq uint64 `json:"seq"`
+	// UID is the durable job identity ("w<seq-of-accept>"), assigned at
+	// the accepted record and echoed by its result and ack records.
+	UID string `json:"uid"`
+	// Identity of the accepted job: owning tenant, client label, the
+	// submission's trace ID, the result-cache key and the net's content
+	// hash.
+	Tenant  string `json:"tenant,omitempty"`
+	Label   string `json:"label,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	Key     string `json:"key,omitempty"`
+	NetKey  string `json:"net_key,omitempty"`
+	// Job is the msrnet-job/v1 Job body (accepted records).
+	Job json.RawMessage `json:"job,omitempty"`
+	// Result is the msrnet-job/v1 Result body (result records);
+	// Degraded distinguishes ε-relaxed answers, which replay re-queues.
+	Result   json.RawMessage `json:"result,omitempty"`
+	Degraded bool            `json:"degraded,omitempty"`
+}
+
+// Entry is one accepted job's replayed state: its accepted record plus
+// the latest result and ack observed for it.
+type Entry struct {
+	UID     string
+	Tenant  string
+	Label   string
+	TraceID string
+	Key     string
+	NetKey  string
+	Job     json.RawMessage
+	// Result is the persisted outcome, nil while the job is pending.
+	// Degraded marks an ε-relaxed result: the entry must be re-queued
+	// for an exact re-solve, with the degraded answer discarded.
+	Result   json.RawMessage
+	Degraded bool
+	// Acked reports the outcome was delivered to the client; acked
+	// entries are compacted away and never replayed.
+	Acked bool
+}
+
+// Pending reports whether the entry needs a (re-)solve after replay: no
+// result yet, or only a degraded one.
+func (e *Entry) Pending() bool { return e.Result == nil || e.Degraded }
+
+// Replay is what Open recovered from the log, in accept order.
+type Replay struct {
+	// Entries are the live (un-acked) accepted jobs.
+	Entries []*Entry
+	// Torn counts records dropped for framing/CRC damage; TornTail is
+	// true when the damage was the expected kind — a partial record at
+	// the tail of the last segment, truncated away.
+	Torn     int
+	TornTail bool
+}
+
+// Options assembles a Store.
+type Options struct {
+	// Dir holds the segment files; created if missing. Required.
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// Faults, when non-nil, injects test faults at wal/append, wal/fsync
+	// and wal/replay. Nil in production.
+	Faults *faultinject.Injector
+	// Reg receives the wal/* counters and gauges; may be nil.
+	Reg *obs.Registry
+	// Logger receives replay and degradation warnings; slog.Default
+	// when nil.
+	Logger *slog.Logger
+}
+
+const defaultSegmentBytes = 8 << 20
+
+// maxRecordBytes bounds one framed payload; a batch job with a
+// multi-thousand-node net fits with room to spare.
+const maxRecordBytes = 64 << 20
+
+// frameHeader is the per-record framing overhead: 4-byte length plus
+// 4-byte CRC-32C.
+const frameHeader = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is the open WAL. All methods are safe for concurrent use; a
+// nil *Store is inert (appends succeed without persisting), so the
+// serving layer wires its hooks unconditionally.
+type Store struct {
+	opt Options
+	log *slog.Logger
+
+	mu     sync.Mutex
+	f      *os.File
+	seg    int   // active segment index
+	size   int64 // bytes written to the active segment
+	seq    uint64
+	closed bool
+
+	// Group commit: appends bump appendGen and wait until syncedGen
+	// catches up; the syncer goroutine fsyncs whole generations at once.
+	appendGen uint64
+	syncedGen uint64
+	synced    *sync.Cond
+	kick      chan struct{}
+	done      chan struct{}
+	idle      chan struct{}
+
+	appends, appendErrs    *obs.Counter
+	syncs, syncErrs        *obs.Counter
+	tornRecords, replayed  *obs.Counter
+	compacted              *obs.Counter
+	segments, pendingGauge *obs.Gauge
+}
+
+// Open replays the log in dir (creating it if absent), compacts away
+// acknowledged entries, and returns the store ready for appends plus
+// the replayed live entries. Corruption a crash can produce — a torn
+// tail record, a short final frame — degrades to a warning, never to a
+// failed startup.
+func Open(opt Options) (*Store, *Replay, error) {
+	if opt.Dir == "" {
+		return nil, nil, fmt.Errorf("jobstore: Options.Dir is required")
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = defaultSegmentBytes
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s := &Store{
+		opt:          opt,
+		log:          opt.Logger,
+		kick:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		idle:         make(chan struct{}),
+		appends:      opt.Reg.Counter("wal/appends"),
+		appendErrs:   opt.Reg.Counter("wal/append_errors"),
+		syncs:        opt.Reg.Counter("wal/fsync_batches"),
+		syncErrs:     opt.Reg.Counter("wal/fsync_errors"),
+		tornRecords:  opt.Reg.Counter("wal/torn_records"),
+		replayed:     opt.Reg.Counter("wal/replayed_records"),
+		compacted:    opt.Reg.Counter("wal/compacted_entries"),
+		segments:     opt.Reg.Gauge("wal/segments"),
+		pendingGauge: opt.Reg.Gauge("wal/live_entries"),
+	}
+	s.synced = sync.NewCond(&s.mu)
+
+	rep, maxSeg, err := s.replayDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.compact(rep, maxSeg); err != nil {
+		return nil, nil, err
+	}
+	go s.syncer()
+	return s, rep, nil
+}
+
+// segPath names segment n.
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.opt.Dir, fmt.Sprintf("wal-%08d.log", n))
+}
+
+// segIndex parses a segment file name, returning -1 for foreign files.
+func segIndex(name string) int {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// replayDir scans every segment in order, building the entry table.
+func (s *Store) replayDir() (*Replay, []int, error) {
+	names, err := os.ReadDir(s.opt.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var segs []int
+	for _, e := range names {
+		if n := segIndex(e.Name()); n >= 0 && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+
+	rep := &Replay{}
+	byUID := map[string]*Entry{}
+	order := []string{}
+	for i, n := range segs {
+		last := i == len(segs)-1
+		if err := s.replaySegment(s.segPath(n), last, rep, byUID, &order); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, uid := range order {
+		e := byUID[uid]
+		if e != nil && !e.Acked {
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep, segs, nil
+}
+
+// replaySegment reads one segment, folding its records into the entry
+// table. Damage handling is asymmetric by position: a bad frame at the
+// tail of the LAST segment is the torn write of the crash — truncate
+// and keep going; a bad frame anywhere else loses the rest of that
+// segment only (with a warning), because frame boundaries cannot be
+// re-found after a corrupt length.
+func (s *Store) replaySegment(path string, last bool, rep *Replay, byUID map[string]*Entry, order *[]string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer f.Close()
+
+	var off int64
+	var hdr [frameHeader]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return nil // clean end of segment
+		}
+		if err != nil { // short header: torn tail
+			return s.handleTorn(path, off, last, rep, fmt.Sprintf("short header: %v", err))
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordBytes {
+			return s.handleTorn(path, off, last, rep, fmt.Sprintf("implausible record length %d", n))
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return s.handleTorn(path, off, last, rep, fmt.Sprintf("short payload: %v", err))
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return s.handleTorn(path, off, last, rep, "CRC mismatch")
+		}
+		off += frameHeader + int64(n)
+
+		if err := s.opt.Faults.Fire(context.Background(), PointReplay); err != nil {
+			// An injected replay fault skips the record, never the
+			// startup: losing one entry to a read fault beats refusing to
+			// serve at all.
+			rep.Torn++
+			s.tornRecords.Inc()
+			s.log.Warn("wal: replay fault, record skipped", "segment", path, "err", err)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The frame was intact (CRC held) but the payload does not
+			// parse — a foreign or future record. Skip it; framing still
+			// holds for the next one.
+			rep.Torn++
+			s.tornRecords.Inc()
+			s.log.Warn("wal: unparseable record skipped", "segment", path, "err", err)
+			continue
+		}
+		s.replayed.Inc()
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		switch rec.Type {
+		case TypeAccepted:
+			if _, dup := byUID[rec.UID]; dup {
+				continue // compaction rewrite duplicated an entry; first wins
+			}
+			byUID[rec.UID] = &Entry{
+				UID: rec.UID, Tenant: rec.Tenant, Label: rec.Label, TraceID: rec.TraceID,
+				Key: rec.Key, NetKey: rec.NetKey, Job: rec.Job,
+			}
+			*order = append(*order, rec.UID)
+		case TypeResult:
+			if e := byUID[rec.UID]; e != nil {
+				// An exact result supersedes a degraded one, never the
+				// reverse: once the exact answer is durable the ε-relaxed
+				// record is history.
+				if e.Result == nil || (e.Degraded && !rec.Degraded) {
+					e.Result = rec.Result
+					e.Degraded = rec.Degraded
+				}
+			}
+		case TypeAck:
+			if e := byUID[rec.UID]; e != nil {
+				e.Acked = true
+			}
+		}
+	}
+}
+
+// handleTorn deals with an unreadable frame at offset off. On the last
+// segment it is the expected crash artifact: truncate the tail so
+// future appends (which continue in a fresh segment anyway) never
+// follow garbage, count it, carry on. Mid-log it costs the rest of
+// that one segment.
+func (s *Store) handleTorn(path string, off int64, last bool, rep *Replay, detail string) error {
+	rep.Torn++
+	s.tornRecords.Inc()
+	if last {
+		rep.TornTail = true
+		s.log.Warn("wal: torn tail record truncated", "segment", path, "offset", off, "detail", detail)
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("jobstore: truncating torn tail of %s: %w", path, err)
+		}
+		return nil
+	}
+	s.log.Warn("wal: corrupt record mid-log; rest of segment skipped", "segment", path, "offset", off, "detail", detail)
+	return nil
+}
+
+// compact rewrites the live entries into a fresh segment and deletes
+// the old ones, then leaves that segment active for appends. Live
+// means un-acked: pending jobs keep their accepted record, undelivered
+// results keep accepted+result (degraded results are dropped — the
+// entry reverts to pending so the exact re-solve replaces the ε-relaxed
+// answer).
+func (s *Store) compact(rep *Replay, oldSegs []int) error {
+	next := 0
+	if n := len(oldSegs); n > 0 {
+		next = oldSegs[n-1] + 1
+	}
+	f, err := os.OpenFile(s.segPath(next), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.f, s.seg, s.size = f, next, 0
+	for _, e := range rep.Entries {
+		s.seq++
+		acc := Record{Schema: Schema, Type: TypeAccepted, Seq: s.seq, UID: e.UID,
+			Tenant: e.Tenant, Label: e.Label, TraceID: e.TraceID, Key: e.Key, NetKey: e.NetKey, Job: e.Job}
+		if err := s.writeLocked(&acc); err != nil {
+			return err
+		}
+		if e.Result != nil && !e.Degraded {
+			s.seq++
+			res := Record{Schema: Schema, Type: TypeResult, Seq: s.seq, UID: e.UID, Result: e.Result}
+			if err := s.writeLocked(&res); err != nil {
+				return err
+			}
+		} else if e.Degraded {
+			// Dropping the degraded result reverts the entry to pending.
+			e.Result, e.Degraded = nil, true
+		}
+	}
+	// writeLocked may itself have rotated past the first compaction
+	// segment; sync whichever file is now active.
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	for _, n := range oldSegs {
+		if err := os.Remove(s.segPath(n)); err != nil {
+			s.log.Warn("wal: removing compacted segment failed", "segment", s.segPath(n), "err", err)
+		} else {
+			s.compacted.Inc()
+		}
+	}
+	s.segments.Set(int64(s.seg - next + 1))
+	s.pendingGauge.Set(int64(len(rep.Entries)))
+	return nil
+}
+
+// Append frames, writes and durably syncs recs in order, assigning
+// store sequence numbers; accepted records additionally get their UID
+// ("w<seq>") when the caller left it empty. It returns once the group
+// fsync covering every rec has completed. Nil stores succeed
+// immediately (no persistence, by construction).
+func (s *Store) Append(ctx context.Context, recs ...*Record) error {
+	if s == nil || len(recs) == 0 {
+		return nil
+	}
+	if err := s.opt.Faults.Fire(ctx, PointAppend); err != nil {
+		s.appendErrs.Inc()
+		if errors.Is(err, faultinject.ErrShortWrite) {
+			// Leave the crash artifact the mode promises: half a frame,
+			// which the next replay must truncate away.
+			s.tearTail(recs[0])
+		}
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	for _, rec := range recs {
+		s.seq++
+		rec.Schema, rec.Seq = Schema, s.seq
+		if rec.Type == TypeAccepted && rec.UID == "" {
+			rec.UID = fmt.Sprintf("w%d", s.seq)
+		}
+		if err := s.writeLocked(rec); err != nil {
+			s.appendErrs.Inc()
+			s.mu.Unlock()
+			return err
+		}
+		s.appends.Inc()
+	}
+	gen := s.appendGen + 1
+	s.appendGen = gen
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default: // a kick is already pending; the syncer will cover gen
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.syncedGen < gen && !s.closed {
+		s.synced.Wait()
+	}
+	return nil
+}
+
+// tearTail writes a deliberately truncated frame for rec — the on-disk
+// state a crash mid-write leaves behind. Only fault injection reaches
+// it.
+func (s *Store) tearTail(rec *Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	frame := frameRecord(payload)
+	torn := frame[:frameHeader+len(payload)/2]
+	if n, err := s.f.Write(torn); err == nil {
+		s.size += int64(n)
+	}
+}
+
+// writeLocked frames and writes one record to the active segment,
+// rotating first when the segment is full. Callers hold mu (or are in
+// single-threaded Open).
+func (s *Store) writeLocked(rec *Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("jobstore: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	if s.size >= s.opt.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(frameRecord(payload))
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("jobstore: write record: %w", err)
+	}
+	return nil
+}
+
+// frameRecord wraps payload in the length+CRC frame.
+func frameRecord(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// rotateLocked syncs and closes the active segment and starts the next.
+func (s *Store) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: sync before rotate: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("jobstore: close before rotate: %w", err)
+	}
+	s.seg++
+	f, err := os.OpenFile(s.segPath(s.seg), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: rotate: %w", err)
+	}
+	s.f, s.size = f, 0
+	s.segments.Add(1)
+	return nil
+}
+
+// syncer is the group-commit loop: each pass fsyncs everything
+// appended so far and wakes every append waiting at or below that
+// generation.
+func (s *Store) syncer() {
+	defer close(s.idle)
+	for {
+		select {
+		case <-s.kick:
+		case <-s.done:
+			return
+		}
+		s.mu.Lock()
+		gen := s.appendGen
+		f := s.f
+		s.mu.Unlock()
+		if gen == 0 || f == nil {
+			continue
+		}
+		s.syncs.Inc()
+		if err := s.opt.Faults.Fire(context.Background(), PointFsync); err != nil {
+			// Degrade, don't deadlock: the data sits in the page cache
+			// (an actual crash now could lose it) but every waiter is
+			// released and the daemon keeps serving.
+			s.syncErrs.Inc()
+			s.log.Warn("wal: fsync fault; batch durability degraded", "err", err)
+		} else if err := f.Sync(); err != nil {
+			s.syncErrs.Inc()
+			s.log.Warn("wal: fsync failed; batch durability degraded", "err", err)
+		}
+		s.mu.Lock()
+		if gen > s.syncedGen {
+			s.syncedGen = gen
+			s.synced.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// SetLive updates the wal/live_entries gauge — the serving layer owns
+// the live-entry count once recovery hands entries over.
+func (s *Store) SetLive(n int64) {
+	if s == nil {
+		return
+	}
+	s.pendingGauge.Set(n)
+}
+
+// Close stops the syncer after a final sync and closes the active
+// segment. Appends racing Close fail cleanly.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.synced.Broadcast()
+	f := s.f
+	s.mu.Unlock()
+	close(s.done)
+	<-s.idle
+	var err error
+	if f != nil {
+		if serr := f.Sync(); serr != nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: close: %w", err)
+	}
+	return nil
+}
+
+// Dir reports the store's directory ("" on a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.opt.Dir
+}
+
+// Enabled reports whether the store persists anything (false for nil).
+func (s *Store) Enabled() bool { return s != nil }

@@ -1,0 +1,480 @@
+package jobstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"msrnet/internal/faultinject"
+	"msrnet/internal/obs"
+)
+
+func openT(t *testing.T, dir string, opts ...func(*Options)) (*Store, *Replay) {
+	t.Helper()
+	opt := Options{Dir: dir}
+	for _, f := range opts {
+		f(&opt)
+	}
+	s, rep, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rep
+}
+
+func appendT(t *testing.T, s *Store, recs ...*Record) {
+	t.Helper()
+	if err := s.Append(context.Background(), recs...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+}
+
+func accepted(uid, tenant string, job string) *Record {
+	return &Record{Type: TypeAccepted, UID: uid, Tenant: tenant, Job: json.RawMessage(job)}
+}
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestN := "", -1
+	for _, e := range ents {
+		if n := segIndex(e.Name()); n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	if best == "" {
+		t.Fatal("no segment files")
+	}
+	return best
+}
+
+func countSegments(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if segIndex(e.Name()) >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if err := s.Append(context.Background(), accepted("x", "t", `{}`)); err != nil {
+		t.Fatalf("nil Append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	s.SetLive(7)
+	if s.Enabled() {
+		t.Fatal("nil store reports Enabled")
+	}
+	if s.Dir() != "" {
+		t.Fatal("nil store reports a dir")
+	}
+}
+
+func TestRoundTripAndUIDAssignment(t *testing.T) {
+	dir := t.TempDir()
+	s, rep := openT(t, dir)
+	if len(rep.Entries) != 0 || rep.Torn != 0 {
+		t.Fatalf("fresh dir replayed %d entries, torn=%d", len(rep.Entries), rep.Torn)
+	}
+	a := accepted("", "acme", `{"nets":[1]}`)
+	a.Label, a.TraceID, a.Key, a.NetKey = "lbl", "trc", "cache-key", "net-key"
+	appendT(t, s, a)
+	if a.UID == "" {
+		t.Fatal("Append left accepted UID empty")
+	}
+	if a.Schema != Schema {
+		t.Fatalf("Append stamped schema %q", a.Schema)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep2 := mustReopen(t, dir)
+	if len(rep2.Entries) != 1 {
+		t.Fatalf("replayed %d entries, want 1", len(rep2.Entries))
+	}
+	e := rep2.Entries[0]
+	if e.UID != a.UID || e.Tenant != "acme" || e.Label != "lbl" || e.TraceID != "trc" ||
+		e.Key != "cache-key" || e.NetKey != "net-key" {
+		t.Fatalf("replayed identity mismatch: %+v", e)
+	}
+	if string(e.Job) != `{"nets":[1]}` {
+		t.Fatalf("replayed job %s", e.Job)
+	}
+	if !e.Pending() {
+		t.Fatal("entry with no result not pending")
+	}
+}
+
+func mustReopen(t *testing.T, dir string, opts ...func(*Options)) (*Store, *Replay) {
+	t.Helper()
+	s, rep := openT(t, dir, opts...)
+	t.Cleanup(func() { s.Close() })
+	return s, rep
+}
+
+func TestResultAndAckLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	a := accepted("", "t1", `{"j":1}`)
+	appendT(t, s, a)
+	appendT(t, s, &Record{Type: TypeResult, UID: a.UID, Result: json.RawMessage(`{"ok":true}`)})
+	s.Close()
+
+	// Un-acked exact result replays as done (result bytes intact).
+	s2, rep := openT(t, dir)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Pending() || string(e.Result) != `{"ok":true}` || e.Degraded {
+		t.Fatalf("bad replayed result state: pending=%v result=%s degraded=%v", e.Pending(), e.Result, e.Degraded)
+	}
+	// Ack it; the next open compacts it away entirely.
+	appendT(t, s2, &Record{Type: TypeAck, UID: a.UID})
+	s2.Close()
+
+	_, rep3 := mustReopen(t, dir)
+	if len(rep3.Entries) != 0 {
+		t.Fatalf("acked entry survived compaction: %+v", rep3.Entries[0])
+	}
+}
+
+func TestDegradedResultReplaysAsPending(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	a := accepted("", "t1", `{"j":1}`)
+	appendT(t, s, a)
+	appendT(t, s, &Record{Type: TypeResult, UID: a.UID, Result: json.RawMessage(`{"eps":true}`), Degraded: true})
+	s.Close()
+
+	// Replay must re-queue the job for an exact re-solve: the ε-relaxed
+	// result is discarded at compaction, never served forever.
+	_, rep := mustReopen(t, dir)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if !e.Pending() {
+		t.Fatal("degraded entry not pending after replay")
+	}
+	if e.Result != nil {
+		t.Fatalf("degraded result survived compaction: %s", e.Result)
+	}
+	if !e.Degraded {
+		t.Fatal("entry lost its degraded marker")
+	}
+}
+
+func TestExactResultSupersedesDegraded(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	a := accepted("", "t1", `{"j":1}`)
+	appendT(t, s, a)
+	appendT(t, s, &Record{Type: TypeResult, UID: a.UID, Result: json.RawMessage(`{"eps":true}`), Degraded: true})
+	appendT(t, s, &Record{Type: TypeResult, UID: a.UID, Result: json.RawMessage(`{"exact":true}`)})
+	// A later degraded record must NOT claw back an exact answer.
+	appendT(t, s, &Record{Type: TypeResult, UID: a.UID, Result: json.RawMessage(`{"eps2":true}`), Degraded: true})
+	s.Close()
+
+	_, rep := mustReopen(t, dir)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Pending() || e.Degraded || string(e.Result) != `{"exact":true}` {
+		t.Fatalf("exact result lost: pending=%v degraded=%v result=%s", e.Pending(), e.Degraded, e.Result)
+	}
+}
+
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	small := func(o *Options) { o.SegmentBytes = 1 } // rotate on every record after the first
+	s, _ := openT(t, dir, small)
+	var uids []string
+	for i := 0; i < 6; i++ {
+		a := accepted("", "t1", fmt.Sprintf(`{"j":%d}`, i))
+		appendT(t, s, a)
+		uids = append(uids, a.UID)
+	}
+	if n := countSegments(t, dir); n < 3 {
+		t.Fatalf("expected rotation to leave several segments, got %d", n)
+	}
+	// Resolve+ack half of them.
+	for _, uid := range uids[:3] {
+		appendT(t, s,
+			&Record{Type: TypeResult, UID: uid, Result: json.RawMessage(`{"ok":1}`)},
+			&Record{Type: TypeAck, UID: uid})
+	}
+	s.Close()
+
+	_, rep := mustReopen(t, dir, small)
+	if len(rep.Entries) != 3 {
+		t.Fatalf("want 3 live entries after compaction, got %d", len(rep.Entries))
+	}
+	for i, e := range rep.Entries {
+		if e.UID != uids[3+i] {
+			t.Fatalf("accept order lost: entry %d is %s, want %s", i, e.UID, uids[3+i])
+		}
+	}
+}
+
+func TestTornTailTruncatedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	a := accepted("", "t1", `{"j":1}`)
+	appendT(t, s, a)
+	s.Close()
+
+	// Simulate a crash mid-write: half a frame at the tail of the last
+	// segment.
+	seg := lastSegment(t, dir)
+	clean, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := frameRecord([]byte(`{"schema":"msrnet-wal/v1","type":"accepted","uid":"lost"}`))
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, rep := mustReopen(t, dir)
+	if !rep.TornTail || rep.Torn != 1 {
+		t.Fatalf("torn tail not detected: %+v", rep)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].UID != a.UID {
+		t.Fatalf("intact entries lost with the torn tail: %+v", rep.Entries)
+	}
+	// The truncation must have removed the garbage from disk.
+	got, err := os.ReadFile(seg)
+	if err == nil && int64(len(got)) > int64(len(clean)) {
+		t.Fatalf("torn tail still on disk: %d > %d bytes", len(got), len(clean))
+	}
+}
+
+func TestMidLogCorruptionSkipsSegmentOnly(t *testing.T) {
+	dir := t.TempDir()
+	small := func(o *Options) { o.SegmentBytes = 1 }
+	s, _ := openT(t, dir, small)
+	a1 := accepted("", "t1", `{"j":1}`)
+	appendT(t, s, a1)
+	a2 := accepted("", "t1", `{"j":2}`)
+	appendT(t, s, a2)
+	a3 := accepted("", "t1", `{"j":3}`)
+	appendT(t, s, a3)
+	s.Close()
+
+	// Flip a payload byte in the FIRST segment: mid-log corruption. Only
+	// that segment's records are lost; later segments replay fine.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstN, first := 1<<30, ""
+	for _, e := range ents {
+		if n := segIndex(e.Name()); n >= 0 && n < firstN {
+			firstN, first = n, filepath.Join(dir, e.Name())
+		}
+	}
+	buf, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) < frameHeader+4 {
+		t.Fatalf("first segment too small: %d bytes", len(buf))
+	}
+	buf[frameHeader+2] ^= 0xff
+	if err := os.WriteFile(first, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep := mustReopen(t, dir, small)
+	if rep.Torn == 0 {
+		t.Fatal("corruption not counted")
+	}
+	if rep.TornTail {
+		t.Fatal("mid-log corruption misreported as torn tail")
+	}
+	got := map[string]bool{}
+	for _, e := range rep.Entries {
+		got[e.UID] = true
+	}
+	if got[a1.UID] {
+		t.Fatal("corrupt record replayed")
+	}
+	if !got[a2.UID] || !got[a3.UID] {
+		t.Fatalf("later segments lost: have %v", got)
+	}
+}
+
+func TestShortWriteFaultLeavesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1, nil)
+	s, _ := openT(t, dir, func(o *Options) { o.Faults = inj })
+	a1 := accepted("", "t1", `{"j":1}`)
+	appendT(t, s, a1)
+
+	if err := inj.Configure(PointAppend + ":shortwrite"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Append(context.Background(), accepted("", "t1", `{"j":2}`))
+	if err == nil {
+		t.Fatal("shortwrite fault did not surface")
+	}
+	if !errors.Is(err, faultinject.ErrShortWrite) || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error misses sentinels: %v", err)
+	}
+	if err := inj.Configure(""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The torn half-frame must be truncated away on replay; the durable
+	// entry survives.
+	_, rep := mustReopen(t, dir)
+	if !rep.TornTail {
+		t.Fatalf("shortwrite artifact not treated as torn tail: %+v", rep)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].UID != a1.UID {
+		t.Fatalf("durable entry lost: %+v", rep.Entries)
+	}
+}
+
+func TestFsyncFaultDegradesWithoutDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1, nil)
+	reg := obs.New()
+	s, _ := openT(t, dir, func(o *Options) { o.Faults = inj; o.Reg = reg })
+	if err := inj.Configure(PointFsync + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	// Append must return despite every fsync failing (degraded
+	// durability, not a hung daemon).
+	appendT(t, s, accepted("", "t1", `{"j":1}`))
+	if got := reg.Counter("wal/fsync_errors").Value(); got == 0 {
+		t.Fatal("fsync fault not counted")
+	}
+	inj.Configure("")
+	s.Close()
+
+	_, rep := mustReopen(t, dir)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("entry lost after degraded fsync: %d", len(rep.Entries))
+	}
+}
+
+func TestReplayFaultSkipsRecordNotStartup(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendT(t, s, accepted("", "t1", `{"j":1}`))
+	appendT(t, s, accepted("", "t1", `{"j":2}`))
+	s.Close()
+
+	inj := faultinject.New(1, nil)
+	if err := inj.Configure(PointReplay + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	// Every record read hits an injected fault; startup must still
+	// succeed with the records skipped and counted.
+	_, rep := mustReopen(t, dir, func(o *Options) { o.Faults = inj })
+	if len(rep.Entries) != 0 {
+		t.Fatalf("faulted records replayed anyway: %d", len(rep.Entries))
+	}
+	if rep.Torn != 2 {
+		t.Fatalf("want 2 skipped records, got %d", rep.Torn)
+	}
+}
+
+func TestAppendErrorFaultFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1, nil)
+	s, _ := openT(t, dir, func(o *Options) { o.Faults = inj })
+	if err := inj.Configure(PointAppend + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(context.Background(), accepted("", "t1", `{}`)); err == nil {
+		t.Fatal("append fault not surfaced")
+	}
+	inj.Configure("")
+	s.Close()
+	// A clean error (no shortwrite) leaves no torn artifact behind.
+	_, rep := mustReopen(t, dir)
+	if rep.Torn != 0 || len(rep.Entries) != 0 {
+		t.Fatalf("clean append fault left artifacts: %+v", rep)
+	}
+}
+
+func TestConcurrentAppendsAllDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	const workers, per = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a := accepted("", fmt.Sprintf("tenant-%d", w), fmt.Sprintf(`{"w":%d,"i":%d}`, w, i))
+				if err := s.Append(context.Background(), a); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent append: %v", err)
+	}
+	s.Close()
+
+	_, rep := mustReopen(t, dir)
+	if len(rep.Entries) != workers*per {
+		t.Fatalf("replayed %d entries, want %d", len(rep.Entries), workers*per)
+	}
+	seen := map[string]bool{}
+	for _, e := range rep.Entries {
+		if seen[e.UID] {
+			t.Fatalf("duplicate UID %s", e.UID)
+		}
+		seen[e.UID] = true
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rep := openT(t, dir)
+	defer s.Close()
+	if len(rep.Entries) != 0 || rep.Torn != 0 {
+		t.Fatalf("foreign file replayed: %+v", rep)
+	}
+}

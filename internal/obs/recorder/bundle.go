@@ -33,6 +33,7 @@ const (
 	fileHeap       = "heap.pb.gz"
 	fileJobs       = "jobs.json"
 	fileCluster    = "cluster.json"
+	fileTenants    = "tenants.json"
 )
 
 // Manifest is the bundle's index: what triggered the capture, when,
@@ -101,7 +102,7 @@ func (f *FlightRecorder) writeBundle(now time.Time, seq int64, reason, detail st
 		return "", err
 	}
 	f.mu.Lock()
-	jobs, clusterFn := f.jobs, f.cluster
+	jobs, clusterFn, tenantsFn := f.jobs, f.cluster, f.tenants
 	f.mu.Unlock()
 	if jobs != nil {
 		if err := keep(fileJobs, writeJSONFile(filepath.Join(dir, fileJobs), jobs())); err != nil {
@@ -110,6 +111,11 @@ func (f *FlightRecorder) writeBundle(now time.Time, seq int64, reason, detail st
 	}
 	if clusterFn != nil {
 		if err := keep(fileCluster, writeJSONFile(filepath.Join(dir, fileCluster), clusterFn())); err != nil {
+			return "", err
+		}
+	}
+	if tenantsFn != nil {
+		if err := keep(fileTenants, writeJSONFile(filepath.Join(dir, fileTenants), tenantsFn())); err != nil {
 			return "", err
 		}
 	}
@@ -215,6 +221,9 @@ type Bundle struct {
 	// HasCluster reports a cluster.json peer view in the bundle
 	// (clustered daemons only).
 	HasCluster bool
+	// HasTenants reports a tenants.json tenancy view in the bundle
+	// (daemons running the multi-tenant serving layer).
+	HasTenants bool
 }
 
 // JobsDump mirrors the jobs.json payload: the explain-table view the
@@ -293,6 +302,7 @@ func LoadBundle(dir string) (*Bundle, error) {
 	b.HasTrace = fileExists(filepath.Join(dir, fileTrace))
 	b.HasHeap = fileExists(filepath.Join(dir, fileHeap))
 	b.HasCluster = fileExists(filepath.Join(dir, fileCluster))
+	b.HasTenants = fileExists(filepath.Join(dir, fileTenants))
 	return b, nil
 }
 

@@ -106,6 +106,7 @@ type FlightRecorder struct {
 	evals   []*ruleEval
 	jobs    func() any
 	cluster func() any
+	tenants func() any
 	seq     int64
 	lastAut time.Time // last automatic bundle write, for the cooldown
 	ticks   int64
@@ -180,6 +181,21 @@ func (f *FlightRecorder) SetCluster(fn func() any) {
 	}
 	f.mu.Lock()
 	f.cluster = fn
+	f.mu.Unlock()
+}
+
+// SetTenants installs the tenancy source: a function returning a
+// JSON-serializable view of the daemon's tenants (msrnet-tenants/v1
+// runtime state — quota fill, fair-share position, per-tenant
+// counters), written into bundles as tenants.json so an incident
+// report can say who was being throttled or starved at capture. Safe
+// to call before or after Start; nil clears it.
+func (f *FlightRecorder) SetTenants(fn func() any) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.tenants = fn
 	f.mu.Unlock()
 }
 

@@ -58,6 +58,7 @@ func (cl clusterLocal) Submit(ctx context.Context, body []byte, meta cluster.For
 	if meta.TraceID != "" {
 		ctx = reqctx.WithTraceID(ctx, meta.TraceID)
 	}
+	ctx = WithAPIKey(ctx, meta.APIKey)
 	var req Request
 	if err := json.Unmarshal(body, &req); err != nil {
 		return marshalErrorBody(ErrorBody{Version: SchemaVersion, Code: ErrBadRequest,
@@ -220,7 +221,8 @@ func (d *Daemon) tryForward(ctx context.Context, req *Request, pending []*task, 
 	if err != nil {
 		return nil, false
 	}
-	out := cluster.ForwardMeta{Hops: meta.Hops + 1, From: n.Self().ID, TraceID: reqctx.TraceID(ctx)}
+	out := cluster.ForwardMeta{Hops: meta.Hops + 1, From: n.Self().ID,
+		TraceID: reqctx.TraceID(ctx), APIKey: apiKeyFrom(ctx)}
 	respBody, status, ferr := n.Forward(ctx, peer, body, out)
 	if ferr != nil || status != http.StatusOK {
 		d.log.WarnContext(ctx, "forward failed; falling back to rejection",

@@ -73,8 +73,14 @@ type Explain struct {
 	// tracer's events for this job.
 	TraceID string `json:"trace_id,omitempty"`
 	NetKey  string `json:"net_key,omitempty"`
-	Mode    string `json:"mode"`
-	State   string `json:"state"`
+	// Tenant is the submitting tenant's name (multi-tenant daemons;
+	// "default" otherwise).
+	Tenant string `json:"tenant,omitempty"`
+	Mode   string `json:"mode"`
+	State  string `json:"state"`
+	// Replayed marks a job re-queued from the write-ahead job store at
+	// startup rather than submitted over HTTP this run.
+	Replayed bool `json:"replayed,omitempty"`
 	// Outcome is ok/degraded/shed/error once State is done.
 	Outcome string `json:"outcome,omitempty"`
 	Code    string `json:"code,omitempty"`

@@ -23,6 +23,7 @@ const maxRequestBytes = 64 << 20
 // Handler returns the daemon's full HTTP surface on one mux:
 //
 //	POST /v1/jobs          msrnet-job/v1 batch optimization (?explain=1, ?profile=1)
+//	GET  /v1/recovered     WAL-replayed jobs; fetching done results acks them (?keep=1 to peek)
 //	GET  /readyz           readiness: 503 while draining or saturated
 //	GET  /debug/jobs       live + recent per-job explain reports
 //	GET  /debug/jobs/{id}  one report, by job id or trace id
@@ -39,6 +40,7 @@ const maxRequestBytes = 64 << 20
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", d.handleJobs)
+	mux.HandleFunc("GET /v1/recovered", d.handleRecovered)
 	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	mux.HandleFunc("GET /version", handleVersion)
 	mux.HandleFunc("GET /debug/jobs", d.handleJobList)
@@ -71,7 +73,7 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("profile") == "1" {
 		req.Profile = true
 	}
-	ctx := r.Context()
+	ctx := WithAPIKey(r.Context(), r.Header.Get(reqctx.HeaderAPIKey))
 	// A work-stolen submission arrives with its forward provenance on
 	// the X-Msrnet-Forward-* headers: the hop count caps re-forwarding
 	// and the origin shows up as forwarded_from on explain reports.
@@ -88,10 +90,15 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 	resp, serr := d.Submit(ctx, &req)
 	if serr != nil {
 		// Both backpressure rejections are retryable with a hint: 429
-		// (queue full) and 503 (draining — a rolling restart, so another
-		// peer or the same one post-restart will take the retry).
+		// (queue full, or a per-tenant quota with ITS OWN deficit-derived
+		// wait) and 503 (draining — a rolling restart, so another peer or
+		// the same one post-restart will take the retry).
 		if serr.Status == http.StatusTooManyRequests || serr.Status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			secs := int64(1)
+			if serr.RetryAfter > time.Second {
+				secs = int64(serr.RetryAfter / time.Second)
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		}
 		writeErrorBody(w, serr.Status, ErrorBody{
 			Version: SchemaVersion, Code: serr.Code, Error: serr.Msg, Cause: serr.Cause,

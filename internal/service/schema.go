@@ -94,6 +94,8 @@ const (
 	ErrSpecUnmet        = "spec_unmet"        // no solution meets the requested timing spec
 	ErrShuttingDown     = "shutting_down"     // daemon is draining
 	ErrShedLoad         = "shed_load"         // job spent its deadline queued; resubmit for a fresh budget
+	ErrUnauthorized     = "unauthorized"      // missing or unknown API key (multi-tenant daemons)
+	ErrQuotaExceeded    = "quota_exceeded"    // per-tenant quota hit; honor the Retry-After header
 )
 
 // retryableCode reports whether a failure code describes a transient
@@ -103,7 +105,7 @@ const (
 // retryable.
 func retryableCode(code string) bool {
 	switch code {
-	case ErrDeadlineExceeded, ErrShedLoad, ErrInternal, ErrQueueFull, ErrShuttingDown:
+	case ErrDeadlineExceeded, ErrShedLoad, ErrInternal, ErrQueueFull, ErrShuttingDown, ErrQuotaExceeded:
 		return true
 	}
 	return false

@@ -16,6 +16,7 @@ import (
 	"msrnet/internal/cluster"
 	"msrnet/internal/core"
 	"msrnet/internal/faultinject"
+	"msrnet/internal/jobstore"
 	"msrnet/internal/netio"
 	"msrnet/internal/obs"
 	"msrnet/internal/obs/recorder"
@@ -96,6 +97,17 @@ type Config struct {
 	// batch arriving with this many hops is rejected, not re-forwarded,
 	// so a fleet-wide saturation degrades to 429 instead of orbiting.
 	ForwardHops int
+	// Tenants, when non-empty, turns on multi-tenant admission: every
+	// submission must carry a configured API key (X-Msrnet-Api-Key),
+	// per-tenant quotas bound admission, and worker dispatch is
+	// weighted fair-share across tenants (DESIGN.md §14). Empty keeps
+	// the open single-tenant behavior.
+	Tenants []TenantConfig
+	// Store, when non-nil, is the write-ahead job log: accepted jobs,
+	// results and delivery acks are appended durably, and the daemon
+	// replays un-acked entries on startup via Recover. Nil disables
+	// durability (jobs live only in memory, as before).
+	Store *jobstore.Store
 }
 
 // DefaultCoarseEps is the dominance relaxation degraded runs use when
@@ -115,13 +127,25 @@ type Daemon struct {
 	log   *slog.Logger
 	cache *resultCache
 	table *jobTable
+	rec   *recoveredTable
 
-	jobs chan *task
-	wg   sync.WaitGroup
+	wg sync.WaitGroup
 
 	mu     sync.Mutex
 	free   int // remaining queue slots
 	closed bool
+
+	// Stride-scheduler state (guarded by mu): per-tenant FIFO queues
+	// hang off tenants; queued counts tasks across all of them, qcond
+	// wakes workers, and globalPass is the scheduler's virtual time —
+	// the pass of the last dispatched tenant, where idle tenants
+	// re-enter.
+	tenants      map[string]*tenantState
+	byKey        map[string]*tenantState
+	authRequired bool
+	queued       int
+	globalPass   float64
+	qcond        *sync.Cond
 
 	// seq numbers executed jobs; draining flips at StartDrain, before
 	// the queue channel closes, so /readyz fails while in-flight work
@@ -166,6 +190,13 @@ type task struct {
 	// context) and the daemon-assigned job id ("j<seq>").
 	traceID string
 	jid     string
+	// Tenancy and durability: the owning tenant, whether the task holds
+	// reserved queue slots (WAL-recovered tasks do not), and the job's
+	// durable WAL identity ("" when the daemon runs without a store).
+	tn       *tenantState
+	slotted  bool
+	walUID   string
+	replayed bool
 	seq     int64
 	explain *Explain
 	want    bool // request asked for the explain on the result
@@ -200,7 +231,7 @@ func New(cfg Config) *Daemon {
 		log:        cfg.Logger,
 		cache:      newResultCache(cfg.CacheSize, reg),
 		table:      newJobTable(cfg.ExplainRing),
-		jobs:       make(chan *task, cfg.QueueDepth),
+		rec:        newRecoveredTable(),
 		free:       cfg.QueueDepth,
 		submitted:  reg.Counter("svc/jobs_submitted"),
 		completed:  reg.Counter("svc/jobs_completed"),
@@ -217,13 +248,9 @@ func New(cfg Config) *Daemon {
 		queueWait:  reg.Histogram("svc/queue_wait_ms", LatencyBounds),
 		jobDur:     reg.Histogram("svc/job_ms", LatencyBounds),
 	}
-	win, iv := cfg.SLOWindow, cfg.SLOInterval
-	if win <= 0 {
-		win = obs.DefaultWindow
-	}
-	if iv <= 0 {
-		iv = obs.DefaultInterval
-	}
+	d.qcond = sync.NewCond(&d.mu)
+	win, iv := d.sloWindows()
+	d.initTenants(cfg.Tenants, win, iv)
 	d.lat = make(map[string]latWindows, len(outcomeClasses))
 	for _, class := range outcomeClasses {
 		d.lat[class] = latWindows{
@@ -238,6 +265,10 @@ func New(cfg Config) *Daemon {
 		active, recent := d.table.List()
 		return jobListBody{Schema: ExplainSchema, Active: active, Recent: recent}
 	})
+	// Postmortem bundles carry the tenancy view (quota fill, stride
+	// state, per-tenant counters) so an incident report can say who was
+	// being throttled or starved when the daemon died.
+	cfg.Recorder.SetTenants(d.TenantsState)
 	if cfg.Cluster != nil {
 		// Inbound cluster traffic (shard-cache gets/puts, forwarded
 		// batches, health probes for gossip) dispatches to this daemon.
@@ -262,6 +293,11 @@ type SubmitError struct {
 	// Cause is the msrnet-error/v1 taxonomy code when the rejection
 	// traces to net/technology validation; empty otherwise.
 	Cause string
+	// RetryAfter, when positive, is the caller-specific backoff hint
+	// surfaced as the Retry-After header — per-tenant quota rejections
+	// compute it from the tenant's own rate deficit instead of the
+	// global "1".
+	RetryAfter time.Duration
 }
 
 func (e *SubmitError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
@@ -288,6 +324,13 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	submitStart := time.Now()
 	sub := d.reg.StartSpan("svc/submit")
 	defer sub.End()
+	// Authenticate before any decode work: an unknown key must cost the
+	// daemon nothing, and every downstream artifact (explain, WAL,
+	// metrics) carries the tenant.
+	tn, serr := d.tenantFor(ctx)
+	if serr != nil {
+		return nil, serr
+	}
 	if err := req.Validate(); err != nil {
 		return nil, submitErr(http.StatusBadRequest, ErrBadRequest, "%v", err)
 	}
@@ -322,6 +365,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		}
 		key := j.cacheKey(netKey)
 		d.submitted.Inc()
+		tn.submitted.Inc()
 		seq := d.seq.Add(1)
 		jid := fmt.Sprintf("j%d", seq)
 		// A profiled request bypasses the cache (not even a lookup, so
@@ -339,6 +383,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 			res.ID = j.label(i)
 			res.Cached = true
 			e := d.newExplain(jid, seq, j, i, traceID, netKey)
+			e.Tenant = tn.cfg.Name
 			e.State = JobDone
 			e.Outcome = OutcomeOK
 			e.Cached = true
@@ -356,8 +401,9 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		}
 		t := &task{job: j, idx: i, label: j.label(i), netKey: netKey, key: key, tr: tr, tech: tech,
 			traceID: traceID, jid: jid, seq: seq, want: req.Explain || req.Profile,
-			profile: req.Profile, done: make(chan struct{})}
+			profile: req.Profile, tn: tn, slotted: true, done: make(chan struct{})}
 		t.explain = d.newExplain(jid, seq, j, i, traceID, netKey)
+		t.explain.Tenant = tn.cfg.Name
 		d.stampCluster(t.explain, fmeta)
 		t.ctx, t.cancel = d.jobContext(reqctx.WithJobID(ctx, jid))
 		pending = append(pending, t)
@@ -373,16 +419,29 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	for _, t := range pending {
 		d.table.start(t.explain)
 	}
-	if err := d.enqueue(pending); err != nil {
+	err := d.reserve(tn, len(pending))
+	if err == nil {
+		// Durability barrier: the accepted records must be on disk
+		// before any worker can produce a result for them. One Append is
+		// one group commit for the whole batch.
+		if werr := d.walAccept(ctx, pending); werr != nil {
+			d.unreserve(tn, len(pending))
+			err = submitErr(http.StatusServiceUnavailable, ErrInternal, "job store: %v", werr)
+		}
+	}
+	if err != nil {
 		// A saturated or draining queue is a work-stealing trigger: hand
-		// the batch to the least-loaded ready peer before rejecting.
+		// the batch to the least-loaded ready peer before rejecting. A
+		// tenant that exceeded its own quota gets its per-tenant 429 —
+		// stealing would let it launder the quota through peers.
 		if resp, ok := d.tryForward(ctx, req, pending, results, err); ok {
 			return resp, nil
 		}
 		// Only a batch actually bounced back to the client counts as
 		// rejected — a stolen batch above is delivered work, not loss.
-		if err.Code == ErrQueueFull {
+		if err.Code == ErrQueueFull || err.Code == ErrQuotaExceeded {
 			d.rejected.Add(int64(len(pending)))
+			tn.rejected.Add(int64(len(pending)))
 		}
 		ms := float64(time.Since(submitStart)) / float64(time.Millisecond)
 		for _, t := range pending {
@@ -402,6 +461,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		}
 		return nil, err
 	}
+	d.dispatch(pending)
 	for _, t := range pending {
 		select {
 		case <-t.done:
@@ -418,6 +478,10 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	for _, t := range pending {
 		results[t.idx] = t.res
 	}
+	// The batch is about to reach the client: acknowledge every durable
+	// job so compaction can drop it. A crash before this append replays
+	// the stored results instead of losing them.
+	d.walAck(ctx, pending)
 	return &Response{Version: SchemaVersion, Results: results}, nil
 }
 
@@ -465,46 +529,13 @@ func (d *Daemon) cacheGet(ctx context.Context, key string) (Result, bool) {
 	return d.cache.Get(key)
 }
 
-// enqueue admits all tasks atomically or none.
-func (d *Daemon) enqueue(ts []*task) *SubmitError {
-	if len(ts) == 0 {
-		return nil
-	}
-	if err := d.cfg.Faults.Fire(context.Background(), "svc/queue"); err != nil {
-		return submitErr(http.StatusServiceUnavailable, ErrInternal, "queue: %v", err)
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed || d.draining.Load() {
-		return submitErr(http.StatusServiceUnavailable, ErrShuttingDown, "daemon is draining")
-	}
-	if len(ts) > d.free {
-		return submitErr(http.StatusTooManyRequests, ErrQueueFull,
-			"queue full: %d jobs submitted, %d slots free (depth %d); retry later",
-			len(ts), d.free, d.cfg.QueueDepth)
-	}
-	d.free -= len(ts)
-	d.queueDepth.Set(int64(d.cfg.QueueDepth - d.free))
-	now := time.Now()
-	for _, t := range ts {
-		t.enqueued = now
-		d.jobs <- t // cannot block: a slot is reserved for every send
-	}
-	return nil
-}
-
-// release frees queue slots as workers dequeue.
-func (d *Daemon) release(n int) {
-	d.mu.Lock()
-	d.free += n
-	d.queueDepth.Set(int64(d.cfg.QueueDepth - d.free))
-	d.mu.Unlock()
-}
-
 func (d *Daemon) worker() {
 	defer d.wg.Done()
-	for t := range d.jobs {
-		d.release(1)
+	for {
+		t := d.next()
+		if t == nil {
+			return
+		}
 		t.waitMs = float64(time.Since(t.enqueued)) / float64(time.Millisecond)
 		d.queueWait.Observe(t.waitMs)
 		d.runTask(t)
@@ -570,6 +601,9 @@ func (d *Daemon) runTask(t *task) {
 	span.End()
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
 	d.jobDur.Observe(ms)
+	// Persist the outcome before anything can deliver it: a crash after
+	// this append replays the stored bytes instead of re-solving.
+	d.walResult(t)
 	if t.res.Status == StatusOK {
 		d.completed.Inc()
 		if t.res.Degraded {
@@ -634,6 +668,12 @@ func (d *Daemon) finishJob(t *task) {
 		lw.queue.Observe(e.QueueWaitMs)
 		lw.solve.Observe(e.SolveMs)
 		lw.e2e.Observe(e.TotalMs)
+	}
+	if t.tn != nil {
+		t.tn.latE2E.Observe(e.TotalMs)
+		if t.res.Status == StatusOK {
+			t.tn.completed.Inc()
+		}
 	}
 }
 
@@ -883,7 +923,7 @@ func (d *Daemon) Close(ctx context.Context) error {
 		return nil
 	}
 	d.closed = true
-	close(d.jobs)
+	d.qcond.Broadcast() // workers drain the queues, then observe closed
 	d.mu.Unlock()
 
 	idle := make(chan struct{})
