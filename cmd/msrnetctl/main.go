@@ -36,6 +36,7 @@ import (
 	"msrnet/internal/cliflags"
 	"msrnet/internal/obs/reqctx"
 	"msrnet/internal/service"
+	"msrnet/internal/spancollect"
 )
 
 // envAPIKey supplies the tenant credential when -api-key is not given,
@@ -55,6 +56,8 @@ func main() {
 		apiKey   = flag.String("api-key", "", "tenant API key for a multi-tenant daemon (X-Msrnet-Api-Key; also via "+envAPIKey+")")
 		jobs     = flag.Bool("jobs", false, "list this tenant's crash-recovered jobs from the first seed's GET /v1/recovered and exit (done results are acked on fetch; add -keep to peek)")
 		keep     = flag.Bool("keep", false, "with -jobs: peek without acking, so the results stay fetchable")
+		trace    = flag.String("trace", "", "collect the given trace ID's spans from every fleet member, stitch them, and print the cross-process waterfall + critical path")
+		traceOut = flag.String("trace-out", "", "with -trace: also write the stitched Chrome trace-event file here (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -108,6 +111,13 @@ func main() {
 		return
 	}
 
+	if *trace != "" {
+		if err := collectTrace(ctx, c, *trace, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "msrnetctl: -in is required to submit a batch (or use -members / -version)")
 		os.Exit(2)
@@ -128,11 +138,87 @@ func main() {
 	if err := enc.Encode(resp); err != nil {
 		fatal(err)
 	}
+	printProvenance(resp)
 	for _, r := range resp.Results {
 		if r.Status != service.StatusOK {
 			os.Exit(1)
 		}
 	}
+}
+
+// printProvenance summarizes, on stderr, which fleet member actually
+// served each explained job: work-stealing means the peer that answered
+// the HTTP request is not necessarily the peer that solved the job, and
+// before this summary a forwarded batch's output gave no hint of the
+// hop. Silent when no explain carries fleet provenance (clusterless
+// daemons, or batches submitted without -explain).
+func printProvenance(resp *service.Response) {
+	for _, r := range resp.Results {
+		e := r.Explain
+		if e == nil || (e.ServedBy == "" && e.ForwardedFrom == "") {
+			continue
+		}
+		line := "msrnetctl: job " + label(e)
+		switch {
+		case e.ForwardedFrom != "":
+			line += " solved by this peer after forward from " + e.ForwardedFrom
+		case e.Outcome == service.OutcomeForwarded:
+			line += " forwarded to and solved by " + e.ServedBy
+		default:
+			line += " served by " + e.ServedBy
+		}
+		if e.TraceID != "" {
+			line += " (trace " + e.TraceID + ")"
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+// label names a job in provenance output: the client's label when the
+// batch gave one, else the daemon-assigned job ID.
+func label(e *service.Explain) string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return e.JobID
+}
+
+// collectTrace fans the trace ID out over the discovered membership,
+// stitches every process's spans on one skew-corrected timeline, and
+// prints the waterfall plus the critical-path attribution. With a
+// -trace-out path it also writes the stitched Chrome trace-event file.
+func collectTrace(ctx context.Context, c *client.ClusterClient, traceID, out string) error {
+	if err := c.Discover(ctx); err != nil {
+		return err
+	}
+	col, err := spancollect.Collect(ctx, c.Members(), traceID, spancollect.Options{})
+	if err != nil {
+		return err
+	}
+	col.Stitched.WriteWaterfall(os.Stdout)
+	fmt.Println()
+	col.Stitched.CriticalPath().Write(os.Stdout)
+	for _, m := range col.Missing {
+		fmt.Fprintf(os.Stderr, "msrnetctl: %s has no spans for this trace\n", m)
+	}
+	for _, e := range col.Errors {
+		fmt.Fprintf(os.Stderr, "msrnetctl: %s\n", e)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := col.Stitched.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "msrnetctl: stitched Chrome trace written to %s\n", out)
+	}
+	return nil
 }
 
 // readRequest loads the msrnet-job/v1 body from path ("-" = stdin).

@@ -44,6 +44,7 @@ import (
 	"msrnet/internal/jobstore"
 	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
+	"msrnet/internal/obs/spans"
 	"msrnet/internal/service"
 )
 
@@ -148,6 +149,19 @@ func main() {
 		logger.Info("cluster enabled", "self", self, "seeds", len(seeds), "interval", clEvery.String())
 	}
 
+	// The span index records this daemon's share of every traced job
+	// lifecycle (DESIGN.md §15). The process name must be the fleet
+	// identity when clustered — the collector stitches spans across
+	// members by matching span references ("process#id") against
+	// membership addresses — and falls back to a listen-derived name for
+	// standalone daemons.
+	process := "msrnetd@" + *listen
+	if *clAddr != "" {
+		process = strings.TrimRight(*clAddr, "/")
+	}
+	spanIdx := spans.NewIndex(spans.Options{Process: process})
+	rec.SetSpans(func() any { return spanIdx.Dump() })
+
 	var tenants []service.TenantConfig
 	if *tenantsCfg != "" {
 		tenants, err = service.LoadTenants(*tenantsCfg)
@@ -165,7 +179,7 @@ func main() {
 	if *walDir != "" {
 		store, replay, err = jobstore.Open(jobstore.Options{
 			Dir: *walDir, SegmentBytes: *walSegment,
-			Faults: inj, Reg: run.Reg, Logger: logger,
+			Faults: inj, Reg: run.Reg, Spans: spanIdx, Logger: logger,
 		})
 		if err != nil {
 			fatal(err)
@@ -191,6 +205,7 @@ func main() {
 		ForwardHops:     *clHops,
 		Tenants:         tenants,
 		Store:           store,
+		Spans:           spanIdx,
 	})
 	if store != nil {
 		requeued, restored := d.Recover(replay)

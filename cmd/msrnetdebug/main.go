@@ -28,30 +28,39 @@ import (
 	"msrnet/internal/bench"
 	"msrnet/internal/cliflags"
 	"msrnet/internal/obs/recorder"
+	"msrnet/internal/spancollect"
 )
 
 func main() {
 	var (
 		baseline = flag.String("baseline", "", "compare the bundle's DP shape against this msrnet-bench/v1 report (e.g. the committed BENCH_msrnet.json)")
 		list     = flag.String("list", "", "list the bundles under this directory (newest last) instead of rendering one")
+		traceID  = flag.String("trace-id", "", "with -list: only bundles whose captured span index contains this trace")
+		trace    = flag.String("trace", "", "render the given trace from the bundle's spans.json as a waterfall + critical path instead of the incident report")
 	)
 	flag.Parse()
 
 	if *list != "" {
-		if err := listBundles(*list); err != nil {
+		if err := listBundles(*list, *traceID); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: msrnetdebug [-baseline BENCH_msrnet.json] <bundle-dir>")
-		fmt.Fprintln(os.Stderr, "       msrnetdebug -list <postmortem-dir>")
+		fmt.Fprintln(os.Stderr, "usage: msrnetdebug [-baseline BENCH_msrnet.json] [-trace <traceID>] <bundle-dir>")
+		fmt.Fprintln(os.Stderr, "       msrnetdebug -list <postmortem-dir> [-trace-id <traceID>]")
 		os.Exit(2)
 	}
 
 	b, err := recorder.LoadBundle(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if *trace != "" {
+		if err := renderTrace(b, *trace); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	var base *bench.Report
 	if *baseline != "" {
@@ -66,10 +75,37 @@ func main() {
 	}
 }
 
+// renderTrace stitches one trace out of the bundle's captured span
+// index (spans.json) and prints the waterfall plus critical-path
+// report. A bundle holds one process's view — the cross-process picture
+// needs msrnetctl -trace against the live fleet — but for a crashed
+// daemon this is the view that still exists.
+func renderTrace(b *recorder.Bundle, traceID string) error {
+	if !b.HasSpans {
+		return fmt.Errorf("bundle has no spans.json (daemon predates span tracing or captured before any traced job)")
+	}
+	var procs []spancollect.ProcessSpans
+	for _, exp := range b.Spans.Traces {
+		if exp.TraceID == traceID {
+			procs = append(procs, spancollect.ProcessSpans{Process: exp.Process, Spans: exp.Spans})
+		}
+	}
+	if len(procs) == 0 {
+		return fmt.Errorf("no spans for trace %s in this bundle (evicted, or never seen by this daemon)", traceID)
+	}
+	st := spancollect.Stitch(traceID, procs)
+	st.WriteWaterfall(os.Stdout)
+	fmt.Println()
+	st.CriticalPath().Write(os.Stdout)
+	return nil
+}
+
 // listBundles enumerates the postmortem bundles under dir with their
 // trigger, oldest first (the names embed a fixed-width timestamp, so
-// lexical order is chronological).
-func listBundles(dir string) error {
+// lexical order is chronological). A non-empty traceID keeps only
+// bundles whose captured span index saw that trace — "which postmortem
+// has my slow job" without opening each one.
+func listBundles(dir, traceID string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -80,17 +116,21 @@ func listBundles(dir string) error {
 			names = append(names, e.Name())
 		}
 	}
-	if len(names) == 0 {
-		fmt.Printf("no postmortem bundles under %s\n", dir)
-		return nil
-	}
 	sort.Strings(names)
+	shown := 0
 	for _, name := range names {
 		b, err := recorder.LoadBundle(filepath.Join(dir, name))
 		if err != nil {
-			fmt.Printf("%s  (unreadable: %v)\n", name, err)
+			if traceID == "" {
+				fmt.Printf("%s  (unreadable: %v)\n", name, err)
+				shown++
+			}
 			continue
 		}
+		if traceID != "" && !bundleHasTrace(b, traceID) {
+			continue
+		}
+		shown++
 		tr := b.Manifest.Trigger
 		fmt.Printf("%s  trigger=%s", name, tr.Reason)
 		if tr.Detail != "" {
@@ -98,7 +138,28 @@ func listBundles(dir string) error {
 		}
 		fmt.Printf("  samples=%d\n", len(b.Ring))
 	}
+	if shown == 0 {
+		if traceID != "" {
+			fmt.Printf("no bundles under %s contain trace %s\n", dir, traceID)
+		} else {
+			fmt.Printf("no postmortem bundles under %s\n", dir)
+		}
+	}
 	return nil
+}
+
+// bundleHasTrace reports whether the bundle's span capture includes
+// the trace.
+func bundleHasTrace(b *recorder.Bundle, traceID string) bool {
+	if !b.HasSpans {
+		return false
+	}
+	for _, exp := range b.Spans.Traces {
+		if exp.TraceID == traceID {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) { cliflags.Fatal("msrnetdebug", err) }

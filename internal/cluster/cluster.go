@@ -66,6 +66,13 @@ type Info struct {
 	// by the peer itself. A peer whose Seq stops advancing is dead; a
 	// restarted peer rejoins with a fresh (later) epoch.
 	Seq int64 `json:"seq"`
+	// WallMs is the peer's wall clock (Unix ms) stamped when it
+	// generated this heartbeat. Pure payload — merge still orders by Seq
+	// alone — it exists so third parties can witness the peer's clock:
+	// the span collector refines its request/response-midpoint offset
+	// estimates from (WallMs, StateBody.HeardMs) pairs. See DESIGN.md
+	// §15.
+	WallMs int64 `json:"wall_ms,omitempty"`
 }
 
 // View is a set of peer Infos keyed by ID, as exchanged by gossip.
@@ -154,6 +161,10 @@ type Config struct {
 	Reg *obs.Registry
 	// Logger receives membership-change lines; slog.Default when nil.
 	Logger *slog.Logger
+	// WallClock overrides the wall-clock readings stamped into
+	// heartbeats (Info.WallMs) and witness records (StateBody.HeardMs);
+	// tests pin it, production uses time.Now.
+	WallClock func() time.Time
 }
 
 // entry is the node's bookkeeping around one view member.
@@ -185,21 +196,25 @@ type Node struct {
 	// a dead peer's echo cannot re-enter the view through gossip.
 	lastSeq     map[ID]int64
 	lastAdvance map[ID]int64
-	pushes      []Info
-	tick        int64
-	ring        *Ring
-	ringKey     string
+	// heardMs records this node's wall clock when each peer's heartbeat
+	// last advanced — the witness half of the span collector's
+	// clock-offset refinement (served in StateBody.HeardMs).
+	heardMs map[ID]int64
+	pushes  []Info
+	tick    int64
+	ring    *Ring
+	ringKey string
 
 	stop chan struct{}
 	done chan struct{}
 
-	rounds, gossipOK, gossipFail  *obs.Counter
-	removed, rebuilds             *obs.Counter
-	remoteHits, remoteMisses      *obs.Counter
-	remoteErrs, remotePuts        *obs.Counter
-	remotePutErrs, forwards       *obs.Counter
-	forwardErrs                   *obs.Counter
-	peersGauge, ringMembersGauge  *obs.Gauge
+	rounds, gossipOK, gossipFail *obs.Counter
+	removed, rebuilds            *obs.Counter
+	remoteHits, remoteMisses     *obs.Counter
+	remoteErrs, remotePuts       *obs.Counter
+	remotePutErrs, forwards      *obs.Counter
+	forwardErrs                  *obs.Counter
+	peersGauge, ringMembersGauge *obs.Gauge
 }
 
 // NewNode builds the node with its seed view. Call SetLocal before the
@@ -229,6 +244,7 @@ func NewNode(cfg Config) *Node {
 		hist:        map[ID]Info{},
 		lastSeq:     map[ID]int64{},
 		lastAdvance: map[ID]int64{},
+		heardMs:     map[ID]int64{},
 
 		rounds:           reg.Counter("cluster/gossip_rounds"),
 		gossipOK:         reg.Counter("cluster/gossip_exchanges_ok"),
@@ -274,11 +290,20 @@ func (n *Node) IsSelf(id ID) bool { return id == n.cfg.Self.ID }
 // selfInfoLocked stamps a fresh heartbeat with the daemon's live
 // health and load.
 func (n *Node) selfInfoLocked() Info {
-	info := Info{Peer: n.cfg.Self, Seq: n.cfg.Epoch + n.tick}
+	info := Info{Peer: n.cfg.Self, Seq: n.cfg.Epoch + n.tick, WallMs: n.wallMs()}
 	if n.local != nil {
 		info.Ready, info.Load = n.local.Status()
 	}
 	return info
+}
+
+// wallMs reads the node's wall clock in Unix milliseconds (injectable
+// for tests via Config.WallClock).
+func (n *Node) wallMs() int64 {
+	if n.cfg.WallClock != nil {
+		return n.cfg.WallClock().UnixMilli()
+	}
+	return time.Now().UnixMilli()
 }
 
 // Members returns the live membership — this node plus its view —
@@ -433,6 +458,11 @@ type StateBody struct {
 	// their ring with the same value or routing disagrees.
 	Vnodes int   `json:"vnodes"`
 	Tick   int64 `json:"tick"`
+	// HeardMs maps peer ID → this node's wall clock (Unix ms) when that
+	// peer's heartbeat Seq last advanced. Combined with the peer's own
+	// Info.WallMs it lets the span collector use this node as a clock
+	// witness for peers it cannot probe directly.
+	HeardMs map[ID]int64 `json:"heard_ms,omitempty"`
 }
 
 // State snapshots the membership for /cluster/members, msrnetctl
@@ -442,8 +472,12 @@ func (n *Node) State() StateBody {
 	n.mu.Lock()
 	self := n.selfInfoLocked()
 	tick := n.tick
+	heard := make(map[ID]int64, len(n.heardMs))
+	for id, ms := range n.heardMs {
+		heard[id] = ms
+	}
 	n.mu.Unlock()
-	return StateBody{Schema: Schema, Self: self, Members: members, Vnodes: n.prm.Vnodes, Tick: tick}
+	return StateBody{Schema: Schema, Self: self, Members: members, Vnodes: n.prm.Vnodes, Tick: tick, HeardMs: heard}
 }
 
 // Vnodes reports the ring's virtual-node count.

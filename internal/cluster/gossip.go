@@ -127,6 +127,9 @@ func (n *Node) recordHistLocked(info Info) {
 	if info.Seq > n.lastSeq[info.ID] {
 		n.lastSeq[info.ID] = info.Seq
 		n.lastAdvance[info.ID] = n.tick
+		// Witness stamp: our wall clock at the moment this peer's
+		// heartbeat advanced, paired with the WallMs the peer put in it.
+		n.heardMs[info.ID] = n.wallMs()
 		// An advancing heartbeat proves the peer is alive, even when our
 		// own exchanges with it fail (one cut link, not a dead process):
 		// gossip relayed through third parties clears the suspicion.

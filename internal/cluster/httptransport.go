@@ -115,6 +115,9 @@ func (t *HTTPTransport) Submit(ctx context.Context, from, to Peer, body []byte, 
 	if meta.APIKey != "" {
 		req.Header.Set(reqctx.HeaderAPIKey, meta.APIKey)
 	}
+	if meta.ParentSpan != "" {
+		req.Header.Set(HeaderForwardSpan, meta.ParentSpan)
+	}
 	resp, err := t.http().Do(req)
 	if err != nil {
 		return nil, 0, err

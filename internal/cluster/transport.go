@@ -12,6 +12,11 @@ import (
 const (
 	HeaderForwardHops = "X-Msrnet-Forward-Hops"
 	HeaderForwardFrom = "X-Msrnet-Forwarded-From"
+	// HeaderForwardSpan carries the forwarding daemon's hop span
+	// reference ("process#id"), so the receiving daemon's submit span
+	// links under it and the fleet collector can stitch both sides of
+	// the hop into one trace tree.
+	HeaderForwardSpan = "X-Msrnet-Forward-Span"
 )
 
 // ForwardMeta is the provenance of a forwarded submission.
@@ -28,6 +33,10 @@ type ForwardMeta struct {
 	// (the X-Msrnet-Api-Key header), so the executing peer bills the
 	// work to the same tenant the origin admitted.
 	APIKey string
+	// ParentSpan is the forwarding daemon's hop span reference
+	// ("process#id"): the executing peer's submit span records it as a
+	// remote parent, linking both sides of the hop in a stitched trace.
+	ParentSpan string
 }
 
 // Transport carries the four cluster operations between peers. The

@@ -47,6 +47,7 @@ import (
 
 	"msrnet/internal/faultinject"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/spans"
 )
 
 // Schema identifies the WAL record layout, versioned like every other
@@ -147,6 +148,11 @@ type Options struct {
 	Faults *faultinject.Injector
 	// Reg receives the wal/* counters and gauges; may be nil.
 	Reg *obs.Registry
+	// Spans, when non-nil, records a wal/append span (with a wal/fsync
+	// child covering the group-commit wait) for every Append whose
+	// context carries a trace ID, so durability cost shows up in
+	// stitched traces. Nil disables recording.
+	Spans *spans.Index
 	// Logger receives replay and degradation warnings; slog.Default
 	// when nil.
 	Logger *slog.Logger
@@ -467,6 +473,8 @@ func (s *Store) Append(ctx context.Context, recs ...*Record) error {
 		}
 		return fmt.Errorf("jobstore: append: %w", err)
 	}
+	sctx, wspan := s.opt.Spans.Start(ctx, "wal/append")
+	defer wspan.End()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -488,6 +496,10 @@ func (s *Store) Append(ctx context.Context, recs ...*Record) error {
 	gen := s.appendGen + 1
 	s.appendGen = gen
 	s.mu.Unlock()
+	// The fsync child measures the group-commit wait alone, so a
+	// stitched trace separates "writing bytes" from "waiting for disk".
+	_, fspan := s.opt.Spans.Start(sctx, "wal/fsync")
+	defer fspan.End()
 	select {
 	case s.kick <- struct{}{}:
 	default: // a kick is already pending; the syncer will cover gen

@@ -149,8 +149,20 @@ func writeQuantiles(w io.Writer, name string, q obs.QuantileSnapshot) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(q.Sum), pn, q.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(q.Sum), pn, q.Count); err != nil {
+		return err
+	}
+	// Exemplar: the worst traced observation in the window, labelled
+	// with its trace ID so a dashboard can jump from a tail quantile to
+	// `msrnetctl -trace <id>`. Emitted as a plain gauge series (the
+	// text exposition v0.0.4 has no native exemplar syntax).
+	if q.ExemplarTrace != "" {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_exemplar gauge\n%s_exemplar{trace_id=%q} %s\n",
+			pn, pn, q.ExemplarTrace, formatFloat(q.ExemplarMs)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeHistogram(w io.Writer, name string, h obs.HistSnapshot) error {

@@ -197,3 +197,25 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 		t.Errorf("publish results = %v, %v; want true, false", first, second)
 	}
 }
+
+// TestPrometheusExemplar: a traced window observation surfaces as a
+// <name>_exemplar{trace_id=...} gauge next to the summary, and windows
+// without a traced observation emit no exemplar series.
+func TestPrometheusExemplar(t *testing.T) {
+	reg := obs.New()
+	reg.Window("svc/latency/e2e/ok", 0, 0).ObserveEx(42.5, "deadbeef")
+	reg.Window("svc/latency/queue/ok", 0, 0).Observe(7)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `msrnet_svc_latency_e2e_ok_exemplar{trace_id="deadbeef"} 42.5`
+	if !strings.Contains(out, want) {
+		t.Errorf("missing exemplar series %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, "queue_ok_exemplar") {
+		t.Errorf("untraced window grew an exemplar series:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"msrnet/internal/buildinfo"
 	"msrnet/internal/obs"
+	"msrnet/internal/obs/spans"
 )
 
 // BundleSchema identifies the postmortem bundle layout for downstream
@@ -34,6 +35,7 @@ const (
 	fileJobs       = "jobs.json"
 	fileCluster    = "cluster.json"
 	fileTenants    = "tenants.json"
+	fileSpans      = "spans.json"
 )
 
 // Manifest is the bundle's index: what triggered the capture, when,
@@ -102,7 +104,7 @@ func (f *FlightRecorder) writeBundle(now time.Time, seq int64, reason, detail st
 		return "", err
 	}
 	f.mu.Lock()
-	jobs, clusterFn, tenantsFn := f.jobs, f.cluster, f.tenants
+	jobs, clusterFn, tenantsFn, spansFn := f.jobs, f.cluster, f.tenants, f.spans
 	f.mu.Unlock()
 	if jobs != nil {
 		if err := keep(fileJobs, writeJSONFile(filepath.Join(dir, fileJobs), jobs())); err != nil {
@@ -116,6 +118,11 @@ func (f *FlightRecorder) writeBundle(now time.Time, seq int64, reason, detail st
 	}
 	if tenantsFn != nil {
 		if err := keep(fileTenants, writeJSONFile(filepath.Join(dir, fileTenants), tenantsFn())); err != nil {
+			return "", err
+		}
+	}
+	if spansFn != nil {
+		if err := keep(fileSpans, writeJSONFile(filepath.Join(dir, fileSpans), spansFn())); err != nil {
 			return "", err
 		}
 	}
@@ -224,6 +231,11 @@ type Bundle struct {
 	// HasTenants reports a tenants.json tenancy view in the bundle
 	// (daemons running the multi-tenant serving layer).
 	HasTenants bool
+	// HasSpans reports a spans.json trace dump in the bundle; Spans is
+	// its decoded msrnet-spans/v1 content (zero-valued when absent), so
+	// msrnetdebug -trace can render a crashed daemon's traces offline.
+	HasSpans bool
+	Spans    spans.Dump
 }
 
 // JobsDump mirrors the jobs.json payload: the explain-table view the
@@ -299,10 +311,14 @@ func LoadBundle(dir string) (*Bundle, error) {
 			b.GoroutineCount++
 		}
 	}
+	if err := readJSONFile(filepath.Join(dir, fileSpans), &b.Spans); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("recorder: loading spans: %w", err)
+	}
 	b.HasTrace = fileExists(filepath.Join(dir, fileTrace))
 	b.HasHeap = fileExists(filepath.Join(dir, fileHeap))
 	b.HasCluster = fileExists(filepath.Join(dir, fileCluster))
 	b.HasTenants = fileExists(filepath.Join(dir, fileTenants))
+	b.HasSpans = fileExists(filepath.Join(dir, fileSpans))
 	return b, nil
 }
 

@@ -107,6 +107,7 @@ type FlightRecorder struct {
 	jobs    func() any
 	cluster func() any
 	tenants func() any
+	spans   func() any
 	seq     int64
 	lastAut time.Time // last automatic bundle write, for the cooldown
 	ticks   int64
@@ -196,6 +197,20 @@ func (f *FlightRecorder) SetTenants(fn func() any) {
 	}
 	f.mu.Lock()
 	f.tenants = fn
+	f.mu.Unlock()
+}
+
+// SetSpans installs the distributed-tracing source: a function
+// returning the process's span-index dump (msrnet-spans/v1), written
+// into bundles as spans.json so the traces of a crashed daemon survive
+// into the postmortem — msrnetdebug -trace reads them back. Safe to
+// call before or after Start; nil clears it.
+func (f *FlightRecorder) SetSpans(fn func() any) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.spans = fn
 	f.mu.Unlock()
 }
 

@@ -40,6 +40,11 @@ type QuantileSnapshot struct {
 	P50           float64 `json:"p50"`
 	P90           float64 `json:"p90"`
 	P99           float64 `json:"p99"`
+	// ExemplarMs/ExemplarTrace identify the worst traced observation
+	// still inside the window (WindowHist.ObserveEx): the trace ID links
+	// a dashboard's tail quantile to the distributed trace behind it.
+	ExemplarMs    float64 `json:"exemplar_ms,omitempty"`
+	ExemplarTrace string  `json:"exemplar_trace_id,omitempty"`
 }
 
 // HistSnapshot is the serialized form of one histogram. Counts has one
@@ -111,6 +116,8 @@ func (r *Registry) Snapshot() Snapshot {
 				P50:           st.P50,
 				P90:           st.P90,
 				P99:           st.P99,
+				ExemplarMs:    st.ExemplarMs,
+				ExemplarTrace: st.ExemplarTrace,
 			}
 		}
 	}

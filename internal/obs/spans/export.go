@@ -1,0 +1,91 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// TraceExport is the msrnet-spans/v1 body served by
+// GET /debug/spans/{traceID}: one process's spans for one trace, sorted
+// by span ID so identical index state marshals to identical bytes
+// (encoding/json already emits Attrs keys sorted). WallUnixNs is the
+// process clock at export time — the fleet collector's request/response
+// midpoint probe reads it to estimate this peer's clock offset.
+type TraceExport struct {
+	Schema     string   `json:"schema"`
+	TraceID    string   `json:"trace_id"`
+	Process    string   `json:"process"`
+	WallUnixNs int64    `json:"wall_unix_ns"`
+	Spans      []Record `json:"spans"`
+	Dropped    int      `json:"dropped,omitempty"`
+}
+
+// Export snapshots one trace; ok is false when the trace is unknown
+// (or the index is nil).
+func (x *Index) Export(traceID string) (TraceExport, bool) {
+	if x == nil {
+		return TraceExport{}, false
+	}
+	x.mu.Lock()
+	tb, ok := x.traces[traceID]
+	if !ok {
+		x.mu.Unlock()
+		return TraceExport{}, false
+	}
+	recs := append([]Record(nil), tb.spans...)
+	dropped := tb.dropped
+	x.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return TraceExport{
+		Schema:     Schema,
+		TraceID:    traceID,
+		Process:    x.process,
+		WallUnixNs: x.nowNs(),
+		Spans:      recs,
+		Dropped:    dropped,
+	}, true
+}
+
+// ExportJSON renders one trace as the msrnet-spans/v1 body; ok is
+// false when the trace is unknown. Identical index state and clock
+// yield byte-identical output.
+func (x *Index) ExportJSON(traceID string) ([]byte, bool) {
+	exp, ok := x.Export(traceID)
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(exp); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// Dump is the whole-index snapshot captured into postmortem bundles
+// (spans.json), so a crashed daemon's traces survive into the bundle.
+type Dump struct {
+	Schema  string        `json:"schema"`
+	Process string        `json:"process"`
+	Evicted int64         `json:"evicted,omitempty"`
+	Traces  []TraceExport `json:"traces"`
+}
+
+// Dump snapshots every indexed trace, sorted by trace ID. Safe on a
+// nil index (empty dump).
+func (x *Index) Dump() Dump {
+	d := Dump{Schema: Schema}
+	if x == nil {
+		return d
+	}
+	d.Process = x.process
+	d.Evicted = x.Evicted()
+	for _, id := range x.TraceIDs() {
+		if exp, ok := x.Export(id); ok {
+			d.Traces = append(d.Traces, exp)
+		}
+	}
+	return d
+}

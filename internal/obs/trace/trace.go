@@ -311,18 +311,31 @@ func (t *Tracer) Events() []Event {
 // format; sub-microsecond precision is kept as a fraction. The
 // otherData section carries the schema name and the drop count.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	return t.WriteJSONFilter(w, "")
+}
+
+// WriteJSONFilter is WriteJSON restricted to events tagged with the
+// given trace ID (a "trace_id" string arg, as the daemon's exec path
+// stamps on solve events). An empty traceID keeps every event, making
+// WriteJSON the unfiltered special case.
+func (t *Tracer) WriteJSONFilter(w io.Writer, traceID string) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","otherData":{"schema":` +
 		quote(TraceEventSchema) + `,"dropped":` + strconv.FormatUint(t.Dropped(), 10) +
 		"},\n\"traceEvents\":[\n"); err != nil {
 		return err
 	}
-	for i, ev := range t.Events() {
-		if i > 0 {
+	n := 0
+	for _, ev := range t.Events() {
+		if traceID != "" && !eventHasTrace(ev, traceID) {
+			continue
+		}
+		if n > 0 {
 			if _, err := bw.WriteString(",\n"); err != nil {
 				return err
 			}
 		}
+		n++
 		if err := writeEvent(bw, ev); err != nil {
 			return err
 		}
@@ -331,6 +344,17 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// eventHasTrace reports whether the event carries a trace_id string
+// arg equal to traceID.
+func eventHasTrace(ev Event, traceID string) bool {
+	for i := 0; i < int(ev.NArgs); i++ {
+		if ev.Args[i].IsStr && ev.Args[i].Key == "trace_id" && ev.Args[i].Str == traceID {
+			return true
+		}
+	}
+	return false
 }
 
 // writeEvent renders one event. All events share pid/tid 1: regions are

@@ -213,3 +213,47 @@ func BenchmarkRecordRegion(b *testing.B) {
 		}
 	})
 }
+
+// TestWriteJSONFilter: a trace_id filter keeps exactly the events
+// stamped with that ID, the unfiltered export keeps everything, and a
+// filter nothing matches still yields a valid empty trace.
+func TestWriteJSONFilter(t *testing.T) {
+	tr := New(16)
+	tr.Instant("solve", "svc", S("trace_id", "t-1"))
+	tr.Instant("solve", "svc", S("trace_id", "t-2"))
+	tr.Instant("untagged", "svc")
+
+	events := func(traceID string) []string {
+		var buf bytes.Buffer
+		if err := tr.WriteJSONFilter(&buf, traceID); err != nil {
+			t.Fatalf("WriteJSONFilter(%q): %v", traceID, err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("WriteJSONFilter(%q): invalid JSON: %s", traceID, buf.String())
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for _, ev := range doc.TraceEvents {
+			id, _ := ev.Args["trace_id"].(string)
+			ids = append(ids, id)
+		}
+		return ids
+	}
+
+	if got := events("t-1"); len(got) != 1 || got[0] != "t-1" {
+		t.Errorf("filter t-1: %v", got)
+	}
+	if got := events(""); len(got) != 3 {
+		t.Errorf("unfiltered: %v", got)
+	}
+	if got := events("t-404"); len(got) != 0 {
+		t.Errorf("filter t-404: %v", got)
+	}
+}

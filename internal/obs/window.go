@@ -87,6 +87,22 @@ type WindowHist struct {
 
 	resetMu sync.Mutex
 	now     func() time.Time // injectable for rotation tests
+
+	// Exemplar storage: one slot per interval holding the worst traced
+	// observation that landed in it. Guarded by its own mutex so the
+	// lock-free Observe fast path is untouched; only ObserveEx (called
+	// once per finished job) and Stats touch it.
+	exMu sync.Mutex
+	ex   []winExemplar
+}
+
+// winExemplar is the worst traced observation of one interval: the
+// value plus the request's trace ID, so a dashboard quantile can link
+// straight to the distributed trace that produced it.
+type winExemplar struct {
+	epoch   int64
+	ms      float64
+	traceID string
 }
 
 // NewWindowHist builds a sliding-window histogram covering the given
@@ -104,7 +120,7 @@ func NewWindowHist(window, interval time.Duration) *WindowHist {
 	if n < 1 {
 		n = 1
 	}
-	w := &WindowHist{interval: interval, ivals: make([]winInterval, n), now: time.Now}
+	w := &WindowHist{interval: interval, ivals: make([]winInterval, n), ex: make([]winExemplar, n), now: time.Now}
 	for i := range w.ivals {
 		w.ivals[i].epoch = -1
 		w.ivals[i].counts = make([]int64, windowNumBuckets)
@@ -136,6 +152,30 @@ func (w *WindowHist) Observe(ms float64) {
 	addFloatBits(&iv.sum, ms)
 }
 
+// ObserveEx records one latency like Observe and, when the observation
+// carries a trace ID, offers it as the interval's exemplar: the slot
+// keeps the largest traced value per interval, so the exported
+// exemplar names a trace that actually sits in the window's tail.
+func (w *WindowHist) ObserveEx(ms float64, traceID string) {
+	w.Observe(ms)
+	if w == nil || traceID == "" {
+		return
+	}
+	if ms < 0 {
+		ms = 0
+	}
+	e := w.epochOf(w.now())
+	i := int(e % int64(len(w.ivals)))
+	w.exMu.Lock()
+	if w.ex[i].epoch != e {
+		w.ex[i] = winExemplar{epoch: e}
+	}
+	if w.ex[i].traceID == "" || ms >= w.ex[i].ms {
+		w.ex[i].ms, w.ex[i].traceID = ms, traceID
+	}
+	w.exMu.Unlock()
+}
+
 // rotate resets a slot whose interval has expired to hold the new
 // epoch. A concurrent observer that raced the rollover may land one
 // sample in the neighboring interval — within the window-granularity
@@ -163,6 +203,11 @@ type WindowStats struct {
 	// P50, P90, P99 are the quantile estimates in milliseconds (0 when
 	// the window is empty).
 	P50, P90, P99 float64
+	// ExemplarMs/ExemplarTrace name the worst traced observation still
+	// inside the window (ObserveEx); ExemplarTrace is empty when no
+	// traced observation is live.
+	ExemplarMs    float64
+	ExemplarTrace string
 }
 
 // Stats merges the intervals still inside the window and computes the
@@ -194,6 +239,17 @@ func (w *WindowHist) Stats() WindowStats {
 	s.P50 = windowQuantile(merged, s.Count, 0.50)
 	s.P90 = windowQuantile(merged, s.Count, 0.90)
 	s.P99 = windowQuantile(merged, s.Count, 0.99)
+	w.exMu.Lock()
+	for i := range w.ex {
+		x := &w.ex[i]
+		if x.traceID == "" || x.epoch < oldest || x.epoch > e {
+			continue
+		}
+		if s.ExemplarTrace == "" || x.ms > s.ExemplarMs {
+			s.ExemplarMs, s.ExemplarTrace = x.ms, x.traceID
+		}
+	}
+	w.exMu.Unlock()
 	return s
 }
 

@@ -225,3 +225,49 @@ func TestRegistryWindow(t *testing.T) {
 		t.Fatalf("quantile snapshot = %+v", q)
 	}
 }
+
+// TestWindowExemplar: ObserveEx keeps the worst traced observation per
+// interval, Stats surfaces the window-wide worst, and an exemplar
+// expires when its interval slides out of the window.
+func TestWindowExemplar(t *testing.T) {
+	w, clk := newTestWindow(30*time.Second, 10*time.Second)
+
+	w.ObserveEx(5, "trace-a")
+	w.Observe(50) // untraced: never an exemplar
+	w.ObserveEx(12, "trace-b")
+	st := w.Stats()
+	if st.ExemplarTrace != "trace-b" || st.ExemplarMs != 12 {
+		t.Fatalf("exemplar = %q/%v, want trace-b/12", st.ExemplarTrace, st.ExemplarMs)
+	}
+
+	// A later interval with a smaller traced value: window-wide worst
+	// still wins.
+	clk.advance(10 * time.Second)
+	w.ObserveEx(3, "trace-c")
+	if st := w.Stats(); st.ExemplarTrace != "trace-b" {
+		t.Fatalf("exemplar = %q, want trace-b still live", st.ExemplarTrace)
+	}
+
+	// Slide trace-b's interval out: trace-c remains.
+	clk.advance(25 * time.Second)
+	if st := w.Stats(); st.ExemplarTrace != "trace-c" || st.ExemplarMs != 3 {
+		t.Fatalf("after expiry exemplar = %q/%v, want trace-c/3", st.ExemplarTrace, st.ExemplarMs)
+	}
+
+	// Everything out: no exemplar, and the zero value is omitted from
+	// snapshots.
+	clk.advance(time.Hour)
+	if st := w.Stats(); st.ExemplarTrace != "" || st.ExemplarMs != 0 {
+		t.Fatalf("expired window exemplar = %q/%v, want empty", st.ExemplarTrace, st.ExemplarMs)
+	}
+}
+
+// TestWindowExemplarNil: nil windows and untraced observations are
+// inert.
+func TestWindowExemplarNil(t *testing.T) {
+	var w *WindowHist
+	w.ObserveEx(5, "trace-a") // must not panic
+	if st := w.Stats(); st.ExemplarTrace != "" {
+		t.Fatalf("nil window exemplar = %q", st.ExemplarTrace)
+	}
+}

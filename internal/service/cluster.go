@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"msrnet/internal/cluster"
 	"msrnet/internal/obs/reqctx"
@@ -144,7 +145,11 @@ func (d *Daemon) shardLookup(ctx context.Context, netKey, key string) (Result, c
 	if !ok || n.IsSelf(owner.ID) {
 		return Result{}, "", false
 	}
+	_, sp := d.cfg.Spans.Start(ctx, "cache/remote_get")
+	sp.SetPeer(string(owner.ID))
 	val, ok := n.CacheGet(ctx, owner, key)
+	sp.Set("hit", strconv.FormatBool(ok))
+	sp.End()
 	if !ok {
 		return Result{}, "", false
 	}
@@ -174,6 +179,9 @@ func (d *Daemon) shardStore(ctx context.Context, netKey, key string, stored Resu
 		d.log.WarnContext(ctx, "shard cache encode failed", "key", key, "err", err)
 		return
 	}
+	_, sp := d.cfg.Spans.Start(ctx, "cache/remote_put")
+	sp.SetPeer(string(owner.ID))
+	defer sp.End()
 	if !n.CachePut(ctx, owner, key, val) {
 		d.log.WarnContext(ctx, "shard cache put failed; local copy is the fallback",
 			"owner", owner.ID, "key", key)
@@ -221,9 +229,15 @@ func (d *Daemon) tryForward(ctx context.Context, req *Request, pending []*task, 
 	if err != nil {
 		return nil, false
 	}
+	// The hop span covers the remote round trip; its reference travels
+	// with the forward so the peer's submit span links under it and the
+	// stitched trace shows the hop from both sides.
+	_, hop := d.cfg.Spans.Start(ctx, "forward")
+	hop.SetPeer(string(peer.ID))
 	out := cluster.ForwardMeta{Hops: meta.Hops + 1, From: n.Self().ID,
-		TraceID: reqctx.TraceID(ctx), APIKey: apiKeyFrom(ctx)}
+		TraceID: reqctx.TraceID(ctx), APIKey: apiKeyFrom(ctx), ParentSpan: hop.Ref()}
 	respBody, status, ferr := n.Forward(ctx, peer, body, out)
+	hop.End()
 	if ferr != nil || status != http.StatusOK {
 		d.log.WarnContext(ctx, "forward failed; falling back to rejection",
 			"peer", peer.ID, "status", status, "err", ferr, "cause", cause.Code)

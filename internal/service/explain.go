@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"msrnet/internal/core"
+	"msrnet/internal/obs/spans"
 	"msrnet/internal/solveprof"
 )
 
@@ -109,6 +110,12 @@ type Explain struct {
 	// rides on the explain report so the same artifact reaches the
 	// result, GET /debug/jobs/{id} and postmortem bundles.
 	Profile *solveprof.Profile `json:"profile,omitempty"`
+
+	// Spans summarizes this process's span index for the job's trace at
+	// completion: span count, cross-process hop count, and self-time per
+	// segment class — a one-glance answer to "where did this trace spend
+	// its time HERE" without running the fleet collector.
+	Spans *spans.Summary `json:"spans,omitempty"`
 }
 
 // SolveExplain is the dynamic-program shape of the job: candidate

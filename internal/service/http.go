@@ -46,6 +46,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/jobs", d.handleJobList)
 	mux.HandleFunc("GET /debug/jobs/{id}", d.handleJobGet)
 	mux.HandleFunc("GET /debug/trace", d.handleTrace)
+	mux.HandleFunc("GET /debug/spans/{id}", d.handleSpans)
 	mux.HandleFunc("GET /debug/recorder", d.handleRecorder)
 	mux.HandleFunc("POST /debug/dump", d.handleDump)
 	if d.cfg.Cluster != nil {
@@ -85,6 +86,7 @@ func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx = withForwardMeta(ctx, cluster.ForwardMeta{
 			Hops: hops, From: cluster.ID(r.Header.Get(cluster.HeaderForwardFrom)),
+			ParentSpan: r.Header.Get(cluster.HeaderForwardSpan),
 		})
 	}
 	resp, serr := d.Submit(ctx, &req)
@@ -158,9 +160,30 @@ func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := d.cfg.Tracer.WriteJSON(w); err != nil {
+	// ?trace_id= narrows the export to events stamped with that request's
+	// trace ID — the single-job view of the shared ring.
+	if err := d.cfg.Tracer.WriteJSONFilter(w, r.URL.Query().Get("trace_id")); err != nil {
 		d.log.WarnContext(r.Context(), "trace write failed", "err", err)
 	}
+}
+
+// handleSpans serves GET /debug/spans/{traceID}: this process's spans
+// for one trace as a deterministic msrnet-spans/v1 body. The fleet
+// collector (msrnetctl -trace) fans this out over the membership and
+// stitches the exports into one cross-process tree.
+func (d *Daemon) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Spans == nil {
+		writeError(w, http.StatusNotFound, ErrBadRequest, "span tracing disabled")
+		return
+	}
+	id := r.PathValue("id")
+	body, ok := d.cfg.Spans.ExportJSON(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrBadRequest, "no spans for trace "+id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // handleRecorder serves the live flight-recorder state: the sampled

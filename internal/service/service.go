@@ -21,6 +21,7 @@ import (
 	"msrnet/internal/obs"
 	"msrnet/internal/obs/recorder"
 	"msrnet/internal/obs/reqctx"
+	"msrnet/internal/obs/spans"
 	"msrnet/internal/obs/trace"
 	"msrnet/internal/rctree"
 	"msrnet/internal/solveprof"
@@ -108,6 +109,13 @@ type Config struct {
 	// replays un-acked entries on startup via Recover. Nil disables
 	// durability (jobs live only in memory, as before).
 	Store *jobstore.Store
+	// Spans, when non-nil, is the per-process distributed-tracing index
+	// (DESIGN.md §15): the job lifecycle records explicit spans into it
+	// — submit, decode, admission, queue wait, solve with its DP phases,
+	// cache hops, forwards, WAL appends — keyed by the request's trace
+	// ID, and GET /debug/spans/{traceID} serves them to the fleet
+	// collector. Nil disables span recording (every hook is inert).
+	Spans *spans.Index
 }
 
 // DefaultCoarseEps is the dominance relaxation degraded runs use when
@@ -197,14 +205,21 @@ type task struct {
 	slotted  bool
 	walUID   string
 	replayed bool
-	seq     int64
-	explain *Explain
-	want    bool // request asked for the explain on the result
-	profile bool // request asked for the lifecycle profile (implies want)
-	prof    *solveprof.Profile
+	seq      int64
+	explain  *Explain
+	want     bool // request asked for the explain on the result
+	profile  bool // request asked for the lifecycle profile (implies want)
+	prof     *solveprof.Profile
 
-	ctx      context.Context
-	cancel   context.CancelFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+	// Tracing state: the queue-wait span (started at dispatch, ended at
+	// dequeue), the solve span's context (DP phase spans in exec parent
+	// under it), and — for WAL-replayed tasks — the replay root span
+	// ended when the recovered result lands.
+	qspan    *spans.Span
+	sctx     context.Context
+	rspan    *spans.Span
 	enqueued time.Time
 	waitMs   float64 // queue wait, stamped at dequeue
 	solveMs  float64 // wall-clock of the solve attempt(s)
@@ -324,6 +339,15 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	submitStart := time.Now()
 	sub := d.reg.StartSpan("svc/submit")
 	defer sub.End()
+	// Root span of this process's share of the trace. A forwarded batch
+	// carries the sender's hop span reference, so this root links under
+	// it and the stitched trace shows both sides of the hop.
+	fmeta := forwardMetaFrom(ctx)
+	if fmeta.ParentSpan != "" {
+		ctx = spans.WithRemoteParent(ctx, fmeta.ParentSpan)
+	}
+	ctx, root := d.cfg.Spans.Start(ctx, "submit")
+	defer root.End()
 	// Authenticate before any decode work: an unknown key must cost the
 	// daemon nothing, and every downstream artifact (explain, WAL,
 	// metrics) carries the tenant.
@@ -338,10 +362,11 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	// Decode every net up front: a malformed net is the client's fault
 	// and must be a structured 400, not a queued failure.
 	traceID := reqctx.TraceID(ctx)
-	fmeta := forwardMetaFrom(ctx)
 	results := make([]Result, len(req.Jobs))
 	var pending []*task
 	decSpan := d.reg.StartSpan("svc/submit/decode")
+	_, dec := d.cfg.Spans.Start(ctx, "decode")
+	defer dec.End()
 	for i := range req.Jobs {
 		j := &req.Jobs[i]
 		if err := d.cfg.Faults.Fire(ctx, "svc/decode"); err != nil {
@@ -410,6 +435,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 		results[i] = Result{} // filled after completion
 	}
 	decSpan.End()
+	dec.End()
 
 	// Register the batch for introspection (GET /debug/jobs) before the
 	// queue can hand it to a worker. A rejected batch (queue full,
@@ -419,16 +445,18 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 	for _, t := range pending {
 		d.table.start(t.explain)
 	}
+	actx, admit := d.cfg.Spans.Start(ctx, "admit")
 	err := d.reserve(tn, len(pending))
 	if err == nil {
 		// Durability barrier: the accepted records must be on disk
 		// before any worker can produce a result for them. One Append is
 		// one group commit for the whole batch.
-		if werr := d.walAccept(ctx, pending); werr != nil {
+		if werr := d.walAccept(actx, pending); werr != nil {
 			d.unreserve(tn, len(pending))
 			err = submitErr(http.StatusServiceUnavailable, ErrInternal, "job store: %v", werr)
 		}
 	}
+	admit.End()
 	if err != nil {
 		// A saturated or draining queue is a work-stealing trigger: hand
 		// the batch to the least-loaded ready peer before rejecting. A
@@ -456,7 +484,7 @@ func (d *Daemon) Submit(ctx context.Context, req *Request) (*Response, *SubmitEr
 			if lw, ok := d.lat[OutcomeRejected]; ok {
 				lw.queue.Observe(0)
 				lw.solve.Observe(0)
-				lw.e2e.Observe(ms)
+				lw.e2e.ObserveEx(ms, e.TraceID)
 			}
 		}
 		return nil, err
@@ -522,11 +550,15 @@ func (d *Daemon) lookupUnlessProfiled(ctx context.Context, key string, profiled 
 }
 
 func (d *Daemon) cacheGet(ctx context.Context, key string) (Result, bool) {
+	_, sp := d.cfg.Spans.Start(ctx, "cache/get")
+	defer sp.End()
 	if err := d.cfg.Faults.Fire(ctx, "svc/cache/get"); err != nil {
 		d.log.Warn("cache get fault", "err", err)
 		return Result{}, false
 	}
-	return d.cache.Get(key)
+	res, hit := d.cache.Get(key)
+	sp.Set("hit", fmt.Sprint(hit))
+	return res, hit
 }
 
 func (d *Daemon) worker() {
@@ -550,6 +582,7 @@ func (d *Daemon) runTask(t *task) {
 	defer close(t.done)
 	defer t.cancel()
 	d.table.setRunning(t.jid)
+	t.qspan.End() // queue wait is over: a worker has the task
 	span := d.reg.StartSpan("svc/job")
 	start := time.Now()
 
@@ -563,6 +596,8 @@ func (d *Daemon) runTask(t *task) {
 			remainingBudget(t.ctx), d.cfg.ShedMargin))
 	} else {
 		resCh := make(chan Result, 1)
+		var solveSpan *spans.Span
+		t.sctx, solveSpan = d.cfg.Spans.Start(t.ctx, "solve")
 		solveStart := time.Now()
 		go func() {
 			defer func() {
@@ -596,6 +631,7 @@ func (d *Daemon) runTask(t *task) {
 			t.res = d.failResult(t, ErrDeadlineExceeded, fmt.Sprintf("job exceeded deadline: %v", t.ctx.Err()))
 		}
 		t.solveMs = float64(time.Since(solveStart)) / float64(time.Millisecond)
+		solveSpan.End()
 	}
 
 	span.End()
@@ -660,14 +696,15 @@ func (d *Daemon) finishJob(t *task) {
 			}
 		}
 	}
+	e.Spans = d.cfg.Spans.Summarize(e.TraceID)
 	d.table.record(e)
 	if t.want {
 		t.res.Explain = e
 	}
 	if lw, ok := d.lat[e.Outcome]; ok {
-		lw.queue.Observe(e.QueueWaitMs)
-		lw.solve.Observe(e.SolveMs)
-		lw.e2e.Observe(e.TotalMs)
+		lw.queue.ObserveEx(e.QueueWaitMs, e.TraceID)
+		lw.solve.ObserveEx(e.SolveMs, e.TraceID)
+		lw.e2e.ObserveEx(e.TotalMs, e.TraceID)
 	}
 	if t.tn != nil {
 		t.tn.latE2E.Observe(e.TotalMs)
@@ -722,9 +759,11 @@ func (d *Daemon) exec(t *task) Result {
 
 	if j.Mode == "ard" || j.Mode == "both" {
 		span := d.reg.StartSpan("svc/job/ard")
+		_, ps := d.cfg.Spans.Start(t.sctx, "solve/ard")
 		net := rctree.NewNet(rt, t.tech, rctree.Assignment{})
 		r := ard.Compute(net, ard.Options{IncludeSelf: j.Options.IncludeSelf,
 			Trace: d.cfg.Tracer, TraceArgs: targs})
+		ps.End()
 		span.End()
 		res.ARD = &ARDResult{ARD: r.ARD, CritSrc: termName(t.tr, r.CritSrc), CritSink: termName(t.tr, r.CritSink)}
 	}
@@ -755,7 +794,9 @@ func (d *Daemon) exec(t *task) Result {
 			opt.Pruner = core.PruneNaive
 		}
 		span := d.reg.StartSpan("svc/job/optimize")
+		_, ps := d.cfg.Spans.Start(t.sctx, "solve/optimize")
 		out, deg, err := d.runOptimize(t, rt, opt)
+		ps.End()
 		span.End()
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -784,6 +825,7 @@ func (d *Daemon) exec(t *task) Result {
 			chosen = sol
 		}
 		encSpan := d.reg.StartSpan("svc/job/encode")
+		_, es := d.cfg.Spans.Start(t.sctx, "solve/encode")
 		opt2 := &OptResult{
 			Chosen: suitePoint(chosen),
 			Assign: netio.EncodeAssignment(chosen.Cost, chosen.ARD, chosen.Assignment()),
@@ -792,6 +834,7 @@ func (d *Daemon) exec(t *task) Result {
 		for _, s := range out.Suite {
 			opt2.Suite = append(opt2.Suite, suitePoint(s))
 		}
+		es.End()
 		encSpan.End()
 		if deg != nil {
 			res.Degraded = true

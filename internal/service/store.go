@@ -74,8 +74,9 @@ func (d *Daemon) walResult(t *task) {
 	rec := &jobstore.Record{Type: jobstore.TypeResult, UID: t.walUID,
 		Result: body, Degraded: t.res.Degraded}
 	// The job context may already be expired (deadline jobs); the WAL
-	// append must still land.
-	if err := d.cfg.Store.Append(context.Background(), rec); err != nil {
+	// append must still land — but keep the context's identities (trace
+	// ID, span parent) so the append's spans join the job's trace.
+	if err := d.cfg.Store.Append(context.WithoutCancel(t.ctx), rec); err != nil {
 		d.log.Warn("wal: result append failed; job will replay as pending", "job", t.jid, "uid", t.walUID, "err", err)
 	}
 }
@@ -247,6 +248,7 @@ func (d *Daemon) Recover(rep *jobstore.Replay) (requeued, restored int) {
 		// handler; route the completion into the recovered table.
 		go func(uid string, t *task) {
 			<-t.done
+			t.rspan.End()
 			d.rec.complete(uid, t.res)
 		}(e.UID, t)
 		tasks = append(tasks, t)
@@ -284,6 +286,13 @@ func (d *Daemon) replayTask(e *jobstore.Entry, tn *tenantState) (*task, error) {
 	if e.TraceID != "" {
 		ctx = reqctx.WithTraceID(ctx, e.TraceID)
 	}
+	// Replayed work re-enters the ORIGINAL trace: the replay root span
+	// records under the trace ID persisted at admission, so a collector
+	// stitching that trace sees the pre-crash spans (if any survived)
+	// and the post-crash replay in one tree.
+	ctx, rspan := d.cfg.Spans.Start(ctx, "replay")
+	rspan.Set("wal_uid", e.UID)
+	t.rspan = rspan
 	t.ctx, t.cancel = d.jobContext(ctx)
 	return t, nil
 }

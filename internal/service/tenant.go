@@ -311,6 +311,12 @@ func (d *Daemon) unreserve(tn *tenantState, n int) {
 // scheduler. Tasks carry their tenant on t.tn.
 func (d *Daemon) dispatch(ts []*task) {
 	now := time.Now()
+	// Queue-wait spans open here — admission is done, a worker is not —
+	// and close at dequeue in runTask. Outside d.mu: the span index has
+	// its own lock.
+	for _, t := range ts {
+		_, t.qspan = d.cfg.Spans.Start(t.ctx, "queue")
+	}
 	d.mu.Lock()
 	for _, t := range ts {
 		t.enqueued = now

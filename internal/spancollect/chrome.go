@@ -1,0 +1,85 @@
+package spancollect
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StitchedSchema identifies the stitched Chrome trace-event export —
+// load it in Perfetto / chrome://tracing. One pid per process (sorted,
+// so numbering is stable), complete "X" events in microseconds.
+const StitchedSchema = "msrnet-stitched-trace/v1"
+
+// WriteChrome renders the stitched trace as a Chrome trace-event JSON
+// waterfall: a process_name metadata event per process, then one "X"
+// event per span in tree order, each on its process's track. Output is
+// deterministic: identical stitched trees render to identical bytes.
+func (st *Stitched) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"schema\":%q,\"displayTimeUnit\":\"ms\",\"traceEvents\":[", StitchedSchema)
+
+	pid := map[string]int{}
+	for i, p := range st.Processes {
+		pid[p] = i + 1
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(line)
+	}
+	for i, p := range st.Processes {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":1,"args":{"name":%s}}`,
+			i+1, quote(p)))
+	}
+	var base int64
+	if r := st.Root(); r >= 0 {
+		base = st.Nodes[r].StartNs
+	}
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `{"name":%s,"cat":"span","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":1,"args":{"key":%s`,
+			quote(n.Name), us(n.StartNs-base), us(n.DurNs), pid[n.Process], quote(n.Key))
+		if n.Parent >= 0 {
+			fmt.Fprintf(&sb, `,"parent":%s`, quote(st.Nodes[n.Parent].Key))
+		}
+		if n.Peer != "" {
+			fmt.Fprintf(&sb, `,"peer":%s`, quote(n.Peer))
+		}
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, `,%s:%s`, quote(k), quote(n.Attrs[k]))
+			}
+		}
+		sb.WriteString("}}")
+		emit(sb.String())
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// us renders nanoseconds as trace-event microseconds with sub-µs
+// precision kept (fixed three decimals, so output is deterministic).
+func us(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}
+
+// quote is a strict JSON string quoter (no HTML escaping surprises).
+func quote(s string) string { return strconv.Quote(s) }

@@ -1,0 +1,197 @@
+package spancollect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"msrnet/internal/cluster"
+	"msrnet/internal/obs/spans"
+)
+
+// Options tunes a collection run.
+type Options struct {
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// Now overrides the collector clock (tests).
+	Now func() time.Time
+}
+
+// Collection is the result of fanning one trace ID out over the fleet:
+// every process's export, the per-process clock-offset estimates that
+// aligned them, and the stitched tree.
+type Collection struct {
+	TraceID string
+	// Exports holds each responding process's msrnet-spans/v1 body,
+	// sorted by process.
+	Exports []spans.TraceExport
+	// Offsets maps process → its resolved clock offset vs the collector.
+	Offsets map[string]OffsetEstimate
+	// Stitched is the aligned cross-process span tree.
+	Stitched *Stitched
+	// Missing lists members that answered but had no spans for the
+	// trace, and Errors the members that could not be asked at all.
+	Missing []string
+	Errors  []string
+}
+
+// Collect fans GET /debug/spans/{traceID} out over the member base
+// URLs (as discovered by client.NewCluster), estimates each responding
+// peer's clock offset — request/response midpoint first, refined by
+// gossip heartbeat witnesses from /cluster/members — and stitches the
+// per-process spans into one tree. Members that are down or don't know
+// the trace are reported, not fatal; only a trace nobody knows is an
+// error.
+func Collect(ctx context.Context, members []string, traceID string, o Options) (*Collection, error) {
+	httpc := o.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	now := o.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	col := &Collection{TraceID: traceID, Offsets: map[string]OffsetEstimate{}}
+	probes := map[string]Probe{} // by process
+	addrOf := map[string]string{}
+	sortedMembers := append([]string(nil), members...)
+	sort.Strings(sortedMembers)
+
+	for _, addr := range sortedMembers {
+		addr = strings.TrimRight(addr, "/")
+		send := now().UnixNano()
+		exp, status, err := fetchSpans(ctx, httpc, addr, traceID)
+		recv := now().UnixNano()
+		switch {
+		case err != nil:
+			col.Errors = append(col.Errors, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		case status == http.StatusNotFound:
+			col.Missing = append(col.Missing, addr)
+			continue
+		}
+		col.Exports = append(col.Exports, exp)
+		probes[exp.Process] = Probe{SendUnixNs: send, RecvUnixNs: recv, PeerUnixNs: exp.WallUnixNs}
+		addrOf[exp.Process] = addr
+	}
+	if len(col.Exports) == 0 {
+		detail := ""
+		if len(col.Errors) > 0 {
+			detail = " (" + strings.Join(col.Errors, "; ") + ")"
+		}
+		return nil, fmt.Errorf("spancollect: no fleet member has spans for trace %s%s", traceID, detail)
+	}
+	sort.Slice(col.Exports, func(i, j int) bool { return col.Exports[i].Process < col.Exports[j].Process })
+
+	// Witness refinement: each responding peer's gossip state says when
+	// it last HEARD every other member's heartbeat advance, and what
+	// wall clock that member stamped into the heartbeat. A witness is
+	// only usable once its own offset is directly estimated.
+	states := map[string]*cluster.StateBody{}
+	for proc, addr := range addrOf {
+		if st, err := fetchClusterState(ctx, httpc, addr); err == nil {
+			states[proc] = st
+		}
+	}
+	for _, exp := range col.Exports {
+		target := exp.Process
+		direct := []Probe{probes[target]}
+		var ws []WitnessSample
+		for wproc, st := range states {
+			if wproc == target {
+				continue
+			}
+			wp, ok := probes[wproc]
+			if !ok {
+				continue
+			}
+			heard, ok := st.HeardMs[cluster.ID(target)]
+			if !ok {
+				continue
+			}
+			var targetWall int64
+			for _, m := range st.Members {
+				if string(m.ID) == target {
+					targetWall = m.WallMs
+				}
+			}
+			if targetWall == 0 || heard == 0 {
+				continue
+			}
+			ws = append(ws, WitnessSample{
+				WitnessOffsetNs: wp.OffsetNs(),
+				TargetWallMs:    targetWall,
+				HeardWallMs:     heard,
+			})
+		}
+		col.Offsets[target] = EstimateOffset(direct, ws)
+	}
+
+	procs := make([]ProcessSpans, 0, len(col.Exports))
+	for _, exp := range col.Exports {
+		procs = append(procs, ProcessSpans{
+			Process:  exp.Process,
+			OffsetNs: col.Offsets[exp.Process].OffsetNs,
+			Spans:    exp.Spans,
+		})
+	}
+	col.Stitched = Stitch(traceID, procs)
+	return col, nil
+}
+
+// fetchSpans GETs one member's msrnet-spans/v1 export for the trace.
+func fetchSpans(ctx context.Context, httpc *http.Client, addr, traceID string) (spans.TraceExport, int, error) {
+	var exp spans.TraceExport
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/debug/spans/"+traceID, nil)
+	if err != nil {
+		return exp, 0, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return exp, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return exp, http.StatusNotFound, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return exp, resp.StatusCode, fmt.Errorf("GET /debug/spans/%s: HTTP %d", traceID, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&exp); err != nil {
+		return exp, resp.StatusCode, fmt.Errorf("decode spans: %w", err)
+	}
+	if exp.Schema != spans.Schema {
+		return exp, resp.StatusCode, fmt.Errorf("spans schema %q, want %q", exp.Schema, spans.Schema)
+	}
+	return exp, http.StatusOK, nil
+}
+
+// fetchClusterState GETs one member's gossip state for witness data;
+// clusterless daemons (404) simply contribute no witnesses.
+func fetchClusterState(ctx context.Context, httpc *http.Client, addr string) (*cluster.StateBody, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/cluster/members", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("GET /cluster/members: HTTP %d", resp.StatusCode)
+	}
+	var st cluster.StateBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

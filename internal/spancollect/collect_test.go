@@ -1,0 +1,122 @@
+package spancollect
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msrnet/internal/obs/spans"
+)
+
+// TestCollectFansOutAndAligns drives the collector against two fake
+// daemons whose clocks disagree: the spans come back on one timeline
+// and the stitched tree crosses the processes.
+func TestCollectFansOutAndAligns(t *testing.T) {
+	const traceID = "0123456789abcdef"
+	base := time.Unix(1700000000, 0)
+	var ticks int64
+	now := func() time.Time {
+		n := atomic.AddInt64(&ticks, 1)
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+
+	// Fake members: node-a on the collector's clock, node-b 50ms fast.
+	// WallUnixNs is stamped far enough out to cover any probe midpoint
+	// the fake clock produces (each probe's mid is within a few ms of
+	// base), so the estimated offsets are ~0 and ~+50ms.
+	mkServer := func(process string, skewNs int64) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /debug/spans/"+traceID, func(w http.ResponseWriter, r *http.Request) {
+			var recs []spans.Record
+			if process == "node-a" {
+				recs = []spans.Record{
+					{ID: 1, Name: "submit", StartUnixNs: base.UnixNano() + skewNs, DurNs: 30 * ms},
+					{ID: 2, Parent: 1, Name: "forward", StartUnixNs: base.UnixNano() + skewNs + 5*ms, DurNs: 20 * ms, Peer: "node-b"},
+				}
+			} else {
+				recs = []spans.Record{
+					{ID: 1, ParentRemote: "node-a#2", Name: "submit", StartUnixNs: base.UnixNano() + skewNs + 8*ms, DurNs: 14 * ms},
+					{ID: 2, Parent: 1, Name: "solve", StartUnixNs: base.UnixNano() + skewNs + 9*ms, DurNs: 13 * ms},
+				}
+			}
+			json.NewEncoder(w).Encode(spans.TraceExport{
+				Schema: spans.Schema, TraceID: traceID, Process: process,
+				WallUnixNs: now().UnixNano() + skewNs, Spans: recs,
+			})
+		})
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			http.NotFound(w, r)
+		})
+		return httptest.NewServer(mux)
+	}
+	sa := mkServer("node-a", 0)
+	defer sa.Close()
+	sb := mkServer("node-b", 50*ms)
+	defer sb.Close()
+	// A dead member and one that never saw the trace must not break
+	// collection.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	empty := httptest.NewServer(http.NotFoundHandler())
+	defer empty.Close()
+
+	col, err := Collect(context.Background(),
+		[]string{sa.URL, sb.URL, dead.URL, empty.URL}, traceID, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Exports) != 2 {
+		t.Fatalf("collected %d exports, want 2", len(col.Exports))
+	}
+	if len(col.Missing) != 1 || len(col.Errors) != 1 {
+		t.Fatalf("missing=%v errors=%v, want one of each", col.Missing, col.Errors)
+	}
+	// node-b's offset must recover most of the +50ms skew (the fake
+	// clock adds a few ms of probe latency noise, bounded by RTT/2).
+	offB := col.Offsets["node-b"].OffsetNs
+	if offB < 40*ms || offB > 60*ms {
+		t.Fatalf("node-b offset = %dns, want ≈ +50ms", offB)
+	}
+	if src := col.Offsets["node-b"].Source; src != SourceDirect {
+		t.Fatalf("node-b offset source = %q, want direct (no gossip witnesses here)", src)
+	}
+
+	st := col.Stitched
+	if len(st.Roots) != 1 {
+		t.Fatalf("stitched roots = %v, want one", st.Roots)
+	}
+	var remote *Node
+	for i := range st.Nodes {
+		if st.Nodes[i].Key == "node-b#1" {
+			remote = &st.Nodes[i]
+		}
+	}
+	if remote == nil || remote.Parent < 0 || st.Nodes[remote.Parent].Key != "node-a#2" {
+		t.Fatalf("node-b's submit should hang under node-a's forward: %+v", remote)
+	}
+	// After alignment the remote span starts ≈8ms into the trace, not
+	// 58ms: the skew correction pulled it back inside the hop window.
+	rel := remote.StartNs - st.Nodes[st.Root()].StartNs
+	if rel < 0 || rel > 20*ms {
+		t.Fatalf("aligned remote start %dns into trace; skew was not corrected", rel)
+	}
+	if cp := st.CriticalPath(); cp.Dominant != spans.ClassSolve {
+		t.Fatalf("dominant = %q, want solve: %+v", cp.Dominant, cp.Shares)
+	}
+}
+
+// TestCollectNoSpansAnywhere: a trace nobody knows is an error naming
+// the trace.
+func TestCollectNoSpansAnywhere(t *testing.T) {
+	empty := httptest.NewServer(http.NotFoundHandler())
+	defer empty.Close()
+	_, err := Collect(context.Background(), []string{empty.URL}, "feedfacefeedface", Options{})
+	if err == nil || !strings.Contains(err.Error(), "feedfacefeedface") {
+		t.Fatalf("err = %v, want trace-not-found", err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package spancollect turns per-process msrnet-spans/v1 exports into
+// one fleet-wide answer: it estimates each peer's clock offset against
+// the collector (request/response midpoint, refined by gossip heartbeat
+// witnesses), shifts every process's spans onto the collector's
+// timeline, stitches the cross-process parent links into a single span
+// tree, and reports both a Perfetto-ready waterfall and the critical
+// path — which segment (queue, solve, fsync, hop, remote cache)
+// dominated a trace's end-to-end time. See DESIGN.md §15.
+package spancollect
+
+import "sort"
+
+// Probe is one request/response clock sounding against a peer: the
+// collector's clock at send and receive bracket the peer's clock
+// reading carried in the response (TraceExport.WallUnixNs). Under the
+// classic NTP midpoint assumption — the peer stamped roughly halfway
+// through the round trip — the peer-minus-collector offset is
+// PeerUnixNs − (SendUnixNs+RecvUnixNs)/2, and however asymmetric the
+// two legs really were, the true offset lies within ±RTT/2 of it.
+type Probe struct {
+	SendUnixNs int64 `json:"send_unix_ns"`
+	RecvUnixNs int64 `json:"recv_unix_ns"`
+	PeerUnixNs int64 `json:"peer_unix_ns"`
+}
+
+// OffsetNs is the midpoint estimate of (peer clock − collector clock).
+func (p Probe) OffsetNs() int64 {
+	return p.PeerUnixNs - (p.SendUnixNs+p.RecvUnixNs)/2
+}
+
+// RTTNs is the probe's round-trip time; the midpoint estimate's error
+// bound is half of it.
+func (p Probe) RTTNs() int64 { return p.RecvUnixNs - p.SendUnixNs }
+
+// WitnessSample refines a target peer's offset through a third party:
+// witness W gossips that it last saw target T's heartbeat advance at
+// W-wall HeardWallMs, and T stamped that heartbeat with its own wall
+// clock TargetWallMs (cluster.Info.WallMs / StateBody.HeardMs). With
+// W's own offset θ_W already estimated, the event happened at collector
+// time ≈ HeardWallMs·1e6 − θ_W, so θ_T ≈ TargetWallMs·1e6 − (that).
+// The estimate runs low by the gossip propagation delay, which is why
+// witness medians only ever refine WITHIN the direct probe's ±RTT/2
+// feasibility band, never override it.
+type WitnessSample struct {
+	// WitnessOffsetNs is the witness's own estimated offset vs the
+	// collector (from its direct probe).
+	WitnessOffsetNs int64 `json:"witness_offset_ns"`
+	// TargetWallMs is the target's wall clock stamped into the heartbeat
+	// the witness saw (cluster.Info.WallMs as gossiped to the witness).
+	TargetWallMs int64 `json:"target_wall_ms"`
+	// HeardWallMs is the witness's wall clock when that heartbeat
+	// advance arrived (cluster.StateBody.HeardMs[target]).
+	HeardWallMs int64 `json:"heard_wall_ms"`
+}
+
+// OffsetNs is the witness's estimate of (target clock − collector
+// clock).
+func (w WitnessSample) OffsetNs() int64 {
+	return w.TargetWallMs*1e6 - (w.HeardWallMs*1e6 - w.WitnessOffsetNs)
+}
+
+// Offset estimate provenance.
+const (
+	SourceNone          = "none"
+	SourceDirect        = "direct"
+	SourceWitness       = "witness"
+	SourceDirectWitness = "direct+witness"
+)
+
+// OffsetEstimate is one peer's resolved clock offset: subtract OffsetNs
+// from that peer's span timestamps to land them on the collector's
+// timeline. ErrorBoundNs is the provable half-RTT bound when a direct
+// probe contributed (0 means unknown, not perfect).
+type OffsetEstimate struct {
+	OffsetNs     int64  `json:"offset_ns"`
+	ErrorBoundNs int64  `json:"error_bound_ns,omitempty"`
+	Source       string `json:"source"`
+}
+
+// EstimateOffset resolves a peer's clock offset from its direct probes
+// and any gossip witnesses. The minimum-RTT probe anchors the estimate
+// (its midpoint has the tightest ±RTT/2 bound); the witness median then
+// refines it, clamped into the anchor's feasibility band. With no
+// direct probe the witness median stands alone; with nothing at all the
+// offset is zero and Source says so. The function is pure, so repeated
+// refinement with the same inputs is stable by construction.
+func EstimateOffset(direct []Probe, witnesses []WitnessSample) OffsetEstimate {
+	best, ok := bestProbe(direct)
+	med, nw := witnessMedian(witnesses)
+	switch {
+	case !ok && nw == 0:
+		return OffsetEstimate{Source: SourceNone}
+	case !ok:
+		return OffsetEstimate{OffsetNs: med, Source: SourceWitness}
+	case nw == 0:
+		return OffsetEstimate{OffsetNs: best.OffsetNs(), ErrorBoundNs: best.RTTNs() / 2, Source: SourceDirect}
+	}
+	bound := best.RTTNs() / 2
+	off := clamp(med, best.OffsetNs()-bound, best.OffsetNs()+bound)
+	return OffsetEstimate{OffsetNs: off, ErrorBoundNs: bound, Source: SourceDirectWitness}
+}
+
+// bestProbe picks the minimum-RTT probe, skipping malformed ones
+// (non-positive RTT: clock went backwards mid-probe).
+func bestProbe(ps []Probe) (Probe, bool) {
+	var best Probe
+	found := false
+	for _, p := range ps {
+		if p.RTTNs() <= 0 {
+			continue
+		}
+		if !found || p.RTTNs() < best.RTTNs() {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// witnessMedian is the median witness offset (lower of the two middles
+// for even counts, so the result is always an actual sample).
+func witnessMedian(ws []WitnessSample) (int64, int) {
+	if len(ws) == 0 {
+		return 0, 0
+	}
+	offs := make([]int64, len(ws))
+	for i, w := range ws {
+		offs[i] = w.OffsetNs()
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	return offs[(len(offs)-1)/2], len(offs)
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

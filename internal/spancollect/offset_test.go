@@ -1,0 +1,145 @@
+package spancollect
+
+import "testing"
+
+const ms = int64(1e6)
+
+// TestOffsetSymmetricRTT: with symmetric legs the midpoint estimate is
+// exact, whatever the peer's skew.
+func TestOffsetSymmetricRTT(t *testing.T) {
+	for _, skew := range []int64{0, 250 * ms, -3000 * ms, 90_000 * ms} {
+		// Collector sends at t=1000ms; each leg takes 10ms; the peer
+		// stamps at true time 1010ms, reading its own skewed clock.
+		p := Probe{
+			SendUnixNs: 1000 * ms,
+			RecvUnixNs: 1020 * ms,
+			PeerUnixNs: 1010*ms + skew,
+		}
+		est := EstimateOffset([]Probe{p}, nil)
+		if est.OffsetNs != skew {
+			t.Fatalf("skew %d: offset = %d, want %d", skew, est.OffsetNs, skew)
+		}
+		if est.ErrorBoundNs != 10*ms {
+			t.Fatalf("skew %d: bound = %d, want %d (RTT/2)", skew, est.ErrorBoundNs, 10*ms)
+		}
+		if est.Source != SourceDirect {
+			t.Fatalf("source = %q, want %q", est.Source, SourceDirect)
+		}
+	}
+}
+
+// TestOffsetAsymmetricRTTBoundedByHalfRTT: however lopsided the two
+// legs are, the midpoint estimate errs by at most RTT/2 — the bound the
+// witness clamp relies on.
+func TestOffsetAsymmetricRTTBoundedByHalfRTT(t *testing.T) {
+	const skew = 500 * ms
+	cases := []struct{ out, back int64 }{
+		{1 * ms, 39 * ms},  // slow return leg
+		{39 * ms, 1 * ms},  // slow outbound leg
+		{20 * ms, 20 * ms}, // symmetric control
+		{0, 40 * ms},       // pathological: all delay on the way back
+	}
+	for _, c := range cases {
+		send := int64(1000 * ms)
+		p := Probe{
+			SendUnixNs: send,
+			RecvUnixNs: send + c.out + c.back,
+			PeerUnixNs: send + c.out + skew,
+		}
+		est := EstimateOffset([]Probe{p}, nil)
+		err := est.OffsetNs - skew
+		if err < 0 {
+			err = -err
+		}
+		rtt := c.out + c.back
+		if err > rtt/2 {
+			t.Fatalf("legs (%d,%d): error %d exceeds RTT/2 = %d", c.out, c.back, err, rtt/2)
+		}
+		if est.ErrorBoundNs != rtt/2 {
+			t.Fatalf("legs (%d,%d): reported bound %d, want %d", c.out, c.back, est.ErrorBoundNs, rtt/2)
+		}
+	}
+}
+
+// TestOffsetPicksMinRTTProbe: the tightest probe anchors the estimate.
+func TestOffsetPicksMinRTTProbe(t *testing.T) {
+	probes := []Probe{
+		{SendUnixNs: 0, RecvUnixNs: 100 * ms, PeerUnixNs: 75 * ms},         // rtt 100ms, offset 25ms
+		{SendUnixNs: 200 * ms, RecvUnixNs: 204 * ms, PeerUnixNs: 203 * ms}, // rtt 4ms, offset 1ms
+		{SendUnixNs: 300 * ms, RecvUnixNs: 290 * ms, PeerUnixNs: 0},        // malformed, skipped
+	}
+	est := EstimateOffset(probes, nil)
+	if est.OffsetNs != 1*ms || est.ErrorBoundNs != 2*ms {
+		t.Fatalf("est = %+v, want offset 1ms bound 2ms from the min-RTT probe", est)
+	}
+}
+
+// TestWitnessRefinementClampsToDirectBand: witness medians adjust the
+// estimate only inside the direct probe's ±RTT/2 feasibility band.
+func TestWitnessRefinementClampsToDirectBand(t *testing.T) {
+	// Direct: offset 10ms, RTT 8ms → band [6ms, 14ms].
+	direct := []Probe{{SendUnixNs: 0, RecvUnixNs: 8 * ms, PeerUnixNs: 14 * ms}}
+
+	witAt := func(offNs int64) WitnessSample {
+		// Witness with zero own-offset that heard the target's heartbeat
+		// instantly: its estimate is exactly offNs.
+		return WitnessSample{WitnessOffsetNs: 0, TargetWallMs: 2000 + offNs/ms, HeardWallMs: 2000}
+	}
+
+	// Median inside the band: adopted as-is.
+	in := EstimateOffset(direct, []WitnessSample{witAt(12 * ms), witAt(11 * ms), witAt(13 * ms)})
+	if in.OffsetNs != 12*ms || in.Source != SourceDirectWitness {
+		t.Fatalf("in-band refinement = %+v, want offset 12ms", in)
+	}
+
+	// Median far below the band (e.g. gossip delay bias): clamped to the
+	// band's floor, never trusted past what the direct probe allows.
+	low := EstimateOffset(direct, []WitnessSample{witAt(-50 * ms), witAt(-40 * ms), witAt(-60 * ms)})
+	if low.OffsetNs != 6*ms {
+		t.Fatalf("low refinement = %+v, want clamp to 6ms", low)
+	}
+	high := EstimateOffset(direct, []WitnessSample{witAt(400 * ms)})
+	if high.OffsetNs != 14*ms {
+		t.Fatalf("high refinement = %+v, want clamp to 14ms", high)
+	}
+}
+
+// TestWitnessOnlyAndEmpty: witness median stands alone when the peer
+// is unreachable directly; nothing at all yields a tagged zero.
+func TestWitnessOnlyAndEmpty(t *testing.T) {
+	ws := []WitnessSample{
+		{WitnessOffsetNs: 2 * ms, TargetWallMs: 1007, HeardWallMs: 1000},  // 9ms
+		{WitnessOffsetNs: 0, TargetWallMs: 1005, HeardWallMs: 1000},       // 5ms
+		{WitnessOffsetNs: -1 * ms, TargetWallMs: 1008, HeardWallMs: 1000}, // 7ms
+	}
+	est := EstimateOffset(nil, ws)
+	if est.OffsetNs != 7*ms || est.Source != SourceWitness {
+		t.Fatalf("witness-only = %+v, want median 7ms", est)
+	}
+	if e := EstimateOffset(nil, nil); e.OffsetNs != 0 || e.Source != SourceNone {
+		t.Fatalf("empty = %+v, want tagged zero", e)
+	}
+}
+
+// TestOffsetStableAcrossRefinement: estimation is pure — the same
+// inputs always resolve to the same offset, and feeding the refined
+// estimate through again cannot move it (the clamp is idempotent).
+func TestOffsetStableAcrossRefinement(t *testing.T) {
+	direct := []Probe{{SendUnixNs: 0, RecvUnixNs: 6 * ms, PeerUnixNs: 20 * ms}}
+	ws := []WitnessSample{
+		{WitnessOffsetNs: 1 * ms, TargetWallMs: 5000 + 25, HeardWallMs: 5000},
+		{WitnessOffsetNs: -2 * ms, TargetWallMs: 5000 + 12, HeardWallMs: 5000},
+	}
+	first := EstimateOffset(direct, ws)
+	for i := 0; i < 5; i++ {
+		if again := EstimateOffset(direct, ws); again != first {
+			t.Fatalf("round %d: estimate moved from %+v to %+v", i, first, again)
+		}
+	}
+	// Idempotence of the clamp: an in-band offset re-clamped stays put.
+	bound := direct[0].RecvUnixNs / 2
+	lo, hi := direct[0].OffsetNs()-bound, direct[0].OffsetNs()+bound
+	if re := clamp(first.OffsetNs, lo, hi); re != first.OffsetNs {
+		t.Fatalf("refined offset %d moved to %d on re-clamp", first.OffsetNs, re)
+	}
+}

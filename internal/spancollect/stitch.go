@@ -1,0 +1,358 @@
+package spancollect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"msrnet/internal/obs/spans"
+)
+
+// ProcessSpans is one process's contribution to a stitched trace: its
+// exported spans plus its resolved clock offset. Subtracting OffsetNs
+// from every timestamp lands the spans on the collector's timeline.
+type ProcessSpans struct {
+	Process  string
+	OffsetNs int64
+	Spans    []spans.Record
+}
+
+// Node is one span in the stitched tree, timestamps already aligned to
+// the collector timeline. Parent is an index into Stitched.Nodes (−1
+// for roots); Children are indices in deterministic (start, key) order.
+type Node struct {
+	Key      string // qualified "process#id"
+	Process  string
+	Name     string
+	StartNs  int64
+	DurNs    int64
+	Peer     string
+	Attrs    map[string]string
+	Depth    int
+	Parent   int
+	Children []int
+}
+
+// Stitched is the cross-process span tree of one trace. Nodes are in
+// deterministic depth-first pre-order (roots by start time, children by
+// start time), so rendering it twice — or stitching the same exports
+// twice — yields identical bytes.
+type Stitched struct {
+	TraceID   string
+	Processes []string // sorted
+	Nodes     []Node
+	Roots     []int
+}
+
+// Stitch merges per-process span exports into one tree: it qualifies
+// every span as "process#id", aligns timestamps by each process's clock
+// offset, resolves local and remote parent links, and orders the result
+// deterministically. Spans whose parent never arrived (evicted, or a
+// process that died before export) surface as extra roots rather than
+// disappearing.
+func Stitch(traceID string, procs []ProcessSpans) *Stitched {
+	sorted := append([]ProcessSpans(nil), procs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Process < sorted[j].Process })
+
+	st := &Stitched{TraceID: traceID}
+	byKey := map[string]int{}
+	parentKey := make([]string, 0)
+	for _, p := range sorted {
+		if len(p.Spans) > 0 {
+			st.Processes = append(st.Processes, p.Process)
+		}
+		for _, r := range p.Spans {
+			key := spans.Qualify(p.Process, r.ID)
+			pk := ""
+			if r.Parent != 0 {
+				pk = spans.Qualify(p.Process, r.Parent)
+			} else if r.ParentRemote != "" {
+				pk = r.ParentRemote
+			}
+			if _, dup := byKey[key]; dup {
+				continue
+			}
+			byKey[key] = len(st.Nodes)
+			st.Nodes = append(st.Nodes, Node{
+				Key:     key,
+				Process: p.Process,
+				Name:    r.Name,
+				StartNs: r.StartUnixNs - p.OffsetNs,
+				DurNs:   r.DurNs,
+				Peer:    r.Peer,
+				Attrs:   r.Attrs,
+				Parent:  -1,
+			})
+			parentKey = append(parentKey, pk)
+		}
+	}
+
+	// Resolve parents; a link to a missing span makes a root.
+	for i := range st.Nodes {
+		if pk := parentKey[i]; pk != "" {
+			if pi, ok := byKey[pk]; ok && pi != i {
+				st.Nodes[i].Parent = pi
+				continue
+			}
+		}
+	}
+	for i := range st.Nodes {
+		if p := st.Nodes[i].Parent; p >= 0 {
+			st.Nodes[p].Children = append(st.Nodes[p].Children, i)
+		} else {
+			st.Roots = append(st.Roots, i)
+		}
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			na, nb := st.Nodes[idx[a]], st.Nodes[idx[b]]
+			if na.StartNs != nb.StartNs {
+				return na.StartNs < nb.StartNs
+			}
+			return na.Key < nb.Key
+		})
+	}
+	order(st.Roots)
+	for i := range st.Nodes {
+		order(st.Nodes[i].Children)
+	}
+
+	// Re-number into depth-first pre-order (cycle-guarded: a span caught
+	// in a malformed parent cycle is cut loose as a root).
+	perm := make([]int, 0, len(st.Nodes))
+	seen := make([]bool, len(st.Nodes))
+	depth := make([]int, len(st.Nodes))
+	var walk func(i, d int)
+	walk = func(i, d int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		depth[i] = d
+		perm = append(perm, i)
+		for _, c := range st.Nodes[i].Children {
+			walk(c, d+1)
+		}
+	}
+	for _, r := range st.Roots {
+		walk(r, 0)
+	}
+	for i := range st.Nodes {
+		if !seen[i] {
+			st.Nodes[i].Parent = -1
+			st.Roots = append(st.Roots, i)
+			walk(i, 0)
+		}
+	}
+	old := st.Nodes
+	newIdx := make([]int, len(old))
+	for n, o := range perm {
+		newIdx[o] = n
+	}
+	nodes := make([]Node, len(old))
+	for n, o := range perm {
+		nd := old[o]
+		nd.Depth = depth[o]
+		if nd.Parent >= 0 {
+			nd.Parent = newIdx[nd.Parent]
+		}
+		kids := make([]int, len(nd.Children))
+		for k, c := range nd.Children {
+			kids[k] = newIdx[c]
+		}
+		nd.Children = kids
+		nodes[n] = nd
+	}
+	st.Nodes = nodes
+	for i, r := range st.Roots {
+		st.Roots[i] = newIdx[r]
+	}
+	sort.Ints(st.Roots)
+	return st
+}
+
+// Root returns the primary root (the earliest-starting one — the
+// client-facing submit), or −1 for an empty trace.
+func (st *Stitched) Root() int {
+	if len(st.Roots) == 0 {
+		return -1
+	}
+	best := st.Roots[0]
+	for _, r := range st.Roots[1:] {
+		if st.Nodes[r].StartNs < st.Nodes[best].StartNs ||
+			(st.Nodes[r].StartNs == st.Nodes[best].StartNs && st.Nodes[r].Key < st.Nodes[best].Key) {
+			best = r
+		}
+	}
+	return best
+}
+
+// ClassShare is one segment of the critical-path report.
+type ClassShare struct {
+	Class string  `json:"class"`
+	Ms    float64 `json:"ms"`
+	Pct   float64 `json:"pct"`
+}
+
+// CriticalPath attributes every instant of the trace's end-to-end
+// window to exactly one segment class and names the dominant one.
+// Percentages therefore sum to 100% of the root span's duration, within
+// float rounding, no matter how spans nest or overlap.
+type CriticalPath struct {
+	TotalMs  float64      `json:"total_ms"`
+	Dominant string       `json:"dominant"`
+	Shares   []ClassShare `json:"shares"`
+}
+
+// CriticalPath sweeps the primary root's window and attributes each
+// elementary interval to the deepest span active there (ties: the
+// latest-starting, then lexically greatest key — deterministic), then
+// buckets by ClassOf. "Deepest active" is what makes the report answer
+// "what was the trace actually DOING": a solve instant counts as solve
+// even though the submit root also covers it.
+func (st *Stitched) CriticalPath() CriticalPath {
+	root := st.Root()
+	if root < 0 || st.Nodes[root].DurNs <= 0 {
+		return CriticalPath{}
+	}
+	w0 := st.Nodes[root].StartNs
+	w1 := w0 + st.Nodes[root].DurNs
+
+	type ival struct {
+		s, e  int64
+		depth int
+		start int64
+		key   string
+		class string
+	}
+	var ivs []ival
+	cuts := []int64{w0, w1}
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		s, e := n.StartNs, n.StartNs+n.DurNs
+		if s < w0 {
+			s = w0
+		}
+		if e > w1 {
+			e = w1
+		}
+		if e <= s {
+			continue
+		}
+		ivs = append(ivs, ival{s: s, e: e, depth: n.Depth, start: n.StartNs, key: n.Key, class: spans.ClassOf(n.Name)})
+		cuts = append(cuts, s, e)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	byClass := map[string]int64{}
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if b <= a {
+			continue
+		}
+		var win *ival
+		for j := range ivs {
+			v := &ivs[j]
+			if v.s > a || v.e < b {
+				continue
+			}
+			if win == nil || v.depth > win.depth ||
+				(v.depth == win.depth && (v.start > win.start ||
+					(v.start == win.start && v.key > win.key))) {
+				win = v
+			}
+		}
+		if win != nil {
+			byClass[win.class] += b - a
+		}
+	}
+
+	cp := CriticalPath{TotalMs: float64(w1-w0) / 1e6}
+	for class, ns := range byClass {
+		cp.Shares = append(cp.Shares, ClassShare{
+			Class: class,
+			Ms:    float64(ns) / 1e6,
+			Pct:   float64(ns) / float64(w1-w0) * 100,
+		})
+	}
+	sort.Slice(cp.Shares, func(i, j int) bool {
+		if cp.Shares[i].Ms != cp.Shares[j].Ms {
+			return cp.Shares[i].Ms > cp.Shares[j].Ms
+		}
+		return cp.Shares[i].Class < cp.Shares[j].Class
+	})
+	if len(cp.Shares) > 0 {
+		cp.Dominant = cp.Shares[0].Class
+	}
+	return cp
+}
+
+// Write renders the critical-path report as text.
+func (cp CriticalPath) Write(w io.Writer) {
+	if cp.TotalMs == 0 {
+		fmt.Fprintln(w, "critical path: (empty trace)")
+		return
+	}
+	fmt.Fprintf(w, "critical path over %.3fms end-to-end (dominant: %s)\n", cp.TotalMs, cp.Dominant)
+	for _, s := range cp.Shares {
+		fmt.Fprintf(w, "  %-13s %6.1f%%  %10.3fms\n", s.Class, s.Pct, s.Ms)
+	}
+}
+
+// waterfallBarWidth is the character width of the timeline bars.
+const waterfallBarWidth = 32
+
+// WriteWaterfall renders the stitched tree as a text waterfall: one
+// line per span in tree order, indented by depth, with a bar placing it
+// inside the primary root's window.
+func (st *Stitched) WriteWaterfall(w io.Writer) {
+	root := st.Root()
+	if root < 0 {
+		fmt.Fprintf(w, "trace %s: no spans\n", st.TraceID)
+		return
+	}
+	w0 := st.Nodes[root].StartNs
+	total := st.Nodes[root].DurNs
+	fmt.Fprintf(w, "trace %s  e2e %.3fms  processes: %s\n",
+		st.TraceID, float64(total)/1e6, strings.Join(st.Processes, ", "))
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		label := strings.Repeat("  ", n.Depth) + n.Name
+		if n.Peer != "" {
+			label += " →" + n.Peer
+		}
+		fmt.Fprintf(w, "  %10.3fms %9.3fms  |%s|  %-40s %s\n",
+			float64(n.StartNs-w0)/1e6, float64(n.DurNs)/1e6,
+			bar(n.StartNs-w0, n.DurNs, total), label, n.Process)
+	}
+}
+
+// bar draws a span's position within the root window.
+func bar(off, dur, total int64) string {
+	cells := make([]byte, waterfallBarWidth)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	if total <= 0 {
+		return string(cells)
+	}
+	lo := int(off * waterfallBarWidth / total)
+	hi := int((off + dur) * waterfallBarWidth / total)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > waterfallBarWidth {
+		hi = waterfallBarWidth
+	}
+	if lo >= waterfallBarWidth {
+		lo = waterfallBarWidth - 1
+	}
+	for i := lo; i < hi; i++ {
+		cells[i] = '#'
+	}
+	return string(cells)
+}

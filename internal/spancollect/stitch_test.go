@@ -1,0 +1,170 @@
+package spancollect
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"msrnet/internal/obs/spans"
+)
+
+// twoProcTrace is a fixed two-process forwarded job: node-0 submits,
+// forwards to node-1 (whose clock runs 100ms fast), node-1 solves and
+// appends to its WAL. All times in ms on each process's own clock.
+func twoProcTrace() []ProcessSpans {
+	return []ProcessSpans{
+		{
+			Process: "node-0",
+			Spans: []spans.Record{
+				{ID: 1, Name: "submit", StartUnixNs: 0, DurNs: 20 * ms},
+				{ID: 2, Parent: 1, Name: "queue", StartUnixNs: 1 * ms, DurNs: 2 * ms},
+				{ID: 3, Parent: 1, Name: "forward", StartUnixNs: 5 * ms, DurNs: 14 * ms, Peer: "node-1"},
+			},
+		},
+		{
+			Process:  "node-1",
+			OffsetNs: 100 * ms, // node-1's clock reads 100ms ahead
+			Spans: []spans.Record{
+				{ID: 1, ParentRemote: "node-0#3", Name: "submit", StartUnixNs: 106 * ms, DurNs: 12 * ms},
+				{ID: 2, Parent: 1, Name: "queue", StartUnixNs: 106*ms + ms/2, DurNs: ms / 2},
+				{ID: 3, Parent: 1, Name: "solve", StartUnixNs: 107 * ms, DurNs: 10 * ms},
+				{ID: 4, Parent: 1, Name: "wal/append", StartUnixNs: 117 * ms, DurNs: 1 * ms},
+			},
+		},
+	}
+}
+
+func TestStitchResolvesCrossProcessLinks(t *testing.T) {
+	st := Stitch("0123456789abcdef", twoProcTrace())
+	if got := len(st.Nodes); got != 7 {
+		t.Fatalf("stitched %d nodes, want 7", got)
+	}
+	if len(st.Roots) != 1 {
+		t.Fatalf("roots = %v, want exactly one", st.Roots)
+	}
+	byKey := map[string]Node{}
+	for _, n := range st.Nodes {
+		byKey[n.Key] = n
+	}
+	root := byKey["node-0#1"]
+	if root.Parent != -1 || root.Depth != 0 {
+		t.Fatalf("node-0#1 should be the root: %+v", root)
+	}
+	remote := byKey["node-1#1"]
+	if remote.Parent < 0 || st.Nodes[remote.Parent].Key != "node-0#3" {
+		t.Fatalf("node-1#1 should hang under the forward span, got parent %d", remote.Parent)
+	}
+	if remote.Depth != 2 || byKey["node-1#3"].Depth != 3 {
+		t.Fatalf("depths wrong: remote submit %d (want 2), solve %d (want 3)",
+			remote.Depth, byKey["node-1#3"].Depth)
+	}
+	// Skew correction: node-1's spans subtract its +100ms offset, so the
+	// remote submit lands inside the forward window on the shared
+	// timeline.
+	if remote.StartNs != 6*ms {
+		t.Fatalf("remote submit aligned to %dns, want %dns", remote.StartNs, 6*ms)
+	}
+	fwd := byKey["node-0#3"]
+	if remote.StartNs < fwd.StartNs || remote.StartNs+remote.DurNs > fwd.StartNs+fwd.DurNs {
+		t.Fatal("aligned remote submit should nest inside the forward hop window")
+	}
+	if want := []string{"node-0", "node-1"}; strings.Join(st.Processes, ",") != strings.Join(want, ",") {
+		t.Fatalf("processes = %v, want %v", st.Processes, want)
+	}
+}
+
+func TestStitchOrphanBecomesRoot(t *testing.T) {
+	procs := []ProcessSpans{{
+		Process: "node-1",
+		Spans: []spans.Record{
+			{ID: 1, ParentRemote: "node-9#5", Name: "submit", StartUnixNs: 0, DurNs: ms},
+			{ID: 2, Parent: 7, Name: "queue", StartUnixNs: 0, DurNs: ms}, // local parent evicted
+		},
+	}}
+	st := Stitch("deadbeefdeadbeef", procs)
+	if len(st.Roots) != 2 {
+		t.Fatalf("both orphans should surface as roots, got %v", st.Roots)
+	}
+}
+
+func TestStitchIsDeterministic(t *testing.T) {
+	render := func() (string, string, string) {
+		st := Stitch("0123456789abcdef", twoProcTrace())
+		var chrome, wf bytes.Buffer
+		if err := st.WriteChrome(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		st.WriteWaterfall(&wf)
+		var cp bytes.Buffer
+		st.CriticalPath().Write(&cp)
+		return chrome.String(), wf.String(), cp.String()
+	}
+	c1, w1, p1 := render()
+	for i := 0; i < 3; i++ {
+		c2, w2, p2 := render()
+		if c1 != c2 {
+			t.Fatalf("Chrome export not deterministic:\n%s\n---\n%s", c1, c2)
+		}
+		if w1 != w2 {
+			t.Fatalf("waterfall not deterministic:\n%s\n---\n%s", w1, w2)
+		}
+		if p1 != p2 {
+			t.Fatalf("critical path not deterministic:\n%s\n---\n%s", p1, p2)
+		}
+	}
+	// The Chrome export keeps one track per process, in sorted order.
+	if !strings.Contains(c1, `{"name":"process_name","ph":"M","pid":1,"tid":1,"args":{"name":"node-0"}}`) ||
+		!strings.Contains(c1, `{"name":"process_name","ph":"M","pid":2,"tid":1,"args":{"name":"node-1"}}`) {
+		t.Fatalf("missing per-process metadata tracks:\n%s", c1)
+	}
+}
+
+func TestCriticalPathSumsTo100(t *testing.T) {
+	st := Stitch("0123456789abcdef", twoProcTrace())
+	cp := st.CriticalPath()
+	if cp.TotalMs != 20 {
+		t.Fatalf("total = %vms, want 20ms", cp.TotalMs)
+	}
+	if cp.Dominant != spans.ClassSolve {
+		t.Fatalf("dominant = %q, want solve (shares: %+v)", cp.Dominant, cp.Shares)
+	}
+	var pct, msSum float64
+	share := map[string]float64{}
+	for _, s := range cp.Shares {
+		pct += s.Pct
+		msSum += s.Ms
+		share[s.Class] = s.Ms
+	}
+	if math.Abs(pct-100) > 1e-9 {
+		t.Fatalf("percentages sum to %v, want 100", pct)
+	}
+	if math.Abs(msSum-cp.TotalMs) > 1e-9 {
+		t.Fatalf("attributed %vms of %vms", msSum, cp.TotalMs)
+	}
+	// Hand-computed deepest-active attribution for the fixture.
+	want := map[string]float64{
+		spans.ClassSolve: 10,
+		spans.ClassOther: 4.5,
+		spans.ClassQueue: 2.5,
+		spans.ClassHop:   2,
+		spans.ClassFsync: 1,
+	}
+	for class, ms := range want {
+		if math.Abs(share[class]-ms) > 1e-9 {
+			t.Fatalf("share[%s] = %v, want %v (all: %+v)", class, share[class], ms, cp.Shares)
+		}
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	st := Stitch("0123456789abcdef", nil)
+	if cp := st.CriticalPath(); cp.TotalMs != 0 || len(cp.Shares) != 0 {
+		t.Fatalf("empty trace critical path = %+v", cp)
+	}
+	var buf bytes.Buffer
+	st.WriteWaterfall(&buf)
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Fatalf("empty waterfall = %q", buf.String())
+	}
+}
